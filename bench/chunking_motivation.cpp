@@ -1,0 +1,107 @@
+// Chunking motivation — the paper's introductory claim, made measurable:
+// "fixed-sized chunking algorithms such as those used in Venti and
+// OceanStore are not able to handle the boundary-shifting problem", which
+// is why every algorithm in the paper builds on CDC.
+//
+// Deduplicates the backup corpus with the CDC engine mounted on four
+// different chunkers (fixed-size, Rabin, TTTD, Gear/FastCDC). The corpus
+// mutations include insertions/deletions, so fixed-size chunking loses
+// almost all cross-snapshot duplication downstream of every shift while
+// the content-defined chunkers keep it.
+#include "bench_common.h"
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/chunk/fixed_chunker.h"
+#include "mhd/chunk/gear_chunker.h"
+#include "mhd/chunk/rabin_chunker.h"
+#include "mhd/chunk/tttd_chunker.h"
+#include "mhd/hash/sha1.h"
+#include "mhd/util/timer.h"
+
+#include <memory>
+#include <unordered_set>
+
+using namespace mhd;
+using namespace mhd::bench;
+
+namespace {
+
+// Chunker-level dedup model: unique chunk bytes over the corpus. This
+// isolates the chunker's contribution from engine policy.
+struct ChunkerStats {
+  std::uint64_t input = 0;
+  std::uint64_t unique = 0;
+  std::uint64_t chunks = 0;
+  double seconds = 0;
+};
+
+template <typename MakeChunker>
+ChunkerStats measure(const Corpus& corpus, MakeChunker make) {
+  ChunkerStats s;
+  std::unordered_set<std::uint64_t> seen;  // digest prefixes suffice here
+  const Stopwatch watch;
+  for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    auto src = corpus.open(i);
+    auto chunker = make();
+    ChunkStream stream(*src, *chunker);
+    ByteVec c;
+    while (stream.next(c)) {
+      s.input += c.size();
+      ++s.chunks;
+      if (seen.insert(Sha1::hash(c).prefix64()).second) s.unique += c.size();
+    }
+  }
+  s.seconds = watch.seconds();
+  return s;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  BenchOptions o = BenchOptions::parse(argc, argv);
+  const Flags flags(argc, argv);
+  const std::uint32_t ecs =
+      static_cast<std::uint32_t>(flags.get_int("table_ecs", 1024));
+  print_header("Chunking motivation: the boundary-shifting problem",
+               "fixed-size chunking (Venti/OceanStore) collapses under the "
+               "corpus' insertions/deletions; CDC variants do not",
+               o);
+  const Corpus corpus = o.make_corpus();
+  const auto cfg = ChunkerConfig::from_expected(ecs);
+
+  struct Row {
+    const char* name;
+    ChunkerStats stats;
+  };
+  const Row rows[] = {
+      {"Fixed-size (FSP)",
+       measure(corpus,
+               [&] { return std::make_unique<FixedChunker>(ecs); })},
+      {"Rabin CDC",
+       measure(corpus,
+               [&] { return std::make_unique<RabinChunker>(cfg); })},
+      {"TTTD",
+       measure(corpus, [&] { return std::make_unique<TttdChunker>(cfg); })},
+      {"Gear/FastCDC",
+       measure(corpus, [&] { return std::make_unique<GearChunker>(cfg); })},
+  };
+
+  TextTable t({"Chunker", "Chunks", "Avg size", "Unique MB",
+               "Chunk-level DER", "MB/s"});
+  for (const auto& row : rows) {
+    const auto& s = row.stats;
+    t.add_row({row.name, TextTable::num(s.chunks),
+               TextTable::num(static_cast<double>(s.input) /
+                                  static_cast<double>(s.chunks),
+                              0),
+               TextTable::num(s.unique / 1048576.0, 1),
+               TextTable::num(static_cast<double>(s.input) /
+                                  static_cast<double>(s.unique),
+                              3),
+               TextTable::num(s.input / 1048576.0 / s.seconds, 1)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("expected shape: all CDC variants reach a similar chunk-level "
+              "DER while fixed-size\nchunking detects far less (everything "
+              "downstream of an insert/delete shifts).\n");
+  return 0;
+}

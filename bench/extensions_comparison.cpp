@@ -1,0 +1,35 @@
+// Extensions comparison — the related-work engines implemented beyond the
+// paper's evaluation set (FBC, Extreme Binning) side by side with the
+// paper's four, on the same corpus and metrics as Fig. 8.
+#include "bench_common.h"
+
+using namespace mhd;
+using namespace mhd::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions o = BenchOptions::parse(argc, argv);
+  const Flags flags(argc, argv);
+  const std::uint32_t ecs =
+      static_cast<std::uint32_t>(flags.get_int("table_ecs", 1024));
+  print_header("Extensions: FBC and Extreme Binning vs the paper's set",
+               "FBC sits between Bimodal and SubChunk; Extreme Binning "
+               "trades DER for one index access per file",
+               o);
+  const Corpus corpus = o.make_corpus();
+
+  TextTable t({"Algorithm", "MetaDataRatio", "ThroughputRatio",
+               "Data-only DER", "Real DER", "Manifest loads", "Index RAM KB"});
+  std::vector<std::string> algos = engine_names();
+  for (const auto& extra : extension_engine_names()) algos.push_back(extra);
+  for (const auto& algo : algos) {
+    const auto r = run_experiment(o.spec(algo, ecs), corpus);
+    t.add_row({r.algorithm, pct(r.metadata_ratio()),
+               TextTable::num(r.throughput_ratio(), 3),
+               TextTable::num(r.data_only_der(), 3),
+               TextTable::num(r.real_der(), 3),
+               TextTable::num(r.manifest_loads),
+               TextTable::num(r.index_ram_bytes / 1024)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  return 0;
+}

@@ -1,0 +1,58 @@
+// Fig. 8 — trade-off between deduplication efficiency and overhead.
+//
+// Each algorithm's curve is traced by the ECS sweep (smaller ECS => more
+// duplicate found => more metadata and more disk I/O). Four panels:
+//  (a) data-only DER vs MetaDataRatio   (b) real DER vs MetaDataRatio
+//  (c) data-only DER vs ThroughputRatio (d) real DER vs ThroughputRatio
+// Paper shape: BF-MHD achieves the best real DER; Bimodal/SubChunk give
+// the worst DER at a given ThroughputRatio; SparseIndexing's data-only DER
+// is highest but its metadata growth depresses its real DER below BF-MHD.
+#include "bench_common.h"
+#include "mhd/sim/parallel.h"
+
+using namespace mhd;
+using namespace mhd::bench;
+
+int main(int argc, char** argv) {
+  const BenchOptions o = BenchOptions::parse(argc, argv);
+  print_header("Fig. 8: DER vs metadata and throughput trade-offs",
+               "BF-MHD attains the best real DER; its curve dominates in "
+               "panels (b) and (d)",
+               o);
+  const Corpus corpus = o.make_corpus();
+  const std::vector<std::string> algos = {"bf-mhd", "bimodal", "subchunk",
+                                          "sparseindexing"};
+
+  TextTable t({"Algorithm", "ECS", "MetaDataRatio", "ThroughputRatio",
+               "Data-only DER", "Real DER"});
+  TextTable csv({"algorithm", "ecs", "metadata_ratio_pct", "throughput_ratio",
+                 "data_only_der", "real_der"});
+  std::vector<RunSpec> specs;
+  for (const auto& a : algos) {
+    for (const auto ecs : o.ecs_list) {
+      specs.push_back(o.spec(a, static_cast<std::uint32_t>(ecs)));
+    }
+  }
+  // Embarrassingly parallel sweep: one thread per core.
+  const auto results = run_experiments(specs, corpus);
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    const auto ecs = static_cast<std::uint64_t>(specs[i].engine.ecs);
+    t.add_row({r.algorithm, TextTable::num(ecs), pct(r.metadata_ratio()),
+               TextTable::num(r.throughput_ratio(), 3),
+               TextTable::num(r.data_only_der(), 3),
+               TextTable::num(r.real_der(), 3)});
+    csv.add_row({r.algorithm, TextTable::num(ecs),
+                 TextTable::num(r.metadata_ratio() * 100, 5),
+                 TextTable::num(r.throughput_ratio(), 4),
+                 TextTable::num(r.data_only_der(), 4),
+                 TextTable::num(r.real_der(), 4)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  std::printf("CSV:\n%s", csv.to_csv().c_str());
+  std::printf("\nexpected shape: for every ECS, BF-MHD's real DER row is the "
+              "highest among the four algorithms,\nand its MetaDataRatio the "
+              "lowest; Bimodal/SubChunk trail in DER at comparable "
+              "ThroughputRatio.\n");
+  return 0;
+}

@@ -1,0 +1,100 @@
+// Micro-benchmarks (google-benchmark) for the substrate primitives:
+// SHA-1 hashing, Rabin fingerprint rolling, the chunkers, the bloom
+// filter, and the synthetic content generator. These set the CPU-cost
+// context for the ThroughputRatio results.
+#include <benchmark/benchmark.h>
+
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/chunk/fixed_chunker.h"
+#include "mhd/chunk/rabin_chunker.h"
+#include "mhd/chunk/tttd_chunker.h"
+#include "mhd/container/bloom_filter.h"
+#include "mhd/hash/sha1.h"
+#include "mhd/util/random.h"
+#include "mhd/workload/block_source.h"
+
+namespace mhd {
+namespace {
+
+ByteVec make_data(std::size_t n) {
+  BlockSource src(42);
+  ByteVec data(n);
+  src.fill(7, 0, data);
+  return data;
+}
+
+void BM_Sha1(benchmark::State& state) {
+  const ByteVec data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(512)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+void BM_RabinRoll(benchmark::State& state) {
+  const ByteVec data = make_data(1 << 16);
+  RabinFingerprint fp(48);
+  for (auto _ : state) {
+    for (Byte b : data) benchmark::DoNotOptimize(fp.push(b));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+BENCHMARK(BM_RabinRoll);
+
+template <typename ChunkerT>
+void chunker_bench(benchmark::State& state, std::uint32_t ecs) {
+  const ByteVec data = make_data(4 << 20);
+  for (auto _ : state) {
+    ChunkerT chunker{ChunkerConfig::from_expected(ecs)};
+    MemorySource src(data);
+    ChunkStream stream(src, chunker);
+    ByteVec chunk;
+    std::size_t chunks = 0;
+    while (stream.next(chunk)) ++chunks;
+    benchmark::DoNotOptimize(chunks);
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(data.size()));
+}
+
+void BM_RabinChunker(benchmark::State& state) {
+  chunker_bench<RabinChunker>(state, static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_RabinChunker)->Arg(512)->Arg(4096)->Arg(8192);
+
+void BM_TttdChunker(benchmark::State& state) {
+  chunker_bench<TttdChunker>(state, static_cast<std::uint32_t>(state.range(0)));
+}
+BENCHMARK(BM_TttdChunker)->Arg(4096);
+
+void BM_BloomFilter(benchmark::State& state) {
+  BloomFilter bf(4 << 20);
+  Xoshiro256 rng(1);
+  for (int i = 0; i < 100000; ++i) bf.insert(rng());
+  Xoshiro256 probe(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(bf.maybe_contains(probe()));
+  }
+}
+BENCHMARK(BM_BloomFilter);
+
+void BM_BlockSourceFill(benchmark::State& state) {
+  BlockSource src(1);
+  ByteVec buf(1 << 20);
+  std::uint64_t id = 0;
+  for (auto _ : state) {
+    src.fill(id++, 0, buf);
+    benchmark::DoNotOptimize(buf.data());
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(buf.size()));
+}
+BENCHMARK(BM_BlockSourceFill);
+
+}  // namespace
+}  // namespace mhd
+
+BENCHMARK_MAIN();

@@ -1,0 +1,84 @@
+// TABLE II — disk accessing times comparison.
+//
+// Prints the paper's analytical access-count formulas (with and without a
+// bloom filter) instantiated with measured (F, N, D, L), next to the
+// categorized access counters each engine actually recorded. Expected
+// shape: when 3L < D/SD, MHD performs the fewest disk accesses.
+#include "bench_common.h"
+
+using namespace mhd;
+using namespace mhd::bench;
+
+int main(int argc, char** argv) {
+  BenchOptions o = BenchOptions::parse(argc, argv);
+  const Flags flags(argc, argv);
+  const std::uint32_t ecs =
+      static_cast<std::uint32_t>(flags.get_int("table_ecs", 4096));
+  print_header("TABLE II: disk accessing times comparison",
+               "MHD summary (bloom): 2F+6L+N/SD; CDC: 2F+3L+N; Bimodal: "
+               "2F+(2SD+1)L+N/SD; SubChunk: 2F+3L+(N+D)/SD",
+               o);
+
+  const Corpus corpus = o.make_corpus();
+  const auto cdc_run = run_experiment(o.spec("cdc", ecs), corpus);
+  const AnalysisInputs in = analysis_inputs_from(cdc_run, o.sd);
+  std::printf(
+      "measured inputs at ECS=%u: F=%llu N=%llu D=%llu L=%llu (3L %s D/SD)\n\n",
+      ecs, static_cast<unsigned long long>(in.F),
+      static_cast<unsigned long long>(in.N),
+      static_cast<unsigned long long>(in.D),
+      static_cast<unsigned long long>(in.L),
+      3 * in.L < in.D / in.SD ? "<" : ">=");
+
+  const DiskAccessModel models[] = {table2_mhd(in), table2_subchunk(in),
+                                    table2_bimodal(in), table2_cdc(in)};
+  TextTable analytic({"Row", "MHD", "SubChunk", "Bimodal", "CDC"});
+  auto row = [&](const std::string& label, auto getter) {
+    std::vector<std::string> cells = {label};
+    for (const auto& m : models) cells.push_back(TextTable::num(getter(m)));
+    analytic.add_row(std::move(cells));
+  };
+  row("Chunk Output Times", [](const auto& m) { return m.chunk_out; });
+  row("Chunk Input Times", [](const auto& m) { return m.chunk_in; });
+  row("Hook Output Times", [](const auto& m) { return m.hook_out; });
+  row("Hook Input Times", [](const auto& m) { return m.hook_in; });
+  row("Manifest Output Times", [](const auto& m) { return m.manifest_out; });
+  row("Manifest Input Times", [](const auto& m) { return m.manifest_in; });
+  row("Big Chunk Query Times", [](const auto& m) { return m.big_chunk_query; });
+  row("Small Chunk Query Times",
+      [](const auto& m) { return m.small_chunk_query; });
+  row("Summary without Bloom Filter",
+      [](const auto& m) { return m.summary_without_bloom; });
+  row("Summary with Bloom Filter",
+      [](const auto& m) { return m.summary_with_bloom; });
+  std::printf("--- analytical, from TABLE II formulas ---\n%s\n",
+              analytic.to_string().c_str());
+
+  // Measured categorized access counts per engine (bloom enabled).
+  const char* algos[] = {"bf-mhd", "subchunk", "bimodal", "cdc"};
+  std::vector<ExperimentResult> results;
+  for (const char* a : algos) {
+    results.push_back(run_experiment(o.spec(a, ecs), corpus));
+  }
+  TextTable measured({"Row", "BF-MHD", "SubChunk", "Bimodal", "CDC"});
+  for (int k = 0; k < StorageStats::kKinds; ++k) {
+    std::vector<std::string> cells = {
+        std::string(access_kind_name(static_cast<AccessKind>(k))) + " Times"};
+    for (const auto& r : results) {
+      cells.push_back(TextTable::num(r.stats.accesses[k]));
+    }
+    measured.add_row(std::move(cells));
+  }
+  {
+    std::vector<std::string> cells = {"Total accesses"};
+    for (const auto& r : results) {
+      cells.push_back(TextTable::num(r.stats.total_accesses()));
+    }
+    measured.add_row(std::move(cells));
+  }
+  std::printf("--- measured (bloom filter enabled, ECS=%u) ---\n%s\n", ecs,
+              measured.to_string().c_str());
+  std::printf("expected shape: MHD total below the others when duplicate\n"
+              "slices are long relative to the sample distance (3L < D/SD).\n");
+  return 0;
+}

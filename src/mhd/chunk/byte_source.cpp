@@ -1,0 +1,28 @@
+#include "mhd/chunk/byte_source.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mhd {
+
+std::size_t MemorySource::read(MutByteSpan out) {
+  const std::size_t n = std::min(out.size(), data_.size() - offset_);
+  if (n > 0) {
+    std::memcpy(out.data(), data_.data() + offset_, n);
+    offset_ += n;
+  }
+  return n;
+}
+
+ByteVec read_all(ByteSource& src) {
+  ByteVec out;
+  Byte buf[64 * 1024];
+  for (;;) {
+    const std::size_t n = src.read({buf, sizeof(buf)});
+    if (n == 0) break;
+    out.insert(out.end(), buf, buf + n);
+  }
+  return out;
+}
+
+}  // namespace mhd

@@ -1,0 +1,49 @@
+// Chunker interface + configuration shared by all chunking algorithms.
+//
+// A chunker is a streaming cut-point detector: the caller feeds byte spans
+// and the chunker reports how many bytes it consumed into the current chunk
+// and whether a cut point was reached. Chunker state resets at each cut, so
+// cut decisions depend only on bytes since the previous cut — this is what
+// gives content-defined chunking its boundary-shift resilience.
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+struct ChunkerConfig {
+  std::uint32_t min_size = 0;
+  std::uint32_t expected_size = 0;
+  std::uint32_t max_size = 0;
+  std::uint32_t window = 48;  ///< Rabin sliding-window width in bytes.
+
+  /// Paper-style configuration from the expected chunk size (ECS):
+  /// min = ECS/4 (floored at 64B), max = 8*ECS, as in the LBFS lineage.
+  static ChunkerConfig from_expected(std::uint64_t ecs);
+};
+
+class Chunker {
+ public:
+  virtual ~Chunker() = default;
+
+  struct ScanResult {
+    std::size_t consumed = 0;  ///< bytes of `data` taken into current chunk
+    bool cut = false;          ///< true if a cut point follows those bytes
+  };
+
+  /// Resets per-chunk state (called automatically after each cut).
+  virtual void reset() = 0;
+
+  /// Scans `data` for the next cut point.
+  virtual ScanResult scan(ByteSpan data) = 0;
+
+  /// After scan() reports a cut, the true cut point may lie this many bytes
+  /// *before* the last consumed byte (TTTD backup divisor). Those bytes
+  /// belong to the next chunk and must be re-fed to scan() by the caller
+  /// (ChunkStream does this). Valid only immediately after a cut.
+  virtual std::size_t cut_back() const { return 0; }
+};
+
+}  // namespace mhd

@@ -1,0 +1,24 @@
+#include "mhd/chunk/fixed_chunker.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace mhd {
+
+FixedChunker::FixedChunker(std::uint32_t size) : size_(size) {
+  if (size == 0) throw std::invalid_argument("FixedChunker: size must be > 0");
+}
+
+void FixedChunker::reset() { pos_ = 0; }
+
+Chunker::ScanResult FixedChunker::scan(ByteSpan data) {
+  const std::size_t take = std::min<std::size_t>(data.size(), size_ - pos_);
+  pos_ += take;
+  if (pos_ == size_) {
+    reset();
+    return {take, true};
+  }
+  return {take, false};
+}
+
+}  // namespace mhd

@@ -1,0 +1,21 @@
+// Fixed-size partitioning (Venti/OceanStore style); the paper's foil for
+// the boundary-shifting problem, used by tests and the FSP ablation.
+#pragma once
+
+#include "mhd/chunk/chunker.h"
+
+namespace mhd {
+
+class FixedChunker final : public Chunker {
+ public:
+  explicit FixedChunker(std::uint32_t size);
+
+  void reset() override;
+  ScanResult scan(ByteSpan data) override;
+
+ private:
+  std::uint32_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mhd

@@ -1,0 +1,91 @@
+#include "mhd/chunk/gear_chunker.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+namespace {
+std::uint64_t mask_with_bits(int bits) {
+  bits = std::max(1, std::min(bits, 62));
+  // Spread mask bits like FastCDC's padded masks; a plain low-bit mask
+  // works too, but spreading decorrelates from the gear table's low bits.
+  std::uint64_t mask = 0;
+  std::uint64_t x = 0xAAAAAAAAAAAAAAA5ULL;
+  int set = 0;
+  for (int bit = 63; bit >= 0 && set < bits; --bit) {
+    x = splitmix64(x + bit);
+    if ((x & 1) != 0) continue;  // pseudo-random skip pattern
+    mask |= 1ULL << bit;
+    ++set;
+  }
+  // Ensure exactly `bits` bits even if the skip pattern ran out.
+  for (int bit = 0; set < bits && bit < 64; ++bit) {
+    if ((mask & (1ULL << bit)) == 0) {
+      mask |= 1ULL << bit;
+      ++set;
+    }
+  }
+  return mask;
+}
+}  // namespace
+
+GearChunker::GearChunker(const ChunkerConfig& config) : config_(config) {
+  if (config_.min_size == 0 || config_.max_size < config_.min_size) {
+    throw std::invalid_argument("GearChunker: bad min/max sizes");
+  }
+  std::uint64_t seed = kTableSeed;
+  for (auto& g : gear_) {
+    seed = splitmix64(seed);
+    g = seed;
+  }
+  const int bits = std::max(
+      1, static_cast<int>(std::lround(
+             std::log2(std::max<double>(2.0, config_.expected_size)))));
+  // FastCDC normalization level 1: +/- one bit around the expected size.
+  mask_small_ = mask_with_bits(bits + 1);
+  mask_large_ = mask_with_bits(bits - 1);
+  reset();
+}
+
+void GearChunker::reset() {
+  hash_ = 0;
+  pos_ = 0;
+}
+
+Chunker::ScanResult GearChunker::scan(ByteSpan data) {
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+
+  // No cut can occur before min_size; the gear window self-primes within
+  // 64 bytes, so skipping the hash updates before (min - 64) is safe.
+  if (pos_ + 64 < config_.min_size) {
+    const std::size_t skip =
+        std::min(n, config_.min_size - 64 - pos_);
+    pos_ += skip;
+    i += skip;
+  }
+
+  while (i < n) {
+    hash_ = (hash_ << 1) + gear_[data[i]];
+    ++i;
+    ++pos_;
+    if (pos_ >= config_.min_size) {
+      const std::uint64_t mask =
+          pos_ < config_.expected_size ? mask_small_ : mask_large_;
+      if ((hash_ & mask) == 0) {
+        reset();
+        return {i, true};
+      }
+    }
+    if (pos_ >= config_.max_size) {
+      reset();
+      return {i, true};
+    }
+  }
+  return {i, false};
+}
+
+}  // namespace mhd

@@ -1,0 +1,40 @@
+// Gear-hash chunking with FastCDC-style normalization (Xia et al.,
+// USENIX ATC'16) — an extension beyond the paper: the modern successor of
+// the Rabin/TTTD chunkers this repository reproduces, included because
+// every contemporary CDC deduplicator (restic, borg, ...) uses this
+// family. Drop-in compatible with the Chunker interface, so any engine
+// can be run on top of it.
+//
+// The gear hash is h = (h << 1) + G[b]: a one-shift-one-add rolling hash
+// whose window is implicitly the last 64 bytes. FastCDC normalization
+// applies a harder mask before the expected size and an easier one after,
+// tightening the size distribution without TTTD's backup-cut bookkeeping.
+#pragma once
+
+#include <array>
+
+#include "mhd/chunk/chunker.h"
+
+namespace mhd {
+
+class GearChunker final : public Chunker {
+ public:
+  explicit GearChunker(const ChunkerConfig& config);
+
+  void reset() override;
+  ScanResult scan(ByteSpan data) override;
+
+  /// The gear table is a pure function of this seed (deterministic across
+  /// runs and platforms).
+  static constexpr std::uint64_t kTableSeed = 0x9E2C6A15B7F3D481ULL;
+
+ private:
+  ChunkerConfig config_;
+  std::array<std::uint64_t, 256> gear_;
+  std::uint64_t mask_small_;  ///< harder mask, used before expected_size
+  std::uint64_t mask_large_;  ///< easier mask, used after expected_size
+  std::uint64_t hash_ = 0;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace mhd

@@ -1,0 +1,45 @@
+#include "mhd/chunk/make_chunker.h"
+
+#include <stdexcept>
+
+#include "mhd/chunk/fixed_chunker.h"
+#include "mhd/chunk/gear_chunker.h"
+#include "mhd/chunk/rabin_chunker.h"
+#include "mhd/chunk/tttd_chunker.h"
+
+namespace mhd {
+
+const char* chunker_kind_name(ChunkerKind kind) {
+  switch (kind) {
+    case ChunkerKind::kRabin: return "rabin";
+    case ChunkerKind::kTttd: return "tttd";
+    case ChunkerKind::kGear: return "gear";
+    case ChunkerKind::kFixed: return "fixed";
+  }
+  return "?";
+}
+
+ChunkerKind chunker_kind_from_string(const std::string& name) {
+  if (name == "rabin") return ChunkerKind::kRabin;
+  if (name == "tttd") return ChunkerKind::kTttd;
+  if (name == "gear") return ChunkerKind::kGear;
+  if (name == "fixed") return ChunkerKind::kFixed;
+  throw std::invalid_argument("unknown chunker: " + name);
+}
+
+std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
+                                      const ChunkerConfig& config) {
+  switch (kind) {
+    case ChunkerKind::kRabin:
+      return std::make_unique<RabinChunker>(config);
+    case ChunkerKind::kTttd:
+      return std::make_unique<TttdChunker>(config);
+    case ChunkerKind::kGear:
+      return std::make_unique<GearChunker>(config);
+    case ChunkerKind::kFixed:
+      return std::make_unique<FixedChunker>(config.expected_size);
+  }
+  throw std::invalid_argument("make_chunker: unknown kind");
+}
+
+}  // namespace mhd

@@ -1,0 +1,31 @@
+// Chunker factory: engines select their cut-point algorithm by enum, so
+// any deduplication engine can run on Rabin (the paper's default), TTTD
+// or Gear/FastCDC without code changes.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "mhd/chunk/chunker.h"
+
+namespace mhd {
+
+enum class ChunkerKind : int {
+  kRabin = 0,  ///< the paper's chunker
+  kTttd,
+  kGear,
+  kFixed,  ///< fixed-size partitioning (for the boundary-shift foil)
+};
+
+const char* chunker_kind_name(ChunkerKind kind);
+
+/// Parses "rabin" | "tttd" | "gear" | "fixed"; throws std::invalid_argument
+/// on anything else.
+ChunkerKind chunker_kind_from_string(const std::string& name);
+
+/// Creates a chunker of `kind` with the given configuration (kFixed uses
+/// config.expected_size as the block size).
+std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
+                                      const ChunkerConfig& config);
+
+}  // namespace mhd

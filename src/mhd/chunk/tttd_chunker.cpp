@@ -1,0 +1,76 @@
+#include "mhd/chunk/tttd_chunker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace mhd {
+
+namespace {
+std::uint64_t mask_bits(double target) {
+  const int bits =
+      std::max(1, static_cast<int>(std::lround(std::log2(std::max(2.0, target)))));
+  return (bits >= 63) ? ~0ULL : ((1ULL << bits) - 1);
+}
+}  // namespace
+
+TttdChunker::TttdChunker(const ChunkerConfig& config)
+    : config_(config),
+      fp_(config.window),
+      main_mask_(mask_bits(static_cast<double>(config.expected_size) -
+                           static_cast<double>(config.min_size))),
+      // Backup divisor is half as selective as the main one (D' = D/2).
+      backup_mask_(main_mask_ >> 1),
+      magic_(0x4D5A3B7F9E2C6A1ULL) {
+  if (config_.min_size == 0 || config_.max_size < config_.min_size) {
+    throw std::invalid_argument("TttdChunker: bad min/max sizes");
+  }
+  hash_start_ = config_.min_size > config_.window
+                    ? config_.min_size - config_.window
+                    : 0;
+  reset();
+}
+
+void TttdChunker::reset() {
+  fp_.reset();
+  pos_ = 0;
+  backup_pos_ = 0;
+  cut_back_ = 0;
+}
+
+Chunker::ScanResult TttdChunker::scan(ByteSpan data) {
+  std::size_t i = 0;
+  const std::size_t n = data.size();
+  cut_back_ = 0;
+
+  if (pos_ < hash_start_) {
+    const std::size_t skip = std::min(n, hash_start_ - pos_);
+    pos_ += skip;
+    i += skip;
+  }
+
+  while (i < n) {
+    const std::uint64_t f = fp_.push(data[i]);
+    ++i;
+    ++pos_;
+    if (pos_ >= config_.min_size) {
+      if ((f & main_mask_) == (magic_ & main_mask_)) {
+        reset();
+        return {i, true};
+      }
+      if ((f & backup_mask_) == (magic_ & backup_mask_)) {
+        backup_pos_ = pos_;
+      }
+    }
+    if (pos_ >= config_.max_size) {
+      const std::size_t back =
+          (backup_pos_ >= config_.min_size) ? pos_ - backup_pos_ : 0;
+      reset();
+      cut_back_ = back;
+      return {i, true};
+    }
+  }
+  return {i, false};
+}
+
+}  // namespace mhd

@@ -1,0 +1,123 @@
+#include "mhd/core/manifest_cache.h"
+
+namespace mhd {
+
+ManifestCache::ManifestCache(ObjectStore& store, std::size_t capacity,
+                             bool hook_flags, std::uint64_t max_bytes)
+    : store_(store),
+      hook_flags_(hook_flags),
+      lru_(
+          capacity,
+          [this](const Digest& name, Slot& slot) {
+            write_back(name, slot);
+            drop_from_global(name, slot);
+          },
+          max_bytes, [](const Slot& slot) { return slot.weight; }) {}
+
+ManifestCache::~ManifestCache() = default;
+
+void ManifestCache::write_back(const Digest& name, Slot& slot) {
+  if (!slot.manifest.dirty()) return;
+  store_.put_manifest(name.hex(), slot.manifest.serialize(hook_flags_));
+  slot.manifest.set_dirty(false);
+}
+
+void ManifestCache::drop_from_global(const Digest& name, const Slot& slot) {
+  for (const auto& entry : slot.manifest.entries()) {
+    auto it = global_.find(entry.hash);
+    if (it != global_.end() && it->second == name) global_.erase(it);
+  }
+  // Hashes that were replaced by HHR may linger in global_; they self-heal
+  // in lookup_hash when the confirmation probe fails.
+}
+
+void ManifestCache::ensure_index(const Digest& name, Slot& slot) {
+  if (!slot.index_stale) return;
+  slot.by_hash.clear();
+  const auto& entries = slot.manifest.entries();
+  slot.by_hash.reserve(entries.size());
+  for (std::size_t i = 0; i < entries.size(); ++i) {
+    slot.by_hash.emplace(entries[i].hash, i);
+    global_.insert_or_assign(entries[i].hash, name);
+  }
+  slot.index_stale = false;
+}
+
+std::optional<ManifestCache::Located> ManifestCache::lookup_hash(
+    const Digest& chunk_hash) {
+  const auto it = global_.find(chunk_hash);
+  if (it == global_.end()) return std::nullopt;
+  const Digest owner = it->second;
+  Slot* slot = lru_.get(owner);
+  if (slot == nullptr) {
+    // Owner was evicted and the global entry is stale.
+    global_.erase(it);
+    return std::nullopt;
+  }
+  ensure_index(owner, *slot);
+  const auto hit = slot->by_hash.find(chunk_hash);
+  if (hit == slot->by_hash.end()) {
+    // Hash disappeared from the manifest (HHR rewrote it): self-heal.
+    global_.erase(chunk_hash);
+    return std::nullopt;
+  }
+  return Located{owner, &slot->manifest, hit->second};
+}
+
+Manifest* ManifestCache::load(const Digest& name) {
+  if (Slot* slot = lru_.get(name)) {
+    ensure_index(name, *slot);
+    return &slot->manifest;
+  }
+  const auto raw = store_.get_manifest(name.hex());
+  if (!raw) return nullptr;
+  auto manifest = Manifest::deserialize(*raw);
+  if (!manifest) return nullptr;
+  ++loads_;
+  Slot slot;
+  slot.manifest = std::move(*manifest);
+  slot.weight = 64 + slot.manifest.entries().size() * 37;
+  Slot& placed = lru_.put(name, std::move(slot));
+  ensure_index(name, placed);
+  return &placed.manifest;
+}
+
+Manifest* ManifestCache::cached(const Digest& name) {
+  Slot* slot = lru_.get(name);
+  if (slot == nullptr) return nullptr;
+  ensure_index(name, *slot);
+  return &slot->manifest;
+}
+
+Manifest* ManifestCache::insert(const Digest& name, Manifest manifest,
+                                bool dirty) {
+  Slot slot;
+  slot.manifest = std::move(manifest);
+  slot.manifest.set_dirty(dirty);
+  slot.weight = 64 + slot.manifest.entries().size() * 37;
+  Slot& placed = lru_.put(name, std::move(slot));
+  ensure_index(name, placed);
+  return &placed.manifest;
+}
+
+void ManifestCache::mark_dirty(const Digest& name) {
+  if (Slot* slot = lru_.peek(name)) slot->manifest.set_dirty(true);
+}
+
+void ManifestCache::invalidate_index(const Digest& name) {
+  if (Slot* slot = lru_.peek(name)) {
+    slot->index_stale = true;
+    // Rebuild eagerly: HHR's new entry hashes (the duplicate part and the
+    // EdgeHash) must become anchorable immediately — a lazy rebuild would
+    // only happen after some *other* hash of this manifest is hit.
+    ensure_index(name, *slot);
+  }
+}
+
+void ManifestCache::flush() {
+  lru_.for_each([this](const Digest& name, Slot& slot) {
+    write_back(name, slot);
+  });
+}
+
+}  // namespace mhd

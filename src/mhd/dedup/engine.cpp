@@ -1,0 +1,63 @@
+#include "mhd/dedup/engine.h"
+
+#include <algorithm>
+
+#include "mhd/format/file_manifest.h"
+#include "mhd/util/hex.h"
+#include "mhd/util/timer.h"
+
+namespace mhd {
+
+void DedupEngine::seed_bloom_from_hooks(BloomFilter& bloom,
+                                        const StorageBackend& backend) {
+  for (const auto& name : backend.list(Ns::kHook)) {
+    const auto bytes = hex_decode(name);
+    if (!bytes || bytes->size() != Digest::kSize) continue;
+    Digest d;
+    std::copy(bytes->begin(), bytes->end(), d.bytes.begin());
+    bloom.insert(d.prefix64());
+  }
+}
+
+Digest DedupEngine::unique_store_digest(const Digest& base) const {
+  Digest d = base;
+  std::uint64_t salt = 0;
+  while (store_.backend().exists(Ns::kDiskChunk, d.hex()) ||
+         store_.backend().exists(Ns::kManifest, d.hex())) {
+    ByteVec salted = to_vec(base.span());
+    append_le<std::uint64_t>(salted, ++salt);
+    d = Sha1::hash(salted);
+  }
+  return d;
+}
+
+void DedupEngine::add_file(const std::string& file_name, ByteSource& data) {
+  const Stopwatch watch;
+  ++counters_.input_files;
+  end_dup_run();  // duplicate slices never span file boundaries
+  process_file(file_name, data);
+  end_dup_run();
+  counters_.cpu_seconds += watch.seconds();
+}
+
+std::optional<ByteVec> DedupEngine::reconstruct(
+    const std::string& file_name) const {
+  const StorageBackend& backend = store_.backend();
+  const auto raw =
+      backend.get(Ns::kFileManifest, file_digest(file_name).hex());
+  if (!raw) return std::nullopt;
+  const auto fm = FileManifest::deserialize(*raw);
+  if (!fm) return std::nullopt;
+
+  ByteVec out;
+  out.reserve(static_cast<std::size_t>(fm->total_length()));
+  for (const auto& entry : fm->entries()) {
+    auto piece = backend.get_range(Ns::kDiskChunk, entry.chunk_name.hex(),
+                                   entry.offset, entry.length);
+    if (!piece) return std::nullopt;
+    append(out, *piece);
+  }
+  return out;
+}
+
+}  // namespace mhd

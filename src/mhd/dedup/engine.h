@@ -1,0 +1,147 @@
+// DedupEngine — the common interface of all deduplication algorithms
+// (CDC, Bimodal, SubChunk, SparseIndexing, FBC, ExtremeBinning, MHD).
+//
+// An engine consumes a backup stream file-by-file, writes DiskChunks /
+// Hooks / Manifests / FileManifests through an ObjectStore (which counts
+// categorized disk accesses), and exposes the counters the paper's
+// analysis uses: N (stored chunks), D (duplicate chunks), L (duplicate
+// data slices), F (files not completely duplicate), duplicate bytes, HHR
+// statistics and CPU time. reconstruct() restores any file byte-exactly
+// from the store — the correctness invariant every test suite leans on.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "mhd/chunk/byte_source.h"
+#include "mhd/chunk/make_chunker.h"
+#include "mhd/container/bloom_filter.h"
+#include "mhd/hash/sha1.h"
+#include "mhd/store/object_store.h"
+
+namespace mhd {
+
+struct EngineConfig {
+  std::uint32_t ecs = 4096;  ///< expected (small) chunk size, bytes
+  std::uint32_t sd = 1000;   ///< sample distance, in hashes
+  ChunkerKind chunker = ChunkerKind::kRabin;  ///< cut-point algorithm
+
+  bool use_bloom = true;
+  std::size_t bloom_bytes = 4 << 20;  ///< paper: 100 MB; scaled for corpus
+  std::size_t manifest_cache_capacity = 64;
+  /// RAM budget for cached manifests in bytes (0 = count-limited only).
+  /// Giving every algorithm the same budget makes the comparison fair:
+  /// metadata-heavy algorithms fit fewer manifests and lose locality.
+  std::uint64_t manifest_cache_bytes = 0;
+
+  // SparseIndexing parameters (Section V: segment = ECS*SD*5, <=10
+  // champions, a hook maps to <=5 manifests).
+  std::uint32_t segment_factor = 5;
+  std::uint32_t max_champions = 10;
+  std::uint32_t max_manifests_per_hook = 5;
+
+  // MHD ablation switches (DESIGN.md section 6).
+  bool enable_edge_hash = true;
+  bool enable_backward_extension = true;
+  bool enable_shm = true;
+};
+
+struct EngineCounters {
+  std::uint64_t input_bytes = 0;
+  std::uint64_t input_files = 0;
+  std::uint64_t input_chunks = 0;   ///< small chunks hashed from the stream
+  std::uint64_t dup_chunks = 0;     ///< D
+  std::uint64_t dup_bytes = 0;
+  std::uint64_t dup_slices = 0;     ///< L
+  std::uint64_t stored_chunks = 0;  ///< N: chunks written as new data
+  std::uint64_t files_with_data = 0;  ///< F: files not completely duplicate
+
+  // MHD-specific (zero for baselines).
+  std::uint64_t hhr_operations = 0;
+  std::uint64_t hhr_chunk_reloads = 0;  ///< Fig. 10(b) "HHR Cost"
+  std::uint64_t shm_merged_hashes = 0;
+
+  double cpu_seconds = 0;
+
+  double dad() const {
+    return dup_slices == 0
+               ? 0.0
+               : static_cast<double>(dup_bytes) / static_cast<double>(dup_slices);
+  }
+};
+
+class DedupEngine {
+ public:
+  DedupEngine(ObjectStore& store, const EngineConfig& config)
+      : store_(store), cfg_(config) {}
+  virtual ~DedupEngine() = default;
+
+  virtual std::string name() const = 0;
+
+  /// Deduplicates one file of the backup stream (CPU time is accumulated
+  /// into counters().cpu_seconds).
+  void add_file(const std::string& file_name, ByteSource& data);
+
+  /// Flushes buffered state: dirty manifests, open chunk writers, indexes.
+  /// Must be called once after the last add_file.
+  virtual void finish() = 0;
+
+  /// Restores a previously added file byte-exactly from the store.
+  /// Reads bypass access accounting (restore is not deduplication work).
+  std::optional<ByteVec> reconstruct(const std::string& file_name) const;
+
+  const EngineCounters& counters() const { return counters_; }
+  const EngineConfig& config() const { return cfg_; }
+
+  /// Manifests loaded from disk into the cache (the paper's TABLE V).
+  virtual std::uint64_t manifest_loads() const { return 0; }
+
+  /// Bytes of auxiliary in-RAM index structures beyond the manifest cache
+  /// (SparseIndexing's sparse index; the paper's TABLE III).
+  virtual std::uint64_t index_ram_bytes() const { return 0; }
+  ObjectStore& store() { return store_; }
+  const ObjectStore& store() const { return store_; }
+
+  /// Name digest used for a file's DiskChunk / Manifest / FileManifest.
+  static Digest file_digest(const std::string& file_name) {
+    return Sha1::hash(as_bytes(file_name));
+  }
+
+  /// Rebuilds a bloom filter from the hooks already persisted in the
+  /// backend, so an engine opened on an existing repository (e.g. the
+  /// dedup_cli resuming a backup store) still detects duplicates. Hook
+  /// file names are the hex of the hook's chunk hash.
+  static void seed_bloom_from_hooks(BloomFilter& bloom,
+                                    const StorageBackend& backend);
+
+ protected:
+  virtual void process_file(const std::string& file_name, ByteSource& data) = 0;
+
+  /// Returns `base`, salted until no DiskChunk/Manifest with that name
+  /// exists. DiskChunks are immutable and may be referenced by other
+  /// files' manifests, so re-ingesting a file name (or a colliding
+  /// container id) must never append to an existing object.
+  Digest unique_store_digest(const Digest& base) const;
+
+  /// Tracks the L counter: call per chunk decision in stream order.
+  void note_duplicate(std::uint64_t bytes) {
+    if (!in_dup_run_) {
+      ++counters_.dup_slices;
+      in_dup_run_ = true;
+    }
+    ++counters_.dup_chunks;
+    counters_.dup_bytes += bytes;
+  }
+  void note_unique() { in_dup_run_ = false; }
+  void end_dup_run() { in_dup_run_ = false; }
+
+  ObjectStore& store_;
+  EngineConfig cfg_;
+  EngineCounters counters_;
+
+ private:
+  bool in_dup_run_ = false;
+};
+
+}  // namespace mhd

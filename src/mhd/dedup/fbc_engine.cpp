@@ -1,0 +1,136 @@
+#include "mhd/dedup/fbc_engine.h"
+
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/chunk/rabin_chunker.h"
+
+namespace mhd {
+
+FbcEngine::FbcEngine(ObjectStore& store, const EngineConfig& config)
+    : DedupEngine(store, config),
+      cache_(store, config.manifest_cache_capacity, /*hook_flags=*/false,
+             config.manifest_cache_bytes),
+      bloom_(config.bloom_bytes) {
+  if (cfg_.use_bloom) seed_bloom_from_hooks(bloom_, store.backend());
+}
+
+std::optional<FbcEngine::DupRef> FbcEngine::find_duplicate(
+    const Digest& hash, const FileCtx& ctx, AccessKind query_kind) {
+  if (const auto it = ctx.current.find(hash); it != ctx.current.end()) {
+    return it->second;
+  }
+  if (auto loc = cache_.lookup_hash(hash)) {
+    const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
+    return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+  }
+  if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
+    return std::nullopt;
+  }
+  const auto hook = store_.get_hook(hash, query_kind);
+  if (!hook || hook->size() != Digest::kSize) return std::nullopt;
+  Digest manifest_name;
+  std::copy(hook->begin(), hook->end(), manifest_name.bytes.begin());
+  if (cache_.load(manifest_name) == nullptr) return std::nullopt;
+  if (auto loc = cache_.lookup_hash(hash)) {
+    const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
+    return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+  }
+  return std::nullopt;
+}
+
+void FbcEngine::store_region(FileCtx& ctx, ByteSpan bytes, const Digest& hash,
+                             std::uint32_t chunk_count) {
+  if (!ctx.writer) ctx.writer.emplace(store_.open_chunk(ctx.dig.hex()));
+  ctx.writer->write(bytes);
+  ctx.manifest.add({hash, ctx.chunk_off, static_cast<std::uint32_t>(bytes.size()),
+                    chunk_count, false});
+  store_.put_hook(hash, ctx.dig.span());
+  if (cfg_.use_bloom) bloom_.insert(hash.prefix64());
+  ctx.current.emplace(hash, DupRef{ctx.dig, ctx.chunk_off,
+                                   static_cast<std::uint32_t>(bytes.size())});
+  ctx.fm.add_range(ctx.dig, ctx.chunk_off, bytes.size(), /*coalesce=*/false);
+  ctx.chunk_off += bytes.size();
+  ++counters_.stored_chunks;
+}
+
+bool FbcEngine::looks_frequent(
+    ByteSpan big_bytes, std::vector<std::pair<Digest, ByteVec>>& smalls) {
+  const auto chunker =
+      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+  MemorySource src(big_bytes);
+  ChunkStream stream(src, *chunker);
+  bool frequent = false;
+  ByteVec bytes;
+  while (stream.next(bytes)) {
+    const Digest hash = Sha1::hash(bytes);
+    const std::uint64_t fp = hash.prefix64();
+    if (fp % kSampleMod == 0) {
+      auto& count = frequency_[fp];
+      if (count + 1 >= kFrequencyThreshold) frequent = true;
+      ++count;
+    }
+    smalls.emplace_back(hash, std::move(bytes));
+  }
+  return frequent;
+}
+
+void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
+  FileCtx ctx;
+  ctx.dig = unique_store_digest(file_digest(file_name));
+  ctx.manifest = Manifest(ctx.dig);
+  ctx.fm = FileManifest(file_name);
+
+  const std::uint64_t big_size =
+      static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
+  const auto big_chunker =
+      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(big_size));
+  ChunkStream stream(data, *big_chunker);
+
+  ByteVec big_bytes;
+  while (stream.next(big_bytes)) {
+    counters_.input_bytes += big_bytes.size();
+    ++counters_.input_chunks;
+    const Digest big_hash = Sha1::hash(big_bytes);
+
+    if (const auto dup =
+            find_duplicate(big_hash, ctx, AccessKind::kBigChunkQuery)) {
+      note_duplicate(dup->size);
+      ctx.fm.add_range(dup->chunk_name, dup->offset, dup->size, false);
+      continue;
+    }
+
+    // Frequency-driven selective re-chunking: small-chunk the big chunk
+    // (this also feeds the sketch) and only deduplicate small when the
+    // sketch indicates previously seen content.
+    std::vector<std::pair<Digest, ByteVec>> smalls;
+    const bool frequent = looks_frequent(big_bytes, smalls);
+    if (!frequent) {
+      note_unique();
+      store_region(ctx, big_bytes, big_hash,
+                   std::max<std::uint32_t>(1, cfg_.sd));
+      continue;
+    }
+    counters_.input_chunks += smalls.size();
+    for (auto& [hash, bytes] : smalls) {
+      if (const auto dup =
+              find_duplicate(hash, ctx, AccessKind::kSmallChunkQuery)) {
+        note_duplicate(dup->size);
+        ctx.fm.add_range(dup->chunk_name, dup->offset, dup->size, false);
+        continue;
+      }
+      note_unique();
+      store_region(ctx, bytes, hash, 1);
+    }
+  }
+
+  if (ctx.writer) {
+    ctx.writer->close();
+    store_.put_manifest(ctx.dig.hex(), ctx.manifest.serialize(false));
+    cache_.insert(ctx.dig, std::move(ctx.manifest), /*dirty=*/false);
+    ++counters_.files_with_data;
+  }
+  store_.put_file_manifest(file_digest(file_name).hex(), ctx.fm.serialize());
+}
+
+void FbcEngine::finish() { cache_.flush(); }
+
+}  // namespace mhd

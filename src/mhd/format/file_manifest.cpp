@@ -1,0 +1,78 @@
+#include "mhd/format/file_manifest.h"
+
+#include <limits>
+
+namespace mhd {
+
+void FileManifest::add_range(const Digest& chunk_name, std::uint64_t offset,
+                             std::uint64_t length, bool coalesce) {
+  while (length > 0) {
+    const std::uint32_t take = static_cast<std::uint32_t>(
+        std::min<std::uint64_t>(length, std::numeric_limits<std::uint32_t>::max()));
+    if (coalesce && !entries_.empty()) {
+      auto& last = entries_.back();
+      if (last.chunk_name == chunk_name &&
+          last.offset + last.length == offset &&
+          static_cast<std::uint64_t>(last.length) + take <=
+              std::numeric_limits<std::uint32_t>::max()) {
+        last.length += take;
+        offset += take;
+        length -= take;
+        continue;
+      }
+    }
+    entries_.push_back({chunk_name, offset, take});
+    offset += take;
+    length -= take;
+  }
+}
+
+std::uint64_t FileManifest::total_length() const {
+  std::uint64_t total = 0;
+  for (const auto& e : entries_) total += e.length;
+  return total;
+}
+
+ByteVec FileManifest::serialize() const {
+  ByteVec out;
+  out.reserve(6 + file_name_.size() + entries_.size() * 32);
+  append_le<std::uint16_t>(out, static_cast<std::uint16_t>(file_name_.size()));
+  append(out, as_bytes(file_name_));
+  append_le<std::uint32_t>(out, static_cast<std::uint32_t>(entries_.size()));
+  for (const auto& e : entries_) {
+    append(out, e.chunk_name.span());
+    append_le<std::uint64_t>(out, e.offset);
+    append_le<std::uint32_t>(out, e.length);
+  }
+  return out;
+}
+
+std::optional<FileManifest> FileManifest::deserialize(ByteSpan data) {
+  if (data.size() < 6) return std::nullopt;
+  const std::uint16_t name_len = load_le<std::uint16_t>(data.data());
+  std::size_t pos = 2;
+  if (data.size() < pos + name_len + 4) return std::nullopt;
+  FileManifest fm(std::string(reinterpret_cast<const char*>(data.data() + pos),
+                              name_len));
+  pos += name_len;
+  const std::uint32_t count = load_le<std::uint32_t>(data.data() + pos);
+  pos += 4;
+  if (data.size() < pos + static_cast<std::size_t>(count) * 32) {
+    return std::nullopt;
+  }
+  for (std::uint32_t i = 0; i < count; ++i) {
+    FileManifestEntry e;
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(pos),
+              data.begin() + static_cast<std::ptrdiff_t>(pos + Digest::kSize),
+              e.chunk_name.bytes.begin());
+    pos += Digest::kSize;
+    e.offset = load_le<std::uint64_t>(data.data() + pos);
+    pos += 8;
+    e.length = load_le<std::uint32_t>(data.data() + pos);
+    pos += 4;
+    fm.entries_.push_back(e);
+  }
+  return fm;
+}
+
+}  // namespace mhd

@@ -1,0 +1,61 @@
+// FileManifest — the per-input-file recipe used to reconstruct the file.
+//
+// MHD writes one entry per *run*: "a new entry will only be written into
+// the FileManifest at the terminating point of neighboring chunks of
+// duplicate or non-duplicate data slices within one file" — so an entry
+// covers a contiguous byte range of one DiskChunk. Baseline engines write
+// one entry per chunk (big or small), which is exactly why their
+// FileManifest MetaDataRatio in Fig. 7(c) is higher.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "mhd/hash/digest.h"
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+struct FileManifestEntry {
+  Digest chunk_name;          ///< source DiskChunk object
+  std::uint64_t offset = 0;   ///< byte offset within that DiskChunk
+  std::uint32_t length = 0;   ///< bytes to copy
+
+  /// Paper-consistent accounting: 20-byte address + offset + length.
+  static constexpr std::uint64_t kBytes = 32;
+
+  bool operator==(const FileManifestEntry&) const = default;
+};
+
+class FileManifest {
+ public:
+  FileManifest() = default;
+  explicit FileManifest(std::string file_name)
+      : file_name_(std::move(file_name)) {}
+
+  const std::string& file_name() const { return file_name_; }
+  const std::vector<FileManifestEntry>& entries() const { return entries_; }
+
+  /// Appends a range, coalescing with the previous entry when contiguous
+  /// in the same DiskChunk (the MHD run-length behaviour). `coalesce=false`
+  /// reproduces the per-chunk baseline behaviour.
+  void add_range(const Digest& chunk_name, std::uint64_t offset,
+                 std::uint64_t length, bool coalesce);
+
+  std::uint64_t total_length() const;
+  std::uint64_t byte_size() const {
+    return entries_.size() * FileManifestEntry::kBytes;
+  }
+
+  /// Wire format: name_len(2) | name | count(4) | entries(32 each).
+  ByteVec serialize() const;
+  static std::optional<FileManifest> deserialize(ByteSpan data);
+
+ private:
+  std::string file_name_;
+  std::vector<FileManifestEntry> entries_;
+};
+
+}  // namespace mhd

@@ -1,0 +1,99 @@
+#include "mhd/format/recipe_codec.h"
+
+#include <unordered_map>
+
+namespace mhd {
+
+void put_varint(ByteVec& out, std::uint64_t value) {
+  while (value >= 0x80) {
+    out.push_back(static_cast<Byte>(value) | 0x80);
+    value >>= 7;
+  }
+  out.push_back(static_cast<Byte>(value));
+}
+
+std::optional<std::uint64_t> get_varint(ByteSpan data, std::size_t& pos) {
+  std::uint64_t value = 0;
+  int shift = 0;
+  while (pos < data.size() && shift < 64) {
+    const Byte b = data[pos++];
+    value |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+    if ((b & 0x80) == 0) return value;
+    shift += 7;
+  }
+  return std::nullopt;
+}
+
+ByteVec compress_recipe(const FileManifest& fm) {
+  // Dictionary of distinct chunk names, in first-appearance order.
+  std::vector<Digest> dict;
+  std::unordered_map<Digest, std::uint64_t, DigestHasher> dict_index;
+  for (const auto& e : fm.entries()) {
+    if (dict_index.emplace(e.chunk_name, dict.size()).second) {
+      dict.push_back(e.chunk_name);
+    }
+  }
+
+  ByteVec out;
+  put_varint(out, fm.file_name().size());
+  append(out, as_bytes(fm.file_name()));
+  put_varint(out, dict.size());
+  for (const auto& d : dict) append(out, d.span());
+  put_varint(out, fm.entries().size());
+
+  // Per chunk name, predict the next offset as "end of the previous range
+  // from the same chunk" — sequential reads then encode as delta 0.
+  std::unordered_map<Digest, std::uint64_t, DigestHasher> predicted;
+  for (const auto& e : fm.entries()) {
+    put_varint(out, dict_index[e.chunk_name]);
+    const std::int64_t delta =
+        static_cast<std::int64_t>(e.offset) -
+        static_cast<std::int64_t>(predicted[e.chunk_name]);
+    put_varint(out, zigzag_encode(delta));
+    put_varint(out, e.length);
+    predicted[e.chunk_name] = e.offset + e.length;
+  }
+  return out;
+}
+
+std::optional<FileManifest> decompress_recipe(ByteSpan data) {
+  std::size_t pos = 0;
+  const auto name_len = get_varint(data, pos);
+  if (!name_len || pos + *name_len > data.size()) return std::nullopt;
+  FileManifest fm(std::string(reinterpret_cast<const char*>(data.data() + pos),
+                              static_cast<std::size_t>(*name_len)));
+  pos += static_cast<std::size_t>(*name_len);
+
+  const auto dict_size = get_varint(data, pos);
+  if (!dict_size || pos + *dict_size * Digest::kSize > data.size()) {
+    return std::nullopt;
+  }
+  std::vector<Digest> dict(static_cast<std::size_t>(*dict_size));
+  for (auto& d : dict) {
+    std::copy(data.begin() + static_cast<std::ptrdiff_t>(pos),
+              data.begin() + static_cast<std::ptrdiff_t>(pos + Digest::kSize),
+              d.bytes.begin());
+    pos += Digest::kSize;
+  }
+
+  const auto entry_count = get_varint(data, pos);
+  if (!entry_count) return std::nullopt;
+  std::unordered_map<Digest, std::uint64_t, DigestHasher> predicted;
+  for (std::uint64_t i = 0; i < *entry_count; ++i) {
+    const auto dict_id = get_varint(data, pos);
+    if (!dict_id || *dict_id >= dict.size()) return std::nullopt;
+    const Digest& chunk = dict[static_cast<std::size_t>(*dict_id)];
+    const auto zz = get_varint(data, pos);
+    const auto length = get_varint(data, pos);
+    if (!zz || !length) return std::nullopt;
+    const std::int64_t offset =
+        static_cast<std::int64_t>(predicted[chunk]) + zigzag_decode(*zz);
+    if (offset < 0) return std::nullopt;
+    fm.add_range(chunk, static_cast<std::uint64_t>(offset), *length,
+                 /*coalesce=*/false);
+    predicted[chunk] = static_cast<std::uint64_t>(offset) + *length;
+  }
+  return fm;
+}
+
+}  // namespace mhd

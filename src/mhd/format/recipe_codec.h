@@ -1,0 +1,39 @@
+// File-recipe compression (after Meister, Brinkmann & S., FAST'13 —
+// cited in the paper's related work as post-process compression for file
+// recipes).
+//
+// A FileManifest is a sequence of (chunk, offset, length) records whose
+// neighbors are highly redundant: consecutive entries usually reference
+// the same DiskChunk at consecutive offsets. The codec exploits this with
+// a chunk-name dictionary, zig-zag varint offset deltas (delta relative to
+// the predicted "previous end" position) and varint lengths. Decoding is
+// exact; compress_recipe/decompress_recipe round-trip any FileManifest.
+#pragma once
+
+#include <optional>
+
+#include "mhd/format/file_manifest.h"
+
+namespace mhd {
+
+/// Varint primitives (LEB128), exposed for tests.
+void put_varint(ByteVec& out, std::uint64_t value);
+std::optional<std::uint64_t> get_varint(ByteSpan data, std::size_t& pos);
+
+/// Zig-zag mapping for signed deltas.
+constexpr std::uint64_t zigzag_encode(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+constexpr std::int64_t zigzag_decode(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+/// Compresses a FileManifest into the recipe wire format.
+ByteVec compress_recipe(const FileManifest& fm);
+
+/// Inverse of compress_recipe; nullopt on malformed input.
+std::optional<FileManifest> decompress_recipe(ByteSpan data);
+
+}  // namespace mhd

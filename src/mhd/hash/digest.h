@@ -1,0 +1,48 @@
+// 160-bit digest value type used to name every chunk, hook and manifest.
+#pragma once
+
+#include <array>
+#include <compare>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <string>
+
+#include "mhd/util/bytes.h"
+#include "mhd/util/hex.h"
+
+namespace mhd {
+
+/// A SHA-1 digest. Hash-addressable object names are hex encodings of this.
+struct Digest {
+  static constexpr std::size_t kSize = 20;
+  std::array<Byte, kSize> bytes{};
+
+  auto operator<=>(const Digest&) const = default;
+
+  ByteSpan span() const { return {bytes.data(), bytes.size()}; }
+  std::string hex() const { return hex_encode(span()); }
+
+  /// First 8 bytes as a little-endian integer — cheap well-mixed key for
+  /// in-memory hash tables, bloom filters and sampling decisions.
+  std::uint64_t prefix64() const {
+    std::uint64_t v;
+    std::memcpy(&v, bytes.data(), sizeof(v));
+    return v;
+  }
+
+  bool is_zero() const {
+    for (Byte b : bytes) {
+      if (b != 0) return false;
+    }
+    return true;
+  }
+};
+
+struct DigestHasher {
+  std::size_t operator()(const Digest& d) const noexcept {
+    return static_cast<std::size_t>(d.prefix64());
+  }
+};
+
+}  // namespace mhd

@@ -1,0 +1,20 @@
+#include "mhd/hash/mix.h"
+
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+std::uint64_t fnv1a64(ByteSpan data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (Byte b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b) {
+  return splitmix64(a ^ splitmix64(b));
+}
+
+}  // namespace mhd

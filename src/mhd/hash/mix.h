@@ -1,0 +1,17 @@
+// Cheap non-cryptographic 64-bit hashing used by the bloom filter (double
+// hashing) and the workload generator (counter-mode content).
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+/// FNV-1a 64-bit over a byte span.
+std::uint64_t fnv1a64(ByteSpan data);
+
+/// Mix two 64-bit values into one (order sensitive).
+std::uint64_t mix64(std::uint64_t a, std::uint64_t b);
+
+}  // namespace mhd

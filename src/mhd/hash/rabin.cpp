@@ -1,0 +1,79 @@
+#include "mhd/hash/rabin.h"
+
+namespace mhd {
+
+int poly_degree(std::uint64_t p) {
+  int d = -1;
+  while (p != 0) {
+    ++d;
+    p >>= 1;
+  }
+  return d;
+}
+
+std::uint64_t poly_mod_shifted(std::uint64_t value, int shift, std::uint64_t p) {
+  const int dp = poly_degree(p);
+  // Work on a 128-bit register so value << shift never overflows for the
+  // shifts used here (shift <= 8*(w-1) is reduced iteratively instead).
+  unsigned __int128 v = value;
+  int deg = poly_degree(value);
+  if (deg < 0) return 0;
+  deg += shift;
+  v <<= shift;
+  while (deg >= dp) {
+    if ((v >> deg) & 1) {
+      v ^= static_cast<unsigned __int128>(p) << (deg - dp);
+    }
+    --deg;
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+RabinFingerprint::RabinFingerprint(std::size_t window, std::uint64_t poly)
+    : poly_(poly), degree_(poly_degree(poly)), window_(window, 0) {
+  // append_table: reduction of the 8 bits that overflow past deg(P) when
+  // the fingerprint is multiplied by x^8.
+  for (int i = 0; i < 256; ++i) {
+    append_table_[static_cast<std::size_t>(i)] =
+        poly_mod_shifted(static_cast<std::uint64_t>(i), degree_, poly_);
+  }
+  // remove_table: contribution of a byte that is w-1 byte-positions old.
+  // Built incrementally: start with (b * x^8) pattern and raise by x^8 per
+  // window step, reducing as we go (avoids shifts beyond 128 bits).
+  for (int b = 0; b < 256; ++b) {
+    std::uint64_t f = static_cast<std::uint64_t>(b);
+    for (std::size_t step = 1; step < window; ++step) {
+      f = poly_mod_shifted(f, 8, poly_);
+    }
+    remove_table_[static_cast<std::size_t>(b)] = f;
+  }
+  reset();
+}
+
+void RabinFingerprint::reset() {
+  std::fill(window_.begin(), window_.end(), Byte{0});
+  pos_ = 0;
+  fp_ = 0;
+}
+
+std::uint64_t RabinFingerprint::shift_append(std::uint64_t f, Byte b) const {
+  const std::size_t top = static_cast<std::size_t>(f >> (degree_ - 8));
+  return ((f << 8) & ((1ULL << degree_) - 1)) ^ append_table_[top] ^ b;
+}
+
+std::uint64_t RabinFingerprint::push(Byte b) {
+  const Byte out = window_[pos_];
+  window_[pos_] = b;
+  pos_ = (pos_ + 1 == window_.size()) ? 0 : pos_ + 1;
+  fp_ ^= remove_table_[out];
+  fp_ = shift_append(fp_, b);
+  return fp_;
+}
+
+std::uint64_t RabinFingerprint::fingerprint(ByteSpan data) const {
+  std::uint64_t f = 0;
+  for (Byte b : data) f = shift_append(f, b);
+  return f;
+}
+
+}  // namespace mhd

@@ -1,0 +1,63 @@
+// Rabin fingerprinting by random polynomials (Rabin, 1981), the rolling
+// hash used by the content-defined chunkers.
+//
+// The fingerprint of a byte window is the residue of its polynomial over
+// GF(2) modulo a fixed irreducible polynomial P. Rolling a byte in/out is
+// O(1) via two precomputed 256-entry tables:
+//   append_table[o] = (o * x^deg(P))       mod P   (reduces the 8 overflow
+//                                                   bits of f*x^8)
+//   remove_table[b] = (b * x^(8*(w-1)))    mod P   (cancels the outgoing
+//                                                   byte's contribution)
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+class RabinFingerprint {
+ public:
+  /// Degree-63 irreducible polynomial (LBFS lineage); fingerprints < 2^63.
+  static constexpr std::uint64_t kDefaultPoly = 0xBFE6B8A5BF378D83ULL;
+  static constexpr std::size_t kDefaultWindow = 48;
+
+  explicit RabinFingerprint(std::size_t window = kDefaultWindow,
+                            std::uint64_t poly = kDefaultPoly);
+
+  /// Clears the window and fingerprint.
+  void reset();
+
+  /// Rolls `b` into the window (and the byte `window` positions back out).
+  /// Returns the new fingerprint.
+  std::uint64_t push(Byte b);
+
+  std::uint64_t value() const { return fp_; }
+  std::size_t window_size() const { return window_.size(); }
+  std::uint64_t poly() const { return poly_; }
+
+  /// Non-rolling fingerprint of an entire buffer (for tests: rolling over a
+  /// buffer must agree with the direct fingerprint of its last w bytes).
+  std::uint64_t fingerprint(ByteSpan data) const;
+
+ private:
+  std::uint64_t shift_append(std::uint64_t f, Byte b) const;
+
+  std::uint64_t poly_;
+  int degree_;
+  std::array<std::uint64_t, 256> append_table_;
+  std::array<std::uint64_t, 256> remove_table_;
+  std::vector<Byte> window_;
+  std::size_t pos_ = 0;
+  std::uint64_t fp_ = 0;
+};
+
+/// Degree of a GF(2) polynomial (position of the highest set bit), -1 for 0.
+int poly_degree(std::uint64_t p);
+
+/// (value << shift) mod p over GF(2); deg(p) must be <= 63.
+std::uint64_t poly_mod_shifted(std::uint64_t value, int shift, std::uint64_t p);
+
+}  // namespace mhd

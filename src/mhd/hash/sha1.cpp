@@ -1,0 +1,122 @@
+#include "mhd/hash/sha1.h"
+
+#include <cstring>
+
+namespace mhd {
+
+namespace {
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+}  // namespace
+
+void Sha1::reset() {
+  h_[0] = 0x67452301u;
+  h_[1] = 0xEFCDAB89u;
+  h_[2] = 0x98BADCFEu;
+  h_[3] = 0x10325476u;
+  h_[4] = 0xC3D2E1F0u;
+  total_bytes_ = 0;
+  buffered_ = 0;
+}
+
+void Sha1::process_block(const Byte* block) {
+  std::uint32_t w[80];
+  for (int i = 0; i < 16; ++i) {
+    w[i] = (std::uint32_t(block[i * 4]) << 24) |
+           (std::uint32_t(block[i * 4 + 1]) << 16) |
+           (std::uint32_t(block[i * 4 + 2]) << 8) |
+           std::uint32_t(block[i * 4 + 3]);
+  }
+  for (int i = 16; i < 80; ++i) {
+    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
+  for (int i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999u;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1u;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDCu;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6u;
+    }
+    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  h_[0] += a;
+  h_[1] += b;
+  h_[2] += c;
+  h_[3] += d;
+  h_[4] += e;
+}
+
+void Sha1::update(ByteSpan data) {
+  total_bytes_ += data.size();
+  const Byte* p = data.data();
+  std::size_t n = data.size();
+
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(n, sizeof(buffer_) - buffered_);
+    std::memcpy(buffer_ + buffered_, p, take);
+    buffered_ += take;
+    p += take;
+    n -= take;
+    if (buffered_ == sizeof(buffer_)) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+  while (n >= 64) {
+    process_block(p);
+    p += 64;
+    n -= 64;
+  }
+  if (n > 0) {
+    std::memcpy(buffer_, p, n);
+    buffered_ = n;
+  }
+}
+
+Digest Sha1::digest() {
+  const std::uint64_t bit_len = total_bytes_ * 8;
+
+  // Padding: 0x80, zeros, 64-bit big-endian length.
+  static constexpr Byte kPad[64] = {0x80};
+  const std::size_t rem = static_cast<std::size_t>(total_bytes_ % 64);
+  const std::size_t pad_len = (rem < 56) ? (56 - rem) : (120 - rem);
+  update({kPad, pad_len});
+
+  Byte len_be[8];
+  for (int i = 0; i < 8; ++i) {
+    len_be[i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+  }
+  // Bypass update()'s length accounting for the trailer.
+  total_bytes_ -= pad_len;  // keep semantics tidy if caller inspects later
+  std::memcpy(buffer_ + buffered_, len_be, 8);
+  buffered_ += 8;
+  process_block(buffer_);
+  buffered_ = 0;
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out.bytes[i * 4] = static_cast<Byte>(h_[i] >> 24);
+    out.bytes[i * 4 + 1] = static_cast<Byte>(h_[i] >> 16);
+    out.bytes[i * 4 + 2] = static_cast<Byte>(h_[i] >> 8);
+    out.bytes[i * 4 + 3] = static_cast<Byte>(h_[i]);
+  }
+  return out;
+}
+
+}  // namespace mhd

@@ -1,0 +1,52 @@
+// SHA-1 (FIPS 180-1), implemented from scratch.
+//
+// SHA-1 is the content hash of the paper's system: every chunk, merged
+// chunk, hook and manifest is named by its SHA-1. Cryptographic strength is
+// irrelevant here (dedup identity only), so the historical choice is kept
+// for fidelity with the paper.
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/hash/digest.h"
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+/// Incremental SHA-1 hasher.
+class Sha1 {
+ public:
+  Sha1() { reset(); }
+
+  void reset();
+  void update(ByteSpan data);
+  /// Finalizes and returns the digest. The hasher must be reset() before
+  /// reuse after calling digest().
+  Digest digest();
+
+  /// One-shot convenience.
+  static Digest hash(ByteSpan data) {
+    Sha1 h;
+    h.update(data);
+    return h.digest();
+  }
+
+  /// One-shot over the concatenation of two spans (used by match extension
+  /// when a region straddles buffer boundaries).
+  static Digest hash2(ByteSpan a, ByteSpan b) {
+    Sha1 h;
+    h.update(a);
+    h.update(b);
+    return h.digest();
+  }
+
+ private:
+  void process_block(const Byte* block);
+
+  std::uint32_t h_[5];
+  std::uint64_t total_bytes_;
+  Byte buffer_[64];
+  std::size_t buffered_;
+};
+
+}  // namespace mhd

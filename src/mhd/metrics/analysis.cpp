@@ -1,0 +1,129 @@
+#include "mhd/metrics/analysis.h"
+
+namespace mhd {
+
+MetadataModel table1_mhd(const AnalysisInputs& in) {
+  MetadataModel m;
+  m.algorithm = "MHD";
+  m.inodes_diskchunks = in.F;
+  m.inodes_hooks = in.N / in.SD;
+  m.inodes_manifests = in.F;
+  m.manifest_bytes = 74 * in.N / in.SD + 148 * in.L;
+  m.summary_printed = 512 * in.F + 424 * in.N / in.SD;
+  return m;
+}
+
+MetadataModel table1_subchunk(const AnalysisInputs& in) {
+  MetadataModel m;
+  m.algorithm = "SubChunk";
+  m.inodes_diskchunks = in.N / in.SD;
+  m.inodes_hooks = in.F;
+  m.inodes_manifests = in.F;
+  m.manifest_bytes = 36 * in.N + 28 * in.N / in.SD;
+  m.summary_printed = 532 * in.F + 280 * in.N / in.SD + 36 * in.N;
+  return m;
+}
+
+MetadataModel table1_bimodal(const AnalysisInputs& in) {
+  MetadataModel m;
+  m.algorithm = "Bimodal";
+  m.inodes_diskchunks = in.F;
+  m.inodes_hooks = in.N / in.SD + 2 * in.L * (in.SD - 1);
+  m.inodes_manifests = in.F;
+  m.manifest_bytes = 36 * in.N / in.SD + 72 * in.L * (in.SD - 1);
+  m.summary_printed =
+      512 * in.F + 312 * in.N / in.SD + 624 * in.L * (in.SD - 1);
+  return m;
+}
+
+MetadataModel table1_cdc(const AnalysisInputs& in) {
+  MetadataModel m;
+  m.algorithm = "CDC";
+  m.inodes_diskchunks = in.F;
+  m.inodes_hooks = in.N;
+  m.inodes_manifests = in.F;
+  m.manifest_bytes = 36 * in.N;
+  m.summary_printed = 512 * in.F + 312 * in.N;
+  return m;
+}
+
+DiskAccessModel table2_mhd(const AnalysisInputs& in) {
+  DiskAccessModel m;
+  m.algorithm = "MHD";
+  m.chunk_out = in.F;
+  m.chunk_in = 2 * in.L;
+  m.hook_out = in.N / in.SD;
+  m.hook_in = in.L;
+  m.manifest_out = in.F + in.L;
+  m.manifest_in = in.L;
+  m.big_chunk_query = 0;
+  m.small_chunk_query = in.N + in.L;
+  m.summary_without_bloom = 2 * in.F + 6 * in.L + in.N + in.N / in.SD;
+  m.summary_with_bloom = 2 * in.F + 6 * in.L + in.N / in.SD;
+  return m;
+}
+
+DiskAccessModel table2_subchunk(const AnalysisInputs& in) {
+  DiskAccessModel m;
+  m.algorithm = "SubChunk";
+  m.chunk_out = in.N / in.SD;
+  m.hook_out = in.F;
+  m.hook_in = in.L;
+  m.manifest_out = in.F;
+  m.manifest_in = in.L;
+  m.big_chunk_query = (in.N + in.D) / in.SD;
+  m.small_chunk_query = in.N + in.L;
+  m.summary_without_bloom =
+      2 * in.F + 3 * in.L + in.N + (2 * in.N + in.D) / in.SD;
+  m.summary_with_bloom = 2 * in.F + 3 * in.L + (in.N + in.D) / in.SD;
+  return m;
+}
+
+DiskAccessModel table2_bimodal(const AnalysisInputs& in) {
+  DiskAccessModel m;
+  m.algorithm = "Bimodal";
+  m.chunk_out = in.F;
+  m.hook_out = in.N / in.SD + 2 * (in.SD - 1) * in.L;
+  m.hook_in = in.L;
+  m.manifest_out = in.F;
+  m.manifest_in = in.L;
+  m.big_chunk_query = in.N / in.SD;
+  m.small_chunk_query = (2 * in.SD + 1) * in.L;
+  m.summary_without_bloom =
+      2 * in.F + (4 * in.SD + 1) * in.L + 2 * in.N / in.SD;
+  m.summary_with_bloom = 2 * in.F + (2 * in.SD + 1) * in.L + in.N / in.SD;
+  return m;
+}
+
+DiskAccessModel table2_cdc(const AnalysisInputs& in) {
+  DiskAccessModel m;
+  m.algorithm = "CDC";
+  m.chunk_out = in.F;
+  m.hook_out = in.N;
+  m.hook_in = in.L;
+  m.manifest_out = in.F;
+  m.manifest_in = in.L;
+  m.big_chunk_query = 0;
+  m.small_chunk_query = in.N + in.L;
+  m.summary_without_bloom = 2 * in.F + 3 * in.L + 2 * in.N;
+  m.summary_with_bloom = 2 * in.F + 3 * in.L + in.N;
+  return m;
+}
+
+bool mhd_wins_disk_accesses(const AnalysisInputs& in) {
+  return 3 * in.L < in.D / in.SD;
+}
+
+std::uint64_t max_block_per_hash_mhd(std::uint64_t ecs, std::uint64_t sd) {
+  return ecs * (sd - 1);
+}
+std::uint64_t max_block_per_hash_subchunk(std::uint64_t ecs,
+                                          std::uint64_t sd) {
+  return ecs * sd;
+}
+std::uint64_t max_block_per_hash_bimodal(std::uint64_t ecs, std::uint64_t sd) {
+  return ecs * sd;
+}
+std::uint64_t max_block_per_hash_cdc(std::uint64_t ecs) { return ecs; }
+
+}  // namespace mhd

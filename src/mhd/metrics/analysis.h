@@ -1,0 +1,90 @@
+// Analytical cost models — TABLE I (metadata size) and TABLE II (disk
+// access counts) of the paper, implemented verbatim as functions of
+//   F  : number of input files that are not completely duplicate
+//   N  : final number of non-duplicate chunks at ECS granularity
+//   D  : final number of duplicate chunks
+//   L  : number of detected duplicate data slices
+//   SD : sample distance (>= 2 for TABLE I)
+//
+// Note: two of the paper's printed "summary" rows do not equal the sum of
+// their component rows (MHD: components give 512F + 350N/SD + 148L vs the
+// printed 512F + 424N/SD; SubChunk: 532F + 284N/SD + 36N vs the printed
+// 532F + 280N/SD + 36N). Both the component-derived and the printed
+// summaries are exposed; EXPERIMENTS.md discusses the discrepancy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace mhd {
+
+struct AnalysisInputs {
+  std::uint64_t F = 0;
+  std::uint64_t N = 0;
+  std::uint64_t D = 0;
+  std::uint64_t L = 0;
+  std::uint64_t SD = 2;
+};
+
+/// One TABLE I column.
+struct MetadataModel {
+  std::string algorithm;
+  std::uint64_t inodes_diskchunks = 0;
+  std::uint64_t inodes_hooks = 0;
+  std::uint64_t bytes_per_hook = 20;
+  std::uint64_t inodes_manifests = 0;
+  std::uint64_t manifest_bytes = 0;
+  std::uint64_t summary_printed = 0;  ///< the paper's summary row, verbatim
+
+  /// Sum of the component rows (inodes at 256 B + hook bytes + manifests).
+  std::uint64_t summary_components() const {
+    return (inodes_diskchunks + inodes_hooks + inodes_manifests) * 256 +
+           inodes_hooks * bytes_per_hook + manifest_bytes;
+  }
+};
+
+MetadataModel table1_mhd(const AnalysisInputs& in);
+MetadataModel table1_subchunk(const AnalysisInputs& in);
+MetadataModel table1_bimodal(const AnalysisInputs& in);
+MetadataModel table1_cdc(const AnalysisInputs& in);
+
+/// One TABLE II column.
+struct DiskAccessModel {
+  std::string algorithm;
+  std::uint64_t chunk_out = 0;
+  std::uint64_t chunk_in = 0;
+  std::uint64_t hook_out = 0;
+  std::uint64_t hook_in = 0;
+  std::uint64_t manifest_out = 0;
+  std::uint64_t manifest_in = 0;
+  std::uint64_t big_chunk_query = 0;
+  std::uint64_t small_chunk_query = 0;
+  std::uint64_t summary_without_bloom = 0;  ///< paper row, verbatim
+  std::uint64_t summary_with_bloom = 0;     ///< paper row, verbatim
+
+  std::uint64_t io_components() const {
+    return chunk_out + chunk_in + hook_out + hook_in + manifest_out +
+           manifest_in;
+  }
+};
+
+DiskAccessModel table2_mhd(const AnalysisInputs& in);
+DiskAccessModel table2_subchunk(const AnalysisInputs& in);
+DiskAccessModel table2_bimodal(const AnalysisInputs& in);
+DiskAccessModel table2_cdc(const AnalysisInputs& in);
+
+/// Section IV: "when 3L < D/SD, the number of disk accesses for MHD is
+/// lower than all other algorithms compared" — the condition under which
+/// MHD's worst-case HHR cost is outweighed by the per-chunk queries it
+/// avoids. The table2 bench prints which side of it a corpus falls on.
+bool mhd_wins_disk_accesses(const AnalysisInputs& in);
+
+/// Section IV (last paragraph): the maximal data-block size a single
+/// SHA-1 hash can represent — MHD: ECS*(SD-1); SubChunk/Bimodal: ECS*SD;
+/// CDC: ECS. This bounds each algorithm's best-case metadata density.
+std::uint64_t max_block_per_hash_mhd(std::uint64_t ecs, std::uint64_t sd);
+std::uint64_t max_block_per_hash_subchunk(std::uint64_t ecs, std::uint64_t sd);
+std::uint64_t max_block_per_hash_bimodal(std::uint64_t ecs, std::uint64_t sd);
+std::uint64_t max_block_per_hash_cdc(std::uint64_t ecs);
+
+}  // namespace mhd

@@ -1,0 +1,21 @@
+// JSON export of experiment results for downstream plotting pipelines
+// (each bench prints human tables; this produces machine-readable rows).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "mhd/metrics/metrics.h"
+
+namespace mhd {
+
+/// Escapes a string for inclusion in a JSON string literal.
+std::string json_escape(const std::string& s);
+
+/// One result as a flat JSON object (single line).
+std::string to_json(const ExperimentResult& result);
+
+/// A JSON array of results (one object per line, pretty enough to diff).
+std::string to_json(const std::vector<ExperimentResult>& results);
+
+}  // namespace mhd

@@ -1,0 +1,86 @@
+#include "mhd/metrics/metrics.h"
+
+namespace mhd {
+
+MetadataBreakdown MetadataBreakdown::from(const StorageBackend& backend) {
+  MetadataBreakdown m;
+  m.inodes_diskchunks = backend.object_count(Ns::kDiskChunk);
+  m.inodes_hooks = backend.object_count(Ns::kHook);
+  m.inodes_manifests = backend.object_count(Ns::kManifest);
+  m.inodes_filemanifests = backend.object_count(Ns::kFileManifest);
+  m.hook_bytes = backend.content_bytes(Ns::kHook);
+  m.manifest_bytes = backend.content_bytes(Ns::kManifest);
+  m.filemanifest_bytes = backend.content_bytes(Ns::kFileManifest);
+  return m;
+}
+
+double ExperimentResult::data_only_der() const {
+  return stored_data_bytes == 0
+             ? 0.0
+             : static_cast<double>(input_bytes) /
+                   static_cast<double>(stored_data_bytes);
+}
+
+double ExperimentResult::real_der() const {
+  const std::uint64_t out = stored_data_bytes + metadata.total_bytes();
+  return out == 0 ? 0.0
+                  : static_cast<double>(input_bytes) / static_cast<double>(out);
+}
+
+double ExperimentResult::metadata_ratio() const {
+  return input_bytes == 0
+             ? 0.0
+             : static_cast<double>(metadata.total_bytes()) /
+                   static_cast<double>(input_bytes);
+}
+
+double ExperimentResult::throughput_ratio() const {
+  return dedup_seconds <= 0 ? 0.0 : copy_seconds / dedup_seconds;
+}
+
+double ExperimentResult::inodes_per_mb() const {
+  return input_bytes == 0
+             ? 0.0
+             : static_cast<double>(metadata.total_inodes()) /
+                   (static_cast<double>(input_bytes) / (1 << 20));
+}
+
+double ExperimentResult::manifest_hook_metadata_ratio() const {
+  return input_bytes == 0
+             ? 0.0
+             : static_cast<double>(metadata.hook_manifest_bytes()) /
+                   static_cast<double>(input_bytes);
+}
+
+double ExperimentResult::filemanifest_metadata_ratio() const {
+  return input_bytes == 0
+             ? 0.0
+             : static_cast<double>(metadata.filemanifest_bytes) /
+                   static_cast<double>(input_bytes);
+}
+
+double ExperimentResult::dad_bytes() const { return counters.dad(); }
+
+ExperimentResult summarize(const std::string& algorithm,
+                           const DedupEngine& engine,
+                           const StorageBackend& backend,
+                           const DiskModel& disk, double cpu_copy_bw) {
+  ExperimentResult r;
+  r.algorithm = algorithm;
+  r.ecs = engine.config().ecs;
+  r.sd = engine.config().sd;
+  r.counters = engine.counters();
+  r.stats = engine.store().stats();
+  r.input_bytes = r.counters.input_bytes;
+  r.stored_data_bytes = backend.content_bytes(Ns::kDiskChunk);
+  r.metadata = MetadataBreakdown::from(backend);
+  r.manifest_loads = engine.manifest_loads();
+  r.index_ram_bytes = engine.index_ram_bytes();
+
+  r.dedup_seconds = r.counters.cpu_seconds + disk.io_seconds(r.stats);
+  r.copy_seconds = disk.copy_seconds(r.input_bytes) +
+                   static_cast<double>(r.input_bytes) / cpu_copy_bw;
+  return r;
+}
+
+}  // namespace mhd

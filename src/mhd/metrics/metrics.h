@@ -1,0 +1,85 @@
+// Evaluation metrics — Section V of the paper.
+//
+//  * data-only DER     : input bytes / stored data bytes
+//  * real DER          : input bytes / (stored data + ALL metadata, from
+//                        the file system's perspective: inodes at 256 B
+//                        each + hook + manifest + filemanifest bytes)
+//  * MetaDataRatio     : total metadata bytes / input bytes
+//  * ThroughputRatio   : T(plain copy) / T(dedup); both are CPU time plus
+//                        DiskModel time, so a value < 1 means dedup is
+//                        slower than copying (as in the paper's Fig. 8)
+//  * DAD               : duplicate bytes / duplicate slices (Fig. 10a)
+#pragma once
+
+#include <string>
+
+#include "mhd/dedup/engine.h"
+#include "mhd/store/disk_model.h"
+
+namespace mhd {
+
+/// Per-namespace metadata accounting pulled from a storage backend.
+struct MetadataBreakdown {
+  std::uint64_t inodes_diskchunks = 0;
+  std::uint64_t inodes_hooks = 0;
+  std::uint64_t inodes_manifests = 0;
+  std::uint64_t inodes_filemanifests = 0;
+  std::uint64_t hook_bytes = 0;
+  std::uint64_t manifest_bytes = 0;
+  std::uint64_t filemanifest_bytes = 0;
+
+  static MetadataBreakdown from(const StorageBackend& backend);
+
+  std::uint64_t total_inodes() const {
+    return inodes_diskchunks + inodes_hooks + inodes_manifests +
+           inodes_filemanifests;
+  }
+  std::uint64_t inode_bytes() const {
+    return total_inodes() * StorageBackend::kInodeBytes;
+  }
+  /// All metadata bytes: inode overhead + metadata file contents.
+  std::uint64_t total_bytes() const {
+    return inode_bytes() + hook_bytes + manifest_bytes + filemanifest_bytes;
+  }
+  /// Hook + Manifest content bytes (paper Fig. 7(b) / TABLE IV).
+  std::uint64_t hook_manifest_bytes() const {
+    return hook_bytes + manifest_bytes;
+  }
+};
+
+/// Everything one (algorithm, ECS, SD, corpus) run produces.
+struct ExperimentResult {
+  std::string algorithm;
+  std::uint32_t ecs = 0;
+  std::uint32_t sd = 0;
+
+  std::uint64_t input_bytes = 0;
+  std::uint64_t stored_data_bytes = 0;  ///< DiskChunk content
+  MetadataBreakdown metadata;
+  EngineCounters counters;
+  StorageStats stats;
+  std::uint64_t manifest_loads = 0;   ///< TABLE V
+  std::uint64_t index_ram_bytes = 0;  ///< TABLE III
+
+  double dedup_seconds = 0;  ///< CPU + modeled disk time
+  double copy_seconds = 0;   ///< modeled baseline copy
+
+  double data_only_der() const;
+  double real_der() const;
+  double metadata_ratio() const;     ///< fraction (not %)
+  double throughput_ratio() const;
+  double inodes_per_mb() const;                ///< Fig. 7(a)
+  double manifest_hook_metadata_ratio() const; ///< Fig. 7(b)
+  double filemanifest_metadata_ratio() const;  ///< Fig. 7(c)
+  double dad_bytes() const;                    ///< Fig. 10(a)
+};
+
+/// Fills the derived/metadata parts of a result from a finished engine.
+/// `cpu_copy_bw` models the memcpy cost of the baseline copy.
+ExperimentResult summarize(const std::string& algorithm,
+                           const DedupEngine& engine,
+                           const StorageBackend& backend,
+                           const DiskModel& disk,
+                           double cpu_copy_bw = 4.0e9);
+
+}  // namespace mhd

@@ -1,0 +1,55 @@
+#include "mhd/sim/parallel.h"
+
+#include <atomic>
+#include <exception>
+#include <thread>
+
+namespace mhd {
+
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<RunSpec>& specs, const Corpus& corpus,
+    unsigned threads) {
+  std::vector<ExperimentResult> results(specs.size());
+  if (specs.empty()) return results;
+
+  if (threads == 0) threads = std::thread::hardware_concurrency();
+  threads = std::max(1u, std::min<unsigned>(
+                             threads, static_cast<unsigned>(specs.size())));
+
+  std::atomic<std::size_t> next{0};
+  std::exception_ptr first_error;
+  std::atomic<bool> failed{false};
+
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= specs.size() || failed.load(std::memory_order_acquire)) {
+        return;
+      }
+      try {
+        results[i] = run_experiment(specs[i], corpus);
+      } catch (...) {
+        // Record the first failure; later cells are abandoned.
+        bool expected = false;
+        if (failed.compare_exchange_strong(expected, true,
+                                           std::memory_order_acq_rel)) {
+          first_error = std::current_exception();
+        }
+        return;
+      }
+    }
+  };
+
+  if (threads == 1) {
+    worker();
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads);
+    for (unsigned t = 0; t < threads; ++t) pool.emplace_back(worker);
+    for (auto& t : pool) t.join();
+  }
+  if (first_error) std::rethrow_exception(first_error);
+  return results;
+}
+
+}  // namespace mhd

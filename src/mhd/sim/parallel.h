@@ -1,0 +1,30 @@
+// Parallel experiment sweeps.
+//
+// A paper-reproduction sweep is embarrassingly parallel: each
+// (algorithm, ECS, SD) cell runs a fresh engine against a private
+// in-memory backend over the shared read-only corpus. run_experiments()
+// fans the cells out over a thread pool; results land in input order and
+// are bit-identical to serial execution (everything except measured CPU
+// seconds is deterministic).
+//
+// Thread-safety contract: Corpus is immutable after construction and
+// Corpus::open() hands each thread its own ImageSource; BlockSource::fill
+// is a pure function. Engines, ObjectStores and backends are
+// thread-private.
+#pragma once
+
+#include <vector>
+
+#include "mhd/sim/runner.h"
+
+namespace mhd {
+
+/// Runs every spec against `corpus`, using up to `threads` worker threads
+/// (0 = std::thread::hardware_concurrency). Results are positionally
+/// aligned with `specs`. Exceptions from individual runs are rethrown on
+/// the caller's thread after all workers join.
+std::vector<ExperimentResult> run_experiments(
+    const std::vector<RunSpec>& specs, const Corpus& corpus,
+    unsigned threads = 0);
+
+}  // namespace mhd

@@ -1,0 +1,79 @@
+#include "mhd/sim/runner.h"
+
+#include <stdexcept>
+
+#include "mhd/core/mhd_engine.h"
+#include "mhd/dedup/bimodal_engine.h"
+#include "mhd/dedup/cdc_engine.h"
+#include "mhd/dedup/extreme_binning_engine.h"
+#include "mhd/dedup/fbc_engine.h"
+#include "mhd/dedup/sparse_index_engine.h"
+#include "mhd/dedup/subchunk_engine.h"
+
+namespace mhd {
+
+std::unique_ptr<DedupEngine> make_engine(const std::string& name,
+                                         ObjectStore& store,
+                                         const EngineConfig& config) {
+  if (name == "cdc") return std::make_unique<CdcEngine>(store, config);
+  if (name == "bimodal") return std::make_unique<BimodalEngine>(store, config);
+  if (name == "subchunk") {
+    return std::make_unique<SubChunkEngine>(store, config);
+  }
+  if (name == "sparseindexing" || name == "sparse") {
+    return std::make_unique<SparseIndexEngine>(store, config);
+  }
+  if (name == "fbc") return std::make_unique<FbcEngine>(store, config);
+  if (name == "extremebinning" || name == "extreme") {
+    return std::make_unique<ExtremeBinningEngine>(store, config);
+  }
+  if (name == "mhd") return std::make_unique<MhdEngine>(store, config);
+  if (name == "bf-mhd") {
+    EngineConfig cfg = config;
+    cfg.use_bloom = true;
+    return std::make_unique<MhdEngine>(store, cfg);
+  }
+  throw std::invalid_argument("unknown engine: " + name);
+}
+
+const std::vector<std::string>& engine_names() {
+  static const std::vector<std::string> names = {
+      "bf-mhd", "bimodal", "subchunk", "sparseindexing", "cdc"};
+  return names;
+}
+
+const std::vector<std::string>& extension_engine_names() {
+  static const std::vector<std::string> names = {"fbc", "extremebinning"};
+  return names;
+}
+
+ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
+                                StorageBackend& backend) {
+  ObjectStore store(backend);
+  auto engine = make_engine(spec.algorithm, store, spec.engine);
+  for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    auto src = corpus.open(i);
+    engine->add_file(corpus.files()[i].name, *src);
+  }
+  engine->finish();
+
+  if (spec.verify) {
+    for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+      auto src = corpus.open(i);
+      const ByteVec original = read_all(*src);
+      const auto restored = engine->reconstruct(corpus.files()[i].name);
+      if (!restored || !equal(*restored, original)) {
+        throw std::runtime_error(spec.algorithm + ": reconstruction mismatch for " +
+                                 corpus.files()[i].name);
+      }
+    }
+  }
+  return summarize(engine->name(), *engine, backend, spec.disk);
+}
+
+ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus) {
+  MemoryBackend backend;
+  return run_experiment(spec, corpus, backend);
+}
+
+}  // namespace mhd

@@ -1,0 +1,48 @@
+// Experiment runner — drives any engine over a corpus and produces the
+// ExperimentResult rows the bench harnesses print.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mhd/dedup/engine.h"
+#include "mhd/metrics/metrics.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/workload/corpus.h"
+
+namespace mhd {
+
+/// Creates an engine by name: "cdc", "bimodal", "subchunk",
+/// "sparseindexing", "fbc", "extremebinning", "mhd" (bloom per config),
+/// "bf-mhd" (forces bloom).
+/// Throws std::invalid_argument for unknown names.
+std::unique_ptr<DedupEngine> make_engine(const std::string& name,
+                                         ObjectStore& store,
+                                         const EngineConfig& config);
+
+/// Names accepted by make_engine, in the paper's comparison order.
+const std::vector<std::string>& engine_names();
+
+/// Related-work engines implemented beyond the paper's evaluation set
+/// (FBC, Extreme Binning); also accepted by make_engine.
+const std::vector<std::string>& extension_engine_names();
+
+struct RunSpec {
+  std::string algorithm = "bf-mhd";
+  EngineConfig engine;
+  DiskModel disk;
+  /// Reconstruct every file and compare byte-exactly after the run
+  /// (slow; throws std::runtime_error on mismatch).
+  bool verify = false;
+};
+
+/// Runs the full corpus through a fresh engine + in-memory backend.
+ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus);
+
+/// Runs against a caller-provided backend (e.g. FileBackend).
+ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
+                                StorageBackend& backend);
+
+}  // namespace mhd

@@ -1,0 +1,18 @@
+#include "mhd/store/disk_model.h"
+
+namespace mhd {
+
+double DiskModel::io_seconds(const StorageStats& stats) const {
+  const double seeks = static_cast<double>(stats.total_accesses());
+  return seeks * seek_seconds +
+         static_cast<double>(stats.bytes_read) / read_bw +
+         static_cast<double>(stats.bytes_written) / write_bw;
+}
+
+double DiskModel::copy_seconds(std::uint64_t bytes) const {
+  // One seek each for the source and destination streams.
+  return 2 * seek_seconds + static_cast<double>(bytes) / read_bw +
+         static_cast<double>(bytes) / write_bw;
+}
+
+}  // namespace mhd

@@ -1,0 +1,116 @@
+#include "mhd/store/file_backend.h"
+
+#include <algorithm>
+#include <fstream>
+#include <stdexcept>
+
+namespace mhd {
+
+namespace fs = std::filesystem;
+
+FileBackend::FileBackend(fs::path root) : root_(std::move(root)) {
+  for (int i = 0; i < static_cast<int>(Ns::kCount); ++i) {
+    const Ns ns = static_cast<Ns>(i);
+    fs::create_directories(root_ / ns_name(ns));
+    // Adopt pre-existing content (e.g. resuming a backup repository).
+    for (const auto& entry : fs::directory_iterator(root_ / ns_name(ns))) {
+      if (!entry.is_regular_file()) continue;
+      ++counts_[i];
+      bytes_[i] += entry.file_size();
+    }
+  }
+}
+
+fs::path FileBackend::path_for(Ns ns, const std::string& name) const {
+  return root_ / ns_name(ns) / name;
+}
+
+void FileBackend::put(Ns ns, const std::string& name, ByteSpan data) {
+  const fs::path p = path_for(ns, name);
+  const bool existed = fs::exists(p);
+  const std::uint64_t old_size = existed ? fs::file_size(p) : 0;
+  std::ofstream out(p, std::ios::binary | std::ios::trunc);
+  if (!out) throw std::runtime_error("FileBackend: cannot write " + p.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.close();
+  const int i = static_cast<int>(ns);
+  if (!existed) ++counts_[i];
+  bytes_[i] += data.size();
+  bytes_[i] -= old_size;
+}
+
+void FileBackend::append(Ns ns, const std::string& name, ByteSpan data) {
+  const fs::path p = path_for(ns, name);
+  const bool existed = fs::exists(p);
+  std::ofstream out(p, std::ios::binary | std::ios::app);
+  if (!out) throw std::runtime_error("FileBackend: cannot append " + p.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  out.close();
+  const int i = static_cast<int>(ns);
+  if (!existed) ++counts_[i];
+  bytes_[i] += data.size();
+}
+
+std::optional<ByteVec> FileBackend::get(Ns ns, const std::string& name) const {
+  const fs::path p = path_for(ns, name);
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const auto size = in.tellg();
+  in.seekg(0);
+  ByteVec out(static_cast<std::size_t>(size));
+  in.read(reinterpret_cast<char*>(out.data()), size);
+  if (!in) return std::nullopt;
+  return out;
+}
+
+std::optional<ByteVec> FileBackend::get_range(Ns ns, const std::string& name,
+                                              std::uint64_t offset,
+                                              std::uint64_t length) const {
+  const fs::path p = path_for(ns, name);
+  std::ifstream in(p, std::ios::binary | std::ios::ate);
+  if (!in) return std::nullopt;
+  const std::uint64_t size = static_cast<std::uint64_t>(in.tellg());
+  if (offset + length > size) return std::nullopt;
+  in.seekg(static_cast<std::streamoff>(offset));
+  ByteVec out(static_cast<std::size_t>(length));
+  in.read(reinterpret_cast<char*>(out.data()),
+          static_cast<std::streamsize>(length));
+  if (!in) return std::nullopt;
+  return out;
+}
+
+bool FileBackend::exists(Ns ns, const std::string& name) const {
+  return fs::exists(path_for(ns, name));
+}
+
+bool FileBackend::remove(Ns ns, const std::string& name) {
+  const fs::path p = path_for(ns, name);
+  if (!fs::exists(p)) return false;
+  const std::uint64_t size = fs::file_size(p);
+  fs::remove(p);
+  const int i = static_cast<int>(ns);
+  --counts_[i];
+  bytes_[i] -= size;
+  return true;
+}
+
+std::uint64_t FileBackend::object_count(Ns ns) const {
+  return counts_[static_cast<int>(ns)];
+}
+
+std::uint64_t FileBackend::content_bytes(Ns ns) const {
+  return bytes_[static_cast<int>(ns)];
+}
+
+std::vector<std::string> FileBackend::list(Ns ns) const {
+  std::vector<std::string> names;
+  for (const auto& entry : fs::directory_iterator(root_ / ns_name(ns))) {
+    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+}  // namespace mhd

@@ -1,0 +1,64 @@
+// Repository maintenance: integrity scrubbing and garbage collection.
+//
+// The paper's system only ever adds backups; a production deduplication
+// store also needs deletion. Deletion is two-phase here, as in most
+// content-addressed stores:
+//   1. delete_file() removes a FileManifest (the only object that makes
+//      a file reachable);
+//   2. collect_garbage() mark-and-sweeps: DiskChunks referenced by no
+//      FileManifest are deleted together with their Manifests, and hooks
+//      whose target manifest disappeared are dropped.
+// scrub_repository() verifies the invariants everything else relies on:
+// every FileManifest range resolves, every (parseable) Manifest's entries
+// hash-match its DiskChunk bytes and tile it exactly, and every hook
+// points at an existing manifest.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "mhd/store/backend.h"
+
+namespace mhd {
+
+struct ScrubReport {
+  std::uint64_t file_manifests = 0;
+  std::uint64_t manifests = 0;
+  std::uint64_t opaque_manifests = 0;  ///< engine-specific formats, skipped
+  std::uint64_t chunks = 0;
+  std::uint64_t hooks = 0;
+
+  std::uint64_t broken_file_ranges = 0;   ///< FileManifest range unresolvable
+  std::uint64_t manifest_hash_mismatches = 0;
+  std::uint64_t manifest_coverage_errors = 0;  ///< entries don't tile chunk
+  std::uint64_t dangling_hooks = 0;            ///< hook -> missing manifest
+  std::uint64_t unparseable = 0;
+
+  bool clean() const {
+    return broken_file_ranges == 0 && manifest_hash_mismatches == 0 &&
+           manifest_coverage_errors == 0 && dangling_hooks == 0 &&
+           unparseable == 0;
+  }
+};
+
+/// Full integrity pass over a repository (read-only).
+ScrubReport scrub_repository(const StorageBackend& backend);
+
+/// Removes the FileManifest of `file_name`; returns false if absent.
+/// The file's data becomes garbage-collectable unless shared.
+bool delete_file(StorageBackend& backend, const std::string& file_name);
+
+struct GcReport {
+  std::uint64_t live_chunks = 0;
+  std::uint64_t deleted_chunks = 0;
+  std::uint64_t deleted_manifests = 0;
+  std::uint64_t deleted_hooks = 0;
+  std::uint64_t reclaimed_bytes = 0;
+};
+
+/// Mark-and-sweep garbage collection (see file comment). Safe to run at
+/// any time between backups; never touches objects reachable from a
+/// FileManifest.
+GcReport collect_garbage(StorageBackend& backend);
+
+}  // namespace mhd

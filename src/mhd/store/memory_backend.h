@@ -1,0 +1,33 @@
+// In-memory storage backend with exact inode/byte accounting.
+#pragma once
+
+#include <unordered_map>
+
+#include "mhd/store/backend.h"
+
+namespace mhd {
+
+class MemoryBackend final : public StorageBackend {
+ public:
+  void put(Ns ns, const std::string& name, ByteSpan data) override;
+  void append(Ns ns, const std::string& name, ByteSpan data) override;
+  std::optional<ByteVec> get(Ns ns, const std::string& name) const override;
+  std::optional<ByteVec> get_range(Ns ns, const std::string& name,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) const override;
+  bool exists(Ns ns, const std::string& name) const override;
+  bool remove(Ns ns, const std::string& name) override;
+  std::uint64_t object_count(Ns ns) const override;
+  std::uint64_t content_bytes(Ns ns) const override;
+  std::vector<std::string> list(Ns ns) const override;
+
+ private:
+  using Map = std::unordered_map<std::string, ByteVec>;
+  Map& space(Ns ns) { return spaces_[static_cast<int>(ns)]; }
+  const Map& space(Ns ns) const { return spaces_[static_cast<int>(ns)]; }
+
+  std::array<Map, static_cast<int>(Ns::kCount)> spaces_;
+  std::array<std::uint64_t, static_cast<int>(Ns::kCount)> bytes_{};
+};
+
+}  // namespace mhd

@@ -1,0 +1,91 @@
+#include "mhd/store/object_store.h"
+
+namespace mhd {
+
+ChunkWriter::ChunkWriter(ObjectStore* store, std::string name)
+    : store_(store), name_(std::move(name)) {}
+
+ChunkWriter::~ChunkWriter() { close(); }
+
+void ChunkWriter::write(ByteSpan data) {
+  store_->backend_.append(Ns::kDiskChunk, name_, data);
+  bytes_ += data.size();
+}
+
+void ChunkWriter::close() {
+  if (closed_) return;
+  closed_ = true;
+  store_->stats_.record(AccessKind::kChunkOut);
+  store_->stats_.bytes_written += bytes_;
+}
+
+ChunkWriter ObjectStore::open_chunk(const std::string& name) {
+  return ChunkWriter(this, name);
+}
+
+std::optional<ByteVec> ObjectStore::read_chunk_range(const std::string& name,
+                                                     std::uint64_t offset,
+                                                     std::uint64_t length) {
+  auto data = backend_.get_range(Ns::kDiskChunk, name, offset, length);
+  stats_.record(AccessKind::kChunkIn);
+  if (data) stats_.bytes_read += data->size();
+  return data;
+}
+
+std::optional<ByteVec> ObjectStore::read_chunk(const std::string& name) {
+  auto data = backend_.get(Ns::kDiskChunk, name);
+  stats_.record(AccessKind::kChunkIn);
+  if (data) stats_.bytes_read += data->size();
+  return data;
+}
+
+void ObjectStore::put_hook(const Digest& hook_hash, ByteSpan payload) {
+  backend_.put(Ns::kHook, hook_hash.hex(), payload);
+  stats_.record(AccessKind::kHookOut);
+  stats_.bytes_written += payload.size();
+}
+
+std::optional<ByteVec> ObjectStore::get_hook(const Digest& hook_hash,
+                                             AccessKind query_kind) {
+  auto data = backend_.get(Ns::kHook, hook_hash.hex());
+  if (data) {
+    stats_.record(AccessKind::kHookIn);
+    stats_.bytes_read += data->size();
+  } else {
+    stats_.record(query_kind);
+  }
+  return data;
+}
+
+bool ObjectStore::hook_exists(const Digest& hook_hash, AccessKind query_kind) {
+  stats_.record(query_kind);
+  return backend_.exists(Ns::kHook, hook_hash.hex());
+}
+
+void ObjectStore::put_manifest(const std::string& name, ByteSpan data) {
+  backend_.put(Ns::kManifest, name, data);
+  stats_.record(AccessKind::kManifestOut);
+  stats_.bytes_written += data.size();
+}
+
+std::optional<ByteVec> ObjectStore::get_manifest(const std::string& name) {
+  auto data = backend_.get(Ns::kManifest, name);
+  stats_.record(AccessKind::kManifestIn);
+  if (data) stats_.bytes_read += data->size();
+  return data;
+}
+
+void ObjectStore::put_file_manifest(const std::string& name, ByteSpan data) {
+  backend_.put(Ns::kFileManifest, name, data);
+  stats_.record(AccessKind::kFileManifestOut);
+  stats_.bytes_written += data.size();
+}
+
+std::optional<ByteVec> ObjectStore::get_file_manifest(const std::string& name) {
+  auto data = backend_.get(Ns::kFileManifest, name);
+  stats_.record(AccessKind::kFileManifestIn);
+  if (data) stats_.bytes_read += data->size();
+  return data;
+}
+
+}  // namespace mhd

@@ -1,0 +1,49 @@
+#include "mhd/store/restore_reader.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+
+RestoreReader::RestoreReader(const StorageBackend& backend, FileManifest fm)
+    : backend_(&backend), fm_(std::move(fm)), total_(fm_.total_length()) {}
+
+std::optional<RestoreReader> RestoreReader::open(
+    const StorageBackend& backend, const std::string& file_name) {
+  const auto raw = backend.get(Ns::kFileManifest,
+                               Sha1::hash(as_bytes(file_name)).hex());
+  if (!raw) return std::nullopt;
+  auto fm = FileManifest::deserialize(*raw);
+  if (!fm) return std::nullopt;
+  return RestoreReader(backend, std::move(*fm));
+}
+
+std::size_t RestoreReader::read(MutByteSpan out) {
+  std::size_t written = 0;
+  while (ok_ && written < out.size() &&
+         entry_index_ < fm_.entries().size()) {
+    const FileManifestEntry& e = fm_.entries()[entry_index_];
+    const std::uint64_t remaining = e.length - entry_pos_;
+    const std::size_t take = static_cast<std::size_t>(
+        std::min<std::uint64_t>(remaining, out.size() - written));
+    const auto piece = backend_->get_range(
+        Ns::kDiskChunk, e.chunk_name.hex(), e.offset + entry_pos_, take);
+    if (!piece) {
+      ok_ = false;  // damaged repository: stop, never emit wrong bytes
+      break;
+    }
+    std::memcpy(out.data() + written, piece->data(), take);
+    written += take;
+    entry_pos_ += take;
+    produced_ += take;
+    if (entry_pos_ == e.length) {
+      ++entry_index_;
+      entry_pos_ = 0;
+    }
+  }
+  return written;
+}
+
+}  // namespace mhd

@@ -1,0 +1,56 @@
+#include "mhd/store/stats.h"
+
+#include <sstream>
+
+namespace mhd {
+
+const char* access_kind_name(AccessKind kind) {
+  switch (kind) {
+    case AccessKind::kChunkOut: return "Chunk Output";
+    case AccessKind::kChunkIn: return "Chunk Input";
+    case AccessKind::kHookOut: return "Hook Output";
+    case AccessKind::kHookIn: return "Hook Input";
+    case AccessKind::kManifestOut: return "Manifest Output";
+    case AccessKind::kManifestIn: return "Manifest Input";
+    case AccessKind::kBigChunkQuery: return "Big Chunk Query";
+    case AccessKind::kSmallChunkQuery: return "Small Chunk Query";
+    case AccessKind::kFileManifestOut: return "FileManifest Output";
+    case AccessKind::kFileManifestIn: return "FileManifest Input";
+    case AccessKind::kCount: break;
+  }
+  return "?";
+}
+
+std::uint64_t StorageStats::total_accesses() const {
+  std::uint64_t total = 0;
+  for (const auto c : accesses) total += c;
+  return total;
+}
+
+std::uint64_t StorageStats::io_accesses() const {
+  return total_accesses() - count(AccessKind::kBigChunkQuery) -
+         count(AccessKind::kSmallChunkQuery);
+}
+
+StorageStats& StorageStats::operator+=(const StorageStats& other) {
+  for (int i = 0; i < kKinds; ++i) accesses[i] += other.accesses[i];
+  bytes_written += other.bytes_written;
+  bytes_read += other.bytes_read;
+  return *this;
+}
+
+std::string StorageStats::to_string() const {
+  std::ostringstream out;
+  for (int i = 0; i < kKinds; ++i) {
+    const auto kind = static_cast<AccessKind>(i);
+    if (accesses[i] != 0) {
+      out << access_kind_name(kind) << " Times: " << accesses[i] << '\n';
+    }
+  }
+  out << "Bytes written: " << bytes_written << '\n';
+  out << "Bytes read: " << bytes_read << '\n';
+  out << "Total accesses: " << total_accesses() << '\n';
+  return out.str();
+}
+
+}  // namespace mhd

@@ -1,0 +1,57 @@
+// Storage access accounting.
+//
+// Every disk access an engine performs is recorded under one of the
+// categories that TABLE II of the paper reports (chunk/hook/manifest input
+// and output, big/small duplication queries), so the benchmark harness can
+// print measured counts next to the paper's analytical formulas.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace mhd {
+
+enum class AccessKind : int {
+  kChunkOut = 0,
+  kChunkIn,
+  kHookOut,
+  kHookIn,
+  kManifestOut,
+  kManifestIn,
+  kBigChunkQuery,
+  kSmallChunkQuery,
+  kFileManifestOut,
+  kFileManifestIn,
+  kCount,
+};
+
+/// Human-readable name matching the paper's TABLE II row labels.
+const char* access_kind_name(AccessKind kind);
+
+struct StorageStats {
+  static constexpr int kKinds = static_cast<int>(AccessKind::kCount);
+
+  std::array<std::uint64_t, kKinds> accesses{};
+  std::uint64_t bytes_written = 0;
+  std::uint64_t bytes_read = 0;
+
+  void record(AccessKind kind, std::uint64_t count = 1) {
+    accesses[static_cast<int>(kind)] += count;
+  }
+  std::uint64_t count(AccessKind kind) const {
+    return accesses[static_cast<int>(kind)];
+  }
+
+  /// All disk accesses including duplication queries (paper's "Summary").
+  std::uint64_t total_accesses() const;
+
+  /// Disk accesses excluding query categories (pure data/metadata I/O).
+  std::uint64_t io_accesses() const;
+
+  StorageStats& operator+=(const StorageStats& other);
+
+  std::string to_string() const;
+};
+
+}  // namespace mhd

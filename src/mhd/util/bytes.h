@@ -1,0 +1,61 @@
+// Common byte-oriented aliases and small helpers used across all subsystems.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mhd {
+
+using Byte = std::uint8_t;
+/// Non-owning read-only view of raw bytes.
+using ByteSpan = std::span<const Byte>;
+/// Non-owning mutable view of raw bytes.
+using MutByteSpan = std::span<Byte>;
+/// Owning byte buffer.
+using ByteVec = std::vector<Byte>;
+
+/// View a string's contents as bytes (no copy).
+inline ByteSpan as_bytes(std::string_view s) {
+  return {reinterpret_cast<const Byte*>(s.data()), s.size()};
+}
+
+/// Copy a byte span into an owning buffer.
+inline ByteVec to_vec(ByteSpan s) { return ByteVec(s.begin(), s.end()); }
+
+/// Append `src` to `dst`.
+inline void append(ByteVec& dst, ByteSpan src) {
+  dst.insert(dst.end(), src.begin(), src.end());
+}
+
+/// Constant-free equality over spans (memcmp semantics).
+inline bool equal(ByteSpan a, ByteSpan b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(), a.size()) == 0);
+}
+
+/// Load/store little-endian integers; used by serialization code.
+template <typename T>
+inline T load_le(const Byte* p) {
+  T v{};
+  std::memcpy(&v, p, sizeof(T));
+  return v;  // host is little-endian on all supported targets
+}
+
+template <typename T>
+inline void store_le(Byte* p, T v) {
+  std::memcpy(p, &v, sizeof(T));
+}
+
+template <typename T>
+inline void append_le(ByteVec& dst, T v) {
+  const auto old = dst.size();
+  dst.resize(old + sizeof(T));
+  store_le(dst.data() + old, v);
+}
+
+}  // namespace mhd

@@ -1,0 +1,63 @@
+#include "mhd/util/flags.h"
+
+#include <cstdlib>
+
+namespace mhd {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq == std::string::npos) {
+      values_[body] = "true";
+    } else {
+      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    }
+  }
+}
+
+std::string Flags::get(const std::string& key, const std::string& def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Flags::get_int(const std::string& key, std::int64_t def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtoll(it->second.c_str(), nullptr, 0);
+}
+
+double Flags::get_double(const std::string& key, double def) const {
+  const auto it = values_.find(key);
+  return it == values_.end() ? def : std::strtod(it->second.c_str(), nullptr);
+}
+
+bool Flags::get_bool(const std::string& key, bool def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<std::int64_t> Flags::get_int_list(
+    const std::string& key, std::vector<std::int64_t> def) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) return def;
+  std::vector<std::int64_t> out;
+  const std::string& s = it->second;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    const auto comma = s.find(',', pos);
+    const std::string tok =
+        s.substr(pos, comma == std::string::npos ? std::string::npos : comma - pos);
+    if (!tok.empty()) out.push_back(std::strtoll(tok.c_str(), nullptr, 0));
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace mhd

@@ -1,0 +1,37 @@
+// Minimal --key=value command-line flag parsing for bench/example binaries.
+//
+// Every table/figure harness accepts overrides such as --size_mb=64 or
+// --sd=500 so the paper sweeps can be rescaled without recompiling.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace mhd {
+
+class Flags {
+ public:
+  /// Parses argv entries of the form --key=value or --key (value "true").
+  /// Non-flag arguments are collected into positional().
+  Flags(int argc, char** argv);
+
+  std::string get(const std::string& key, const std::string& def) const;
+  std::int64_t get_int(const std::string& key, std::int64_t def) const;
+  double get_double(const std::string& key, double def) const;
+  bool get_bool(const std::string& key, bool def) const;
+
+  /// Comma-separated integer list, e.g. --ecs=512,1024,2048.
+  std::vector<std::int64_t> get_int_list(const std::string& key,
+                                         std::vector<std::int64_t> def) const;
+
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace mhd

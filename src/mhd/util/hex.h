@@ -1,0 +1,17 @@
+// Hex encoding/decoding for hash-addressable object names.
+#pragma once
+
+#include <optional>
+#include <string>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+/// Lower-case hex encoding of `data` (2 chars per byte).
+std::string hex_encode(ByteSpan data);
+
+/// Decode a hex string; returns std::nullopt on odd length or bad digit.
+std::optional<ByteVec> hex_decode(std::string_view hex);
+
+}  // namespace mhd

@@ -1,0 +1,28 @@
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+std::uint64_t Xoshiro256::below(std::uint64_t bound) {
+  // Lemire's nearly-divisionless bounded generation; bias is rejected.
+  const std::uint64_t threshold = (0 - bound) % bound;
+  for (;;) {
+    const std::uint64_t r = (*this)();
+    const unsigned __int128 m =
+        static_cast<unsigned __int128>(r) * static_cast<unsigned __int128>(bound);
+    if (static_cast<std::uint64_t>(m) >= threshold) {
+      return static_cast<std::uint64_t>(m >> 64);
+    }
+  }
+}
+
+double Xoshiro256::uniform01() {
+  return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+}
+
+bool Xoshiro256::chance(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return uniform01() < p;
+}
+
+}  // namespace mhd

@@ -1,0 +1,69 @@
+// Deterministic PRNGs used by the workload generator and tests.
+//
+// SplitMix64 is used for seeding and for counter-mode byte generation (any
+// 8-byte window of synthetic content can be regenerated from (block id,
+// offset) without materializing the stream). Xoshiro256** is the general
+// purpose generator; both are tiny, fast and fully reproducible.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <limits>
+
+namespace mhd {
+
+/// SplitMix64 step: maps any 64-bit value to a well-mixed 64-bit value.
+constexpr std::uint64_t splitmix64(std::uint64_t x) {
+  x += 0x9E3779B97f4A7C15ULL;
+  x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+  return x ^ (x >> 31);
+}
+
+/// xoshiro256** — satisfies UniformRandomBitGenerator.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed = 0x853C49E6748FEA9BULL) {
+    std::uint64_t s = seed;
+    for (auto& word : state_) {
+      s = splitmix64(s);
+      word = s;
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). bound must be > 0.
+  std::uint64_t below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double uniform01();
+
+  /// true with probability p (clamped to [0,1]).
+  bool chance(double p);
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace mhd

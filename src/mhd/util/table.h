@@ -1,0 +1,35 @@
+// Plain-text table rendering for benchmark harness output.
+//
+// The bench binaries print paper-style tables (rows = algorithms or ECS
+// values, columns = metrics); TextTable right-aligns numeric columns and
+// keeps the output grep/CSV friendly via to_csv().
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace mhd {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append one row; missing cells render empty, extra cells are kept.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: formats doubles with the given precision.
+  static std::string num(double v, int precision = 3);
+  static std::string num(std::uint64_t v);
+
+  /// Render with aligned columns and a separator under the header.
+  std::string to_string() const;
+
+  /// Render as comma-separated values (header first).
+  std::string to_csv() const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mhd

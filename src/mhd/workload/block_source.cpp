@@ -1,0 +1,44 @@
+#include "mhd/workload/block_source.h"
+
+#include <cstring>
+
+#include "mhd/hash/mix.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+std::uint64_t BlockSource::word_at(std::uint64_t content_id,
+                                   std::uint64_t word_index) const {
+  return splitmix64(mix64(seed_ ^ content_id, word_index));
+}
+
+void BlockSource::fill(std::uint64_t content_id, std::uint64_t offset,
+                       MutByteSpan out) const {
+  std::size_t produced = 0;
+
+  // Leading partial word.
+  const std::uint64_t first_word = offset / 8;
+  const std::size_t first_skip = static_cast<std::size_t>(offset % 8);
+  if (first_skip != 0) {
+    const std::uint64_t w = word_at(content_id, first_word);
+    const Byte* wb = reinterpret_cast<const Byte*>(&w);
+    const std::size_t take = std::min(out.size(), 8 - first_skip);
+    for (std::size_t i = 0; i < take; ++i) out[produced++] = wb[first_skip + i];
+  }
+
+  // Full words.
+  std::uint64_t word = (offset + produced) / 8;
+  while (out.size() - produced >= 8) {
+    const std::uint64_t w = word_at(content_id, word++);
+    std::memcpy(out.data() + produced, &w, 8);
+    produced += 8;
+  }
+
+  // Trailing partial word.
+  if (produced < out.size()) {
+    const std::uint64_t w = word_at(content_id, word);
+    std::memcpy(out.data() + produced, &w, out.size() - produced);
+  }
+}
+
+}  // namespace mhd

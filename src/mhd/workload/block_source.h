@@ -1,0 +1,33 @@
+// Counter-mode synthetic content.
+//
+// Every logical content block in the corpus is identified by a 64-bit
+// content id; its bytes are a pure function of (corpus seed, content id,
+// offset). Any window of any block can therefore be regenerated in O(bytes)
+// without materializing anything — the whole multi-gigabyte corpus streams
+// from this function. Output is incompressible and collision-free for the
+// purposes of chunk-hash dedup (distinct ids => distinct content).
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+class BlockSource {
+ public:
+  explicit BlockSource(std::uint64_t corpus_seed) : seed_(corpus_seed) {}
+
+  /// Fills `out` with the bytes of `content_id` starting at `offset`.
+  void fill(std::uint64_t content_id, std::uint64_t offset,
+            MutByteSpan out) const;
+
+  std::uint64_t seed() const { return seed_; }
+
+ private:
+  std::uint64_t word_at(std::uint64_t content_id, std::uint64_t word_index) const;
+
+  std::uint64_t seed_;
+};
+
+}  // namespace mhd

@@ -1,0 +1,151 @@
+#include "mhd/workload/corpus.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <stdexcept>
+
+#include "mhd/hash/mix.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+namespace {
+// Content-id tags keep the id spaces of OS bases, user data and mutations
+// disjoint.
+constexpr std::uint64_t kOsTag = 0x05BA5E0000000000ULL;
+constexpr std::uint64_t kUserTag = 0x05E70000000000ULL;
+constexpr std::uint64_t kMutTag = 0x307A7E0000000000ULL;
+
+std::string file_name(std::uint32_t snapshot, std::uint32_t machine) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "day%02u/pc%02u.img", snapshot + 1,
+                machine + 1);
+  return buf;
+}
+}  // namespace
+
+Corpus::Corpus(const CorpusConfig& config)
+    : config_(config), blocks_(config.seed) {
+  if (config_.machines == 0 || config_.snapshots == 0 ||
+      config_.image_bytes == 0 || config_.os_count == 0 ||
+      config_.extent_bytes == 0) {
+    throw std::invalid_argument("Corpus: zero-sized configuration");
+  }
+
+  // Build per-machine snapshot chains, then interleave snapshot-major.
+  std::vector<std::vector<ImagePlan>> chains(config_.machines);
+  for (std::uint32_t m = 0; m < config_.machines; ++m) {
+    chains[m].reserve(config_.snapshots);
+    chains[m].push_back(initial_plan(m));
+    for (std::uint32_t s = 1; s < config_.snapshots; ++s) {
+      chains[m].push_back(mutate(chains[m][s - 1], m, s));
+    }
+  }
+
+  files_.reserve(static_cast<std::size_t>(config_.machines) * config_.snapshots);
+  plans_.reserve(files_.capacity());
+  for (std::uint32_t s = 0; s < config_.snapshots; ++s) {
+    for (std::uint32_t m = 0; m < config_.machines; ++m) {
+      ImagePlan& plan = chains[m][s];
+      files_.push_back({file_name(s, m), m, s, plan.total_bytes()});
+      total_bytes_ += plan.total_bytes();
+      plans_.push_back(std::move(plan));
+    }
+  }
+}
+
+ImagePlan Corpus::initial_plan(std::uint32_t machine) const {
+  const std::uint32_t os = machine % config_.os_count;
+  const std::uint64_t os_bytes = static_cast<std::uint64_t>(
+      static_cast<double>(config_.image_bytes) * config_.os_fraction);
+
+  ImagePlan plan;
+  // OS base: shared content ids across all machines with this OS.
+  std::uint64_t produced = 0;
+  std::uint64_t index = 0;
+  while (produced < os_bytes) {
+    const std::uint64_t len =
+        std::min<std::uint64_t>(config_.extent_bytes, os_bytes - produced);
+    plan.add({kOsTag ^ mix64(os, index++), 0, len});
+    produced += len;
+  }
+  // User data: machine-unique content ids.
+  index = 0;
+  while (produced < config_.image_bytes) {
+    const std::uint64_t len = std::min<std::uint64_t>(
+        config_.extent_bytes, config_.image_bytes - produced);
+    plan.add({kUserTag ^ mix64(machine + 1000, index++), 0, len});
+    produced += len;
+  }
+  return plan;
+}
+
+ImagePlan Corpus::mutate(const ImagePlan& prev, std::uint32_t machine,
+                         std::uint32_t snapshot) const {
+  Xoshiro256 rng(mix64(config_.seed ^ 0xDA117, machine * 10000 + snapshot));
+  std::uint64_t fresh_counter = 0;
+  auto fresh_id = [&] {
+    return kMutTag ^ mix64(machine * 100000 + snapshot, fresh_counter++);
+  };
+
+  // Choose this snapshot's hot regions: runs of consecutive extents whose
+  // union covers ~hot_fraction of the image. Everything else is untouched.
+  const std::size_t n = prev.extents().size();
+  std::vector<bool> hot(n, false);
+  const std::size_t n_for_region = prev.extents().size();
+  const std::size_t region = std::max<std::size_t>(
+      1, static_cast<std::size_t>(config_.hot_region_fraction *
+                                  static_cast<double>(n_for_region)));
+  const bool quiet = rng.chance(config_.quiet_probability);
+  const double hot_share =
+      config_.hot_fraction * (quiet ? config_.quiet_factor : 1.0);
+  const std::size_t hot_target =
+      static_cast<std::size_t>(hot_share * static_cast<double>(n));
+  std::size_t hot_marked = 0;
+  // Bounded attempts: regions may overlap (re-marking is harmless) and the
+  // last region is truncated so the hot share tracks the target exactly.
+  for (int attempt = 0; attempt < 1000 && hot_marked < hot_target; ++attempt) {
+    const std::size_t start =
+        static_cast<std::size_t>(rng.below(std::max<std::uint64_t>(1, n)));
+    for (std::size_t i = start;
+         i < std::min(n, start + region) && hot_marked < hot_target; ++i) {
+      hot_marked += !hot[i];
+      hot[i] = true;
+    }
+  }
+
+  ImagePlan next;
+  for (std::size_t idx = 0; idx < n; ++idx) {
+    const Extent& e = prev.extents()[idx];
+    if (!hot[idx] || !rng.chance(config_.change_rate)) {
+      next.add(e);
+      continue;
+    }
+    const double kind = rng.uniform01();
+    if (kind < config_.delete_fraction) {
+      continue;  // extent deleted; downstream bytes shift backward
+    }
+    if (kind < config_.delete_fraction + config_.insert_fraction) {
+      // Keep the extent and insert a small new one after it; downstream
+      // bytes shift forward.
+      next.add(e);
+      const std::uint64_t span = config_.insert_max - config_.insert_min + 1;
+      const std::uint64_t len = config_.insert_min + rng.below(span);
+      next.add({fresh_id(), 0, len});
+      continue;
+    }
+    // Replace: same position and length, fresh content.
+    next.add({fresh_id(), 0, e.length});
+  }
+  return next;
+}
+
+std::unique_ptr<ByteSource> Corpus::open(std::size_t index) const {
+  return std::make_unique<ImageSource>(plans_.at(index), blocks_);
+}
+
+const ImagePlan& Corpus::plan(std::size_t index) const {
+  return plans_.at(index);
+}
+
+}  // namespace mhd

@@ -1,0 +1,90 @@
+// Synthetic disk-image backup corpus.
+//
+// Stands in for the paper's 1.0 TB dataset: disk-image backups of a group
+// of PCs running several operating systems, taken daily over two weeks.
+// Structure:
+//   * machines are grouped by OS; the leading os_fraction of each day-1
+//     image is the machine's OS base, shared by every machine of that OS;
+//   * the rest of the day-1 image is machine-unique user data;
+//   * each later snapshot mutates the previous one extent-by-extent:
+//     replace (fresh content, same position), insert (small new extent —
+//     shifts every downstream byte) or delete.
+// Mutations are *clustered*: each snapshot picks a few "hot regions"
+// (runs of hot_region_extents extents covering ~hot_fraction of the image)
+// and only extents inside them change, with probability change_rate each.
+// This mirrors real disk images — most of the disk is static day over day
+// (few, very long duplicate slices carry the bulk of duplicate bytes)
+// while changed areas produce many short slices. The knobs map onto the
+// dataset characteristics of Section V-D: hot_fraction*change_rate sets
+// the duplicate fraction (data-only DER) and extent_bytes/change_rate set
+// the detected duplicate-slice length (DAD).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "mhd/workload/image_plan.h"
+
+namespace mhd {
+
+struct CorpusConfig {
+  std::uint32_t machines = 14;
+  std::uint32_t snapshots = 14;     ///< two weeks of daily backups
+  std::uint64_t image_bytes = 8ULL << 20;
+  std::uint32_t os_count = 3;       ///< Windows / Linux / Mac groups
+  double os_fraction = 0.35;        ///< leading image share that is OS base
+  std::uint64_t extent_bytes = 16 << 10;
+  double change_rate = 0.70;        ///< P(extent mutated | in a hot region)
+  double hot_fraction = 0.50;       ///< image share inside hot regions
+  double hot_region_fraction = 0.08;  ///< image share of one hot region
+  /// A machine has "quiet" days (left on, barely used): its snapshot then
+  /// mutates only quiet_factor * hot_fraction of the image. Quiet days
+  /// produce the very long whole-image duplicate runs that dominate real
+  /// backup streams (and that make the byte-weighted slice length far
+  /// exceed the mean DAD).
+  double quiet_probability = 0.50;
+  double quiet_factor = 0.10;
+  double insert_fraction = 0.10;    ///< share of mutations that insert
+  double delete_fraction = 0.05;    ///< share of mutations that delete
+  std::uint64_t insert_min = 2 << 10;
+  std::uint64_t insert_max = 8 << 10;
+  std::uint64_t seed = 1;
+};
+
+struct CorpusFile {
+  std::string name;        ///< e.g. "day03/pc07.img"
+  std::uint32_t machine = 0;
+  std::uint32_t snapshot = 0;
+  std::uint64_t bytes = 0;
+};
+
+class Corpus {
+ public:
+  explicit Corpus(const CorpusConfig& config);
+
+  /// Files in backup order (snapshot-major: all machines day 1, then day 2
+  /// ... ), matching how a backup system would feed the deduplicator.
+  const std::vector<CorpusFile>& files() const { return files_; }
+  std::uint64_t total_bytes() const { return total_bytes_; }
+  const CorpusConfig& config() const { return config_; }
+
+  /// Streaming reader for file `index` (into files()).
+  std::unique_ptr<ByteSource> open(std::size_t index) const;
+
+  const ImagePlan& plan(std::size_t index) const;
+
+ private:
+  ImagePlan initial_plan(std::uint32_t machine) const;
+  ImagePlan mutate(const ImagePlan& prev, std::uint32_t machine,
+                   std::uint32_t snapshot) const;
+
+  CorpusConfig config_;
+  BlockSource blocks_;
+  std::vector<CorpusFile> files_;
+  std::vector<ImagePlan> plans_;  ///< parallel to files_
+  std::uint64_t total_bytes_ = 0;
+};
+
+}  // namespace mhd

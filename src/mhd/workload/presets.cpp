@@ -1,0 +1,28 @@
+#include "mhd/workload/presets.h"
+
+#include <algorithm>
+
+namespace mhd {
+
+CorpusConfig icpp13_preset(std::uint64_t total_mb, std::uint64_t seed) {
+  CorpusConfig c;
+  c.seed = seed;
+  const std::uint64_t total = total_mb << 20;
+  c.image_bytes = std::max<std::uint64_t>(
+      total / (static_cast<std::uint64_t>(c.machines) * c.snapshots),
+      256 << 10);
+  return c;
+}
+
+CorpusConfig test_preset(std::uint64_t seed) {
+  CorpusConfig c;
+  c.machines = 4;
+  c.snapshots = 4;
+  c.os_count = 2;
+  c.image_bytes = 256 << 10;
+  c.extent_bytes = 8 << 10;
+  c.seed = seed;
+  return c;
+}
+
+}  // namespace mhd

@@ -1,0 +1,19 @@
+// Corpus presets used by tests, examples and the paper-reproduction
+// benches. All presets keep the paper's *shape* (14 machines, 14 daily
+// snapshots, 3 OS groups, DER ~ 4.1, DAD ~ 90-220 KB) and scale only the
+// per-image size.
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/workload/corpus.h"
+
+namespace mhd {
+
+/// The ICPP'13 dataset stand-in scaled to ~total_mb megabytes of input.
+CorpusConfig icpp13_preset(std::uint64_t total_mb, std::uint64_t seed = 1);
+
+/// Tiny corpus for unit/integration tests (a few MB, seconds to process).
+CorpusConfig test_preset(std::uint64_t seed = 1);
+
+}  // namespace mhd

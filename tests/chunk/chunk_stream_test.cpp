@@ -1,0 +1,71 @@
+#include "mhd/chunk/chunk_stream.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/chunk/fixed_chunker.h"
+#include "mhd/chunk/rabin_chunker.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+ByteVec random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+TEST(MemorySource, ReadsInPieces) {
+  const ByteVec data = random_bytes(1000, 1);
+  MemorySource src(data);
+  Byte buf[300];
+  ByteVec seen;
+  std::size_t n;
+  while ((n = src.read({buf, sizeof(buf)})) > 0) {
+    seen.insert(seen.end(), buf, buf + n);
+  }
+  EXPECT_EQ(seen, data);
+  EXPECT_EQ(src.read({buf, sizeof(buf)}), 0u);  // stays at EOF
+}
+
+TEST(ReadAll, DrainsSource) {
+  const ByteVec data = random_bytes(200000, 2);
+  MemorySource src(data);
+  EXPECT_EQ(read_all(src), data);
+}
+
+TEST(ChunkStream, EmptyInputYieldsNoChunks) {
+  MemorySource src(ByteSpan{});
+  FixedChunker chunker(100);
+  ChunkStream stream(src, chunker);
+  ByteVec c;
+  EXPECT_FALSE(stream.next(c));
+  EXPECT_TRUE(c.empty());
+  EXPECT_EQ(stream.bytes_emitted(), 0u);
+}
+
+TEST(ChunkStream, BytesEmittedTracksTotal) {
+  const ByteVec data = random_bytes(12345, 3);
+  MemorySource src(data);
+  RabinChunker chunker(ChunkerConfig::from_expected(512));
+  ChunkStream stream(src, chunker);
+  ByteVec c;
+  while (stream.next(c)) {
+  }
+  EXPECT_EQ(stream.bytes_emitted(), data.size());
+}
+
+TEST(ChunkStream, SingleChunkWhenInputSmall) {
+  const ByteVec data = random_bytes(50, 4);
+  MemorySource src(data);
+  RabinChunker chunker(ChunkerConfig::from_expected(1024));
+  ChunkStream stream(src, chunker);
+  ByteVec c;
+  ASSERT_TRUE(stream.next(c));
+  EXPECT_EQ(c, data);
+  EXPECT_FALSE(stream.next(c));
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,84 @@
+#include "mhd/chunk/fixed_chunker.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+ByteVec random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+TEST(FixedChunker, ExactPartition) {
+  const ByteVec data = random_bytes(4096, 1);
+  FixedChunker chunker(1024);
+  MemorySource src(data);
+  ChunkStream stream(src, chunker);
+  ByteVec c;
+  int count = 0;
+  while (stream.next(c)) {
+    EXPECT_EQ(c.size(), 1024u);
+    ++count;
+  }
+  EXPECT_EQ(count, 4);
+}
+
+TEST(FixedChunker, ShortTail) {
+  const ByteVec data = random_bytes(2500, 2);
+  FixedChunker chunker(1000);
+  MemorySource src(data);
+  ChunkStream stream(src, chunker);
+  std::vector<std::size_t> sizes;
+  ByteVec c;
+  while (stream.next(c)) sizes.push_back(c.size());
+  EXPECT_EQ(sizes, (std::vector<std::size_t>{1000, 1000, 500}));
+}
+
+TEST(FixedChunker, ConcatenationEqualsInput) {
+  const ByteVec data = random_bytes(10000, 3);
+  FixedChunker chunker(777);
+  MemorySource src(data);
+  ChunkStream stream(src, chunker, 100);  // tiny IO buffer
+  ByteVec rebuilt, c;
+  while (stream.next(c)) append(rebuilt, c);
+  EXPECT_EQ(rebuilt, data);
+}
+
+TEST(FixedChunker, RejectsZeroSize) {
+  EXPECT_THROW(FixedChunker{0}, std::invalid_argument);
+}
+
+// Demonstrates the boundary-shifting problem the paper cites: a 1-byte
+// insertion breaks every downstream fixed-size chunk.
+TEST(FixedChunker, BoundaryShiftBreaksAlignment) {
+  const ByteVec data = random_bytes(64 * 1024, 4);
+  ByteVec shifted;
+  shifted.push_back(0x55);
+  append(shifted, data);
+
+  auto chunk_all = [](ByteSpan d) {
+    FixedChunker chunker(1024);
+    MemorySource src(d);
+    ChunkStream stream(src, chunker);
+    std::vector<ByteVec> out;
+    ByteVec c;
+    while (stream.next(c)) out.push_back(c);
+    return out;
+  };
+  const auto a = chunk_all(data);
+  const auto b = chunk_all(shifted);
+  int identical = 0;
+  for (std::size_t i = 0; i < std::min(a.size(), b.size()); ++i) {
+    identical += (a[i] == b[i]);
+  }
+  EXPECT_EQ(identical, 0);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,112 @@
+#include "mhd/chunk/gear_chunker.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/hash/sha1.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+ByteVec random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+std::vector<ByteVec> chunk_buffer(ByteSpan data, Chunker& chunker,
+                                  std::size_t io_buf = 64 * 1024) {
+  MemorySource src(data);
+  ChunkStream stream(src, chunker, io_buf);
+  std::vector<ByteVec> chunks;
+  ByteVec c;
+  while (stream.next(c)) chunks.push_back(c);
+  return chunks;
+}
+
+TEST(GearChunker, ConcatenationEqualsInput) {
+  const ByteVec data = random_bytes(1 << 20, 1);
+  GearChunker chunker(ChunkerConfig::from_expected(1024));
+  const auto chunks = chunk_buffer(data, chunker);
+  ByteVec rebuilt;
+  for (const auto& c : chunks) append(rebuilt, c);
+  EXPECT_EQ(rebuilt, data);
+}
+
+TEST(GearChunker, RespectsBounds) {
+  const ByteVec data = random_bytes(1 << 20, 2);
+  const auto cfg = ChunkerConfig::from_expected(2048);
+  GearChunker chunker(cfg);
+  const auto chunks = chunk_buffer(data, chunker);
+  ASSERT_GT(chunks.size(), 10u);
+  for (std::size_t i = 0; i + 1 < chunks.size(); ++i) {
+    EXPECT_GE(chunks[i].size(), cfg.min_size);
+    EXPECT_LE(chunks[i].size(), cfg.max_size);
+  }
+}
+
+TEST(GearChunker, AverageNearExpected) {
+  const ByteVec data = random_bytes(4 << 20, 3);
+  const auto cfg = ChunkerConfig::from_expected(2048);
+  GearChunker chunker(cfg);
+  const auto chunks = chunk_buffer(data, chunker);
+  const double avg = static_cast<double>(data.size()) / chunks.size();
+  EXPECT_GT(avg, cfg.expected_size * 0.5);
+  EXPECT_LT(avg, cfg.expected_size * 2.0);
+}
+
+TEST(GearChunker, NormalizationTightensDistribution) {
+  // FastCDC claim: fewer tiny and fewer max-forced chunks than plain CDC.
+  const ByteVec data = random_bytes(4 << 20, 4);
+  const auto cfg = ChunkerConfig::from_expected(1024);
+  GearChunker chunker(cfg);
+  const auto chunks = chunk_buffer(data, chunker);
+  std::size_t at_max = 0;
+  for (const auto& c : chunks) at_max += (c.size() == cfg.max_size);
+  // Forced cuts should be rare thanks to the easier post-expected mask.
+  EXPECT_LT(static_cast<double>(at_max) / chunks.size(), 0.05);
+}
+
+TEST(GearChunker, DeterministicAcrossBufferSizes) {
+  const ByteVec data = random_bytes(1 << 19, 5);
+  GearChunker a(ChunkerConfig::from_expected(1024));
+  GearChunker b(ChunkerConfig::from_expected(1024));
+  EXPECT_EQ(chunk_buffer(data, a, 64 * 1024), chunk_buffer(data, b, 173));
+}
+
+TEST(GearChunker, BoundaryShiftResilience) {
+  const ByteVec data = random_bytes(1 << 20, 6);
+  ByteVec shifted = random_bytes(100, 7);
+  append(shifted, data);
+
+  GearChunker c1(ChunkerConfig::from_expected(1024));
+  GearChunker c2(ChunkerConfig::from_expected(1024));
+  const auto chunks1 = chunk_buffer(data, c1);
+  const auto chunks2 = chunk_buffer(shifted, c2);
+
+  std::map<Digest, int> hashes1;
+  for (const auto& c : chunks1) hashes1[Sha1::hash(c)]++;
+  std::size_t shared = 0;
+  for (const auto& c : chunks2) {
+    auto it = hashes1.find(Sha1::hash(c));
+    if (it != hashes1.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  EXPECT_GT(shared, chunks1.size() * 9 / 10);
+}
+
+TEST(GearChunker, RejectsBadConfig) {
+  ChunkerConfig bad;
+  bad.min_size = 0;
+  bad.max_size = 10;
+  EXPECT_THROW(GearChunker{bad}, std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,99 @@
+#include "mhd/container/lru_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace mhd {
+namespace {
+
+TEST(LruCache, PutGetRoundTrip) {
+  LruCache<int, std::string> cache(4);
+  cache.put(1, "one");
+  cache.put(2, "two");
+  ASSERT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(*cache.get(1), "one");
+  EXPECT_EQ(cache.get(3), nullptr);
+}
+
+TEST(LruCache, EvictsLeastRecentlyUsed) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.get(1);      // 2 is now LRU
+  cache.put(3, 30);  // evicts 2
+  EXPECT_NE(cache.get(1), nullptr);
+  EXPECT_EQ(cache.get(2), nullptr);
+  EXPECT_NE(cache.get(3), nullptr);
+  EXPECT_EQ(cache.eviction_count(), 1u);
+}
+
+TEST(LruCache, EvictionCallbackSeesDirtyValue) {
+  std::vector<std::pair<int, int>> evicted;
+  LruCache<int, int> cache(1, [&](const int& k, int& v) {
+    evicted.emplace_back(k, v);
+  });
+  cache.put(1, 100);
+  cache.put(2, 200);  // evicts (1,100)
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], std::make_pair(1, 100));
+}
+
+TEST(LruCache, PutExistingKeyUpdatesAndTouches) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.put(1, 11);  // update; 2 becomes LRU
+  cache.put(3, 30);  // evicts 2
+  ASSERT_NE(cache.peek(1), nullptr);
+  EXPECT_EQ(*cache.peek(1), 11);
+  EXPECT_EQ(cache.peek(2), nullptr);
+}
+
+TEST(LruCache, PeekDoesNotTouch) {
+  LruCache<int, int> cache(2);
+  cache.put(1, 10);
+  cache.put(2, 20);
+  cache.peek(1);     // recency unchanged; 1 is still LRU
+  cache.put(3, 30);  // evicts 1
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_NE(cache.peek(2), nullptr);
+}
+
+TEST(LruCache, EraseSkipsCallback) {
+  int callbacks = 0;
+  LruCache<int, int> cache(2, [&](const int&, int&) { ++callbacks; });
+  cache.put(1, 10);
+  EXPECT_TRUE(cache.erase(1));
+  EXPECT_FALSE(cache.erase(1));
+  EXPECT_EQ(callbacks, 0);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, FlushEvictsAllWithCallback) {
+  int callbacks = 0;
+  LruCache<int, int> cache(8, [&](const int&, int&) { ++callbacks; });
+  for (int i = 0; i < 5; ++i) cache.put(i, i);
+  cache.flush();
+  EXPECT_EQ(callbacks, 5);
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(LruCache, ForEachMostRecentFirst) {
+  LruCache<int, int> cache(4);
+  cache.put(1, 1);
+  cache.put(2, 2);
+  cache.put(3, 3);
+  cache.get(1);
+  std::vector<int> order;
+  cache.for_each([&](const int& k, int&) { order.push_back(k); });
+  EXPECT_EQ(order, (std::vector<int>{1, 3, 2}));
+}
+
+TEST(LruCache, RejectsZeroCapacity) {
+  EXPECT_THROW((LruCache<int, int>(0)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace mhd

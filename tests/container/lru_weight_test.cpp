@@ -1,0 +1,70 @@
+// Tests for the byte-weighted (RAM-budgeted) LRU eviction mode.
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "mhd/container/lru_cache.h"
+
+namespace mhd {
+namespace {
+
+LruCache<int, std::string> budgeted(std::uint64_t max_weight,
+                                    LruCache<int, std::string>::EvictFn fn =
+                                        nullptr) {
+  return LruCache<int, std::string>(
+      1000, std::move(fn), max_weight,
+      [](const std::string& v) { return static_cast<std::uint64_t>(v.size()); });
+}
+
+TEST(LruWeight, EvictsWhenOverBudget) {
+  auto cache = budgeted(10);
+  cache.put(1, "aaaa");   // 4
+  cache.put(2, "bbbb");   // 8
+  cache.put(3, "cccc");   // 12 -> evict 1
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.peek(1), nullptr);
+  EXPECT_EQ(cache.total_weight(), 8u);
+}
+
+TEST(LruWeight, SingleOversizedEntrySurvives) {
+  auto cache = budgeted(4);
+  cache.put(1, "way-too-big-value");
+  EXPECT_EQ(cache.size(), 1u);  // MRU always kept usable
+  cache.put(2, "x");
+  EXPECT_EQ(cache.peek(1), nullptr);  // but evicted by the next insert
+}
+
+TEST(LruWeight, ReplaceAdjustsWeight) {
+  auto cache = budgeted(10);
+  cache.put(1, "aaaaaa");  // 6
+  cache.put(1, "aa");      // 2
+  EXPECT_EQ(cache.total_weight(), 2u);
+  cache.put(2, "bbbbbbbb");  // 10 total, fits
+  EXPECT_EQ(cache.size(), 2u);
+}
+
+TEST(LruWeight, EraseReleasesWeight) {
+  auto cache = budgeted(10);
+  cache.put(1, "aaaa");
+  cache.erase(1);
+  EXPECT_EQ(cache.total_weight(), 0u);
+}
+
+TEST(LruWeight, EvictionCallbackFiresOnBudgetEviction) {
+  int evicted = 0;
+  auto cache = budgeted(6, [&](const int&, std::string&) { ++evicted; });
+  cache.put(1, "aaaa");
+  cache.put(2, "bbbb");  // evicts 1
+  EXPECT_EQ(evicted, 1);
+}
+
+TEST(LruWeight, UnweightedCacheIgnoresBudget) {
+  LruCache<int, std::string> cache(2);  // count-limited only
+  cache.put(1, std::string(1000, 'x'));
+  cache.put(2, std::string(1000, 'y'));
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.total_weight(), 0u);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,132 @@
+#include "mhd/core/manifest_cache.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/store/memory_backend.h"
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+namespace {
+
+Digest digest_of(const std::string& s) { return Sha1::hash(as_bytes(s)); }
+
+Manifest make_manifest(const std::string& chunk, int entries) {
+  Manifest m(digest_of(chunk));
+  std::uint64_t off = 0;
+  for (int i = 0; i < entries; ++i) {
+    m.add({digest_of(chunk + "#" + std::to_string(i)), off, 100, 1, i == 0});
+    off += 100;
+  }
+  return m;
+}
+
+class ManifestCacheTest : public ::testing::Test {
+ protected:
+  MemoryBackend backend_;
+  ObjectStore store_{backend_};
+};
+
+TEST_F(ManifestCacheTest, InsertAndLookupHash) {
+  ManifestCache cache(store_, 4, true);
+  cache.insert(digest_of("m1"), make_manifest("m1", 3), false);
+  const auto hit = cache.lookup_hash(digest_of("m1#1"));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->manifest_name, digest_of("m1"));
+  EXPECT_EQ(hit->entry_index, 1u);
+  EXPECT_FALSE(cache.lookup_hash(digest_of("absent")).has_value());
+}
+
+TEST_F(ManifestCacheTest, LoadFromStoreCountsLoads) {
+  const Manifest m = make_manifest("m2", 2);
+  store_.put_manifest(digest_of("m2").hex(), m.serialize(true));
+  ManifestCache cache(store_, 4, true);
+  EXPECT_EQ(cache.manifest_loads(), 0u);
+  ASSERT_NE(cache.load(digest_of("m2")), nullptr);
+  EXPECT_EQ(cache.manifest_loads(), 1u);
+  // Second load hits the cache: no new disk read.
+  ASSERT_NE(cache.load(digest_of("m2")), nullptr);
+  EXPECT_EQ(cache.manifest_loads(), 1u);
+  EXPECT_EQ(cache.load(digest_of("missing")), nullptr);
+}
+
+TEST_F(ManifestCacheTest, DirtyManifestWrittenBackOnEviction) {
+  ManifestCache cache(store_, 1, true);
+  cache.insert(digest_of("m1"), make_manifest("m1", 2), /*dirty=*/true);
+  cache.insert(digest_of("m2"), make_manifest("m2", 2), false);  // evicts m1
+  EXPECT_TRUE(backend_.exists(Ns::kManifest, digest_of("m1").hex()));
+  EXPECT_EQ(store_.stats().count(AccessKind::kManifestOut), 1u);
+}
+
+TEST_F(ManifestCacheTest, CleanManifestNotWrittenOnEviction) {
+  ManifestCache cache(store_, 1, true);
+  cache.insert(digest_of("m1"), make_manifest("m1", 2), /*dirty=*/false);
+  cache.insert(digest_of("m2"), make_manifest("m2", 2), false);
+  EXPECT_FALSE(backend_.exists(Ns::kManifest, digest_of("m1").hex()));
+}
+
+TEST_F(ManifestCacheTest, EvictionRemovesHashesFromGlobalIndex) {
+  ManifestCache cache(store_, 1, true);
+  cache.insert(digest_of("m1"), make_manifest("m1", 2), false);
+  ASSERT_TRUE(cache.lookup_hash(digest_of("m1#0")).has_value());
+  cache.insert(digest_of("m2"), make_manifest("m2", 2), false);
+  EXPECT_FALSE(cache.lookup_hash(digest_of("m1#0")).has_value());
+  EXPECT_TRUE(cache.lookup_hash(digest_of("m2#0")).has_value());
+}
+
+TEST_F(ManifestCacheTest, HhrMutationReindexedAfterInvalidate) {
+  ManifestCache cache(store_, 4, true);
+  Manifest* m = cache.insert(digest_of("m1"), make_manifest("m1", 2), false);
+  ASSERT_TRUE(cache.lookup_hash(digest_of("m1#1")).has_value());
+
+  // Simulate HHR: replace entry 1 with two new entries.
+  m->entries().erase(m->entries().begin() + 1);
+  m->entries().push_back({digest_of("new-a"), 100, 50, 1, false});
+  m->entries().push_back({digest_of("new-b"), 150, 50, 1, false});
+  m->set_dirty();
+  cache.mark_dirty(digest_of("m1"));
+  cache.invalidate_index(digest_of("m1"));
+
+  // Old hash self-heals away; new hashes become visible.
+  EXPECT_TRUE(cache.lookup_hash(digest_of("new-a")).has_value());
+  EXPECT_TRUE(cache.lookup_hash(digest_of("new-b")).has_value());
+  EXPECT_FALSE(cache.lookup_hash(digest_of("m1#1")).has_value());
+}
+
+TEST_F(ManifestCacheTest, FlushWritesAllDirty) {
+  ManifestCache cache(store_, 8, true);
+  cache.insert(digest_of("m1"), make_manifest("m1", 2), true);
+  cache.insert(digest_of("m2"), make_manifest("m2", 2), true);
+  cache.insert(digest_of("m3"), make_manifest("m3", 2), false);
+  cache.flush();
+  EXPECT_EQ(store_.stats().count(AccessKind::kManifestOut), 2u);
+  // Flushed entries stay cached and are now clean: flushing again is a
+  // no-op.
+  cache.flush();
+  EXPECT_EQ(store_.stats().count(AccessKind::kManifestOut), 2u);
+}
+
+TEST_F(ManifestCacheTest, ByteBudgetEvictsBulkyManifests) {
+  // Budget for roughly one 10-entry manifest (~64 + 370 bytes each).
+  ManifestCache cache(store_, 100, true, /*max_bytes=*/600);
+  cache.insert(digest_of("m1"), make_manifest("m1", 10), false);
+  cache.insert(digest_of("m2"), make_manifest("m2", 10), false);
+  EXPECT_EQ(cache.size(), 1u);  // m1 evicted to stay within budget
+  EXPECT_FALSE(cache.lookup_hash(digest_of("m1#0")).has_value());
+  EXPECT_TRUE(cache.lookup_hash(digest_of("m2#0")).has_value());
+}
+
+TEST_F(ManifestCacheTest, RoundTripThroughStorePreservesEntries) {
+  const Manifest original = make_manifest("m9", 5);
+  {
+    ManifestCache cache(store_, 2, true);
+    cache.insert(digest_of("m9"), original, true);
+    cache.flush();
+  }
+  ManifestCache cache2(store_, 2, true);
+  Manifest* loaded = cache2.load(digest_of("m9"));
+  ASSERT_NE(loaded, nullptr);
+  EXPECT_EQ(loaded->entries(), original.entries());
+}
+
+}  // namespace
+}  // namespace mhd

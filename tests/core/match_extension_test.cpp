@@ -1,0 +1,254 @@
+// Direct unit tests of Bi-Directional Match Extension and Hysteresis Hash
+// Re-chunking against hand-built manifests (the Fig. 5/6 scenarios).
+#include "mhd/core/match_extension.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/store/memory_backend.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+constexpr std::size_t kChunk = 100;  // bytes per synthetic chunk
+
+ByteVec chunk_content(int id) {
+  Xoshiro256 rng(1000 + id);
+  ByteVec out(kChunk);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+Digest hash_of(ByteSpan b) { return Sha1::hash(b); }
+
+// Fixture: an old DiskChunk of 10 chunks c0..c9 with the SHM manifest
+// shape [hook c0][merged c1-4][hook c5][merged c6-9].
+class MatchExtensionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    name_ = Sha1::hash(as_bytes("oldfile"));
+    Manifest manifest(name_);
+    ByteVec all;
+    std::uint64_t off = 0;
+    auto add_hook = [&](int id) {
+      const ByteVec c = chunk_content(id);
+      manifest.add({hash_of(c), off, kChunk, 1, true});
+      append(all, c);
+      off += kChunk;
+    };
+    auto add_merged = [&](int first, int last) {
+      Sha1 h;
+      const std::uint64_t start = off;
+      for (int id = first; id <= last; ++id) {
+        const ByteVec c = chunk_content(id);
+        h.update(c);
+        append(all, c);
+        off += kChunk;
+      }
+      manifest.add({h.digest(), start,
+                    static_cast<std::uint32_t>(off - start),
+                    static_cast<std::uint32_t>(last - first + 1), false});
+    };
+    add_hook(0);
+    add_merged(1, 4);
+    add_hook(5);
+    add_merged(6, 9);
+
+    auto w = store_->open_chunk(name_.hex());
+    w.write(all);
+    w.close();
+    cache_ = std::make_unique<ManifestCache>(*store_, 8, true);
+    manifest_ = cache_->insert(name_, std::move(manifest), false);
+  }
+
+  /// An incoming chunk with content `id` at the given file offset.
+  static StreamChunk incoming(int id, std::uint64_t file_offset) {
+    StreamChunk c;
+    c.bytes = chunk_content(id);
+    c.hash = hash_of(c.bytes);
+    c.file_offset = file_offset;
+    return c;
+  }
+
+  MatchExtender::Outcome run_extend(const StreamChunk& anchor,
+                                    std::deque<StreamChunk>& pending,
+                                    std::deque<StreamChunk> incoming_stream) {
+    MatchExtender extender(*store_, *cache_, cfg_, counters_);
+    auto loc = cache_->lookup_hash(anchor.hash);
+    EXPECT_TRUE(loc.has_value());
+    auto pull = [&]() -> std::optional<StreamChunk> {
+      if (incoming_stream.empty()) return std::nullopt;
+      StreamChunk c = std::move(incoming_stream.front());
+      incoming_stream.pop_front();
+      return c;
+    };
+    return extender.extend(*loc, anchor, pending, pull);
+  }
+
+  EngineConfig cfg_;
+  EngineCounters counters_;
+  MemoryBackend backend_;
+  std::unique_ptr<ObjectStore> store_ = std::make_unique<ObjectStore>(backend_);
+  std::unique_ptr<ManifestCache> cache_;
+  Manifest* manifest_ = nullptr;
+  Digest name_;
+};
+
+TEST_F(MatchExtensionTest, AnchorAloneProducesOneSegment) {
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(0, 5000), pending, {});
+  ASSERT_EQ(out.dup_segments.size(), 1u);
+  EXPECT_EQ(out.dup_segments[0].file_offset, 5000u);
+  EXPECT_EQ(out.dup_segments[0].chunk_offset, 0u);
+  EXPECT_EQ(out.dup_segments[0].length, kChunk);
+  EXPECT_EQ(out.dup_chunks, 1u);
+  EXPECT_EQ(counters_.hhr_operations, 0u);
+}
+
+TEST_F(MatchExtensionTest, BackwardFullEntryHashMatch) {
+  // Pending holds c1..c4 contiguous, ending exactly at the anchor (c5).
+  std::deque<StreamChunk> pending;
+  for (int i = 1; i <= 4; ++i) {
+    pending.push_back(incoming(i, 1000 + (i - 1) * kChunk));
+  }
+  const auto out = run_extend(incoming(5, 1000 + 4 * kChunk), pending, {});
+  // Merged c1-4 matched by one recomputed hash; then hook c0 cannot match
+  // (no pending left).
+  EXPECT_EQ(out.dup_bytes, 5 * kChunk);
+  EXPECT_TRUE(pending.empty());
+  EXPECT_EQ(counters_.hhr_chunk_reloads, 0u);  // pure hash comparison
+}
+
+TEST_F(MatchExtensionTest, BackwardHhrSplitsMergedEntry) {
+  // Pending: [N (fresh), c3, c4] — only the merged entry's suffix is
+  // duplicate; Fig. 6's BME scenario.
+  std::deque<StreamChunk> pending;
+  pending.push_back(incoming(99, 2000));            // Chunk N3 analogue
+  pending.push_back(incoming(3, 2000 + kChunk));
+  pending.push_back(incoming(4, 2000 + 2 * kChunk));
+  const auto out = run_extend(incoming(5, 2000 + 3 * kChunk), pending, {});
+
+  EXPECT_EQ(out.dup_bytes, 3 * kChunk);  // c3, c4 + anchor c5
+  EXPECT_EQ(counters_.hhr_operations, 1u);
+  EXPECT_EQ(counters_.hhr_chunk_reloads, 1u);
+  ASSERT_EQ(pending.size(), 1u);  // the fresh chunk stays buffered
+  EXPECT_EQ(pending[0].file_offset, 2000u);
+
+  // The merged entry c1-4 was re-chunked into remainder + EdgeHash + dup.
+  const auto& entries = manifest_->entries();
+  ASSERT_EQ(entries.size(), 6u);
+  EXPECT_EQ(entries[1].size, kChunk);      // remainder (c1 region)
+  EXPECT_GT(entries[1].chunk_count, 0u);
+  EXPECT_EQ(entries[2].size, kChunk);      // EdgeHash (size of N)
+  EXPECT_EQ(entries[2].chunk_count, 1u);
+  EXPECT_EQ(entries[3].size, 2 * kChunk);  // duplicate part (c3,c4)
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+TEST_F(MatchExtensionTest, ForwardFullEntryAndStop) {
+  // Anchor at c5; the stream continues with c6..c9 then fresh data.
+  std::deque<StreamChunk> stream;
+  for (int i = 6; i <= 9; ++i) {
+    stream.push_back(incoming(i, 3000 + (i - 5) * kChunk));
+  }
+  stream.push_back(incoming(77, 3000 + 5 * kChunk));
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(5, 3000), pending, stream);
+
+  EXPECT_EQ(out.dup_bytes, 5 * kChunk);  // c5 + merged c6-9
+  // Extension stopped at the manifest end before the fresh chunk was ever
+  // prefetched: nothing is left over (the chunk stays in the stream).
+  EXPECT_TRUE(out.leftover.empty());
+  EXPECT_EQ(counters_.hhr_operations, 0u);
+}
+
+TEST_F(MatchExtensionTest, ForwardHhrSplitsMergedPrefix) {
+  // Stream after anchor: c6, c7, then fresh — forward HHR must split
+  // merged c6-9 into [dup c6-7][edge][remainder].
+  std::deque<StreamChunk> stream;
+  stream.push_back(incoming(6, 3100));
+  stream.push_back(incoming(7, 3200));
+  stream.push_back(incoming(88, 3300));
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(5, 3000), pending, stream);
+
+  EXPECT_EQ(out.dup_bytes, 3 * kChunk);  // c5 + c6 + c7
+  EXPECT_EQ(counters_.hhr_operations, 1u);
+  ASSERT_EQ(out.leftover.size(), 1u);  // the fresh chunk
+  const auto& entries = manifest_->entries();
+  // [c0][c1-4][c5][dup c6-7][edge][remainder]
+  ASSERT_EQ(entries.size(), 6u);
+  EXPECT_EQ(entries[3].size, 2 * kChunk);
+  EXPECT_EQ(entries[4].chunk_count, 1u);
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+TEST_F(MatchExtensionTest, EdgeHashPreventsSecondReload) {
+  // First pass: trigger the forward HHR.
+  {
+    std::deque<StreamChunk> stream = {incoming(6, 3100), incoming(7, 3200),
+                                      incoming(88, 3300)};
+    std::deque<StreamChunk> pending;
+    run_extend(incoming(5, 3000), pending, stream);
+  }
+  const auto reloads_after_first = counters_.hhr_chunk_reloads;
+  // Second identical slice: the dup entry (c6-7) hash-matches directly and
+  // the EdgeHash mismatch stops extension without a byte reload.
+  {
+    std::deque<StreamChunk> stream = {incoming(6, 9100), incoming(7, 9200),
+                                      incoming(88, 9300)};
+    std::deque<StreamChunk> pending;
+    const auto out = run_extend(incoming(5, 9000), pending, stream);
+    EXPECT_EQ(out.dup_bytes, 3 * kChunk);
+  }
+  EXPECT_EQ(counters_.hhr_chunk_reloads, reloads_after_first);
+}
+
+// Regression for the gap bug: pending chunks that are NOT file-contiguous
+// with the anchor must not be stitched into one duplicate segment even if
+// their concatenated bytes would hash-match an old region.
+TEST_F(MatchExtensionTest, NonContiguousPendingIsNotMatched) {
+  std::deque<StreamChunk> pending;
+  // c1..c4 with a hole between c2 and c3 (something was deduplicated away
+  // in between) — their bytes still equal the old merged region.
+  pending.push_back(incoming(1, 1000));
+  pending.push_back(incoming(2, 1100));
+  pending.push_back(incoming(3, 1500));  // gap!
+  pending.push_back(incoming(4, 1600));
+  const auto out = run_extend(incoming(5, 1700), pending, {});
+  // Backward extension may recover at most the contiguous tail (c3,c4 via
+  // HHR), never the full merged entry across the gap.
+  for (const auto& seg : out.dup_segments) {
+    EXPECT_LE(seg.length, 2 * kChunk);
+  }
+  // c1 and c2 must still be pending (they were not part of the slice).
+  ASSERT_GE(pending.size(), 2u);
+  EXPECT_EQ(pending[0].file_offset, 1000u);
+  EXPECT_EQ(pending[1].file_offset, 1100u);
+}
+
+TEST_F(MatchExtensionTest, BackwardDisabledByAblation) {
+  cfg_.enable_backward_extension = false;
+  std::deque<StreamChunk> pending;
+  for (int i = 1; i <= 4; ++i) {
+    pending.push_back(incoming(i, 1000 + (i - 1) * kChunk));
+  }
+  const auto out = run_extend(incoming(5, 1400), pending, {});
+  EXPECT_EQ(out.dup_bytes, kChunk);  // anchor only
+  EXPECT_EQ(pending.size(), 4u);
+}
+
+TEST_F(MatchExtensionTest, EdgeHashDisabledStillCorrect) {
+  cfg_.enable_edge_hash = false;
+  std::deque<StreamChunk> pending;
+  pending.push_back(incoming(99, 2000));
+  pending.push_back(incoming(3, 2100));
+  pending.push_back(incoming(4, 2200));
+  const auto out = run_extend(incoming(5, 2300), pending, {});
+  EXPECT_EQ(out.dup_bytes, 3 * kChunk);
+  // Without the EdgeHash the split is [remainder][dup] only.
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,152 @@
+#include "mhd/dedup/cdc_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+using testutil::NamedFile;
+using testutil::random_bytes;
+
+EngineConfig small_config() {
+  EngineConfig cfg;
+  cfg.ecs = 512;
+  cfg.sd = 8;
+  cfg.bloom_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(CdcEngine, ReconstructsSingleFile) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a.img", random_bytes(100000, 1)}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+}
+
+TEST(CdcEngine, IdenticalSecondFileFullyDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const ByteVec data = random_bytes(200000, 2);
+  const std::vector<NamedFile> files = {{"a.img", data}, {"b.img", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+
+  const auto& c = engine.counters();
+  EXPECT_EQ(c.input_files, 2u);
+  // Second file stored nothing new.
+  EXPECT_EQ(c.files_with_data, 1u);
+  EXPECT_EQ(c.dup_bytes, data.size());
+  EXPECT_EQ(c.dup_slices, 1u);
+  EXPECT_EQ(backend.content_bytes(Ns::kDiskChunk), data.size());
+}
+
+TEST(CdcEngine, ShiftedCopyStillMostlyDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const ByteVec data = random_bytes(300000, 3);
+  ByteVec shifted = random_bytes(64, 4);
+  append(shifted, data);
+  const std::vector<NamedFile> files = {{"a.img", data}, {"b.img", shifted}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_GT(engine.counters().dup_bytes, data.size() * 9 / 10);
+}
+
+TEST(CdcEngine, IntraFileDuplicationDetected) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  ByteVec data = random_bytes(100000, 5);
+  append(data, ByteSpan(data.data(), 50000));  // repeat the first half
+  const std::vector<NamedFile> files = {{"a.img", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_GT(engine.counters().dup_bytes, 30000u);
+}
+
+TEST(CdcEngine, CountersAreConsistent) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const Corpus corpus(test_preset(6));
+  testutil::run_corpus(engine, corpus);
+  const auto& c = engine.counters();
+  EXPECT_EQ(c.input_files, corpus.files().size());
+  EXPECT_EQ(c.input_bytes, corpus.total_bytes());
+  EXPECT_EQ(c.input_chunks, c.stored_chunks + c.dup_chunks);
+  EXPECT_GE(c.dup_chunks, c.dup_slices);
+  // One hook per stored chunk, one manifest + filemanifest per file.
+  EXPECT_EQ(backend.object_count(Ns::kHook), c.stored_chunks);
+  EXPECT_EQ(backend.object_count(Ns::kManifest), c.files_with_data);
+  EXPECT_EQ(backend.object_count(Ns::kFileManifest), c.input_files);
+  EXPECT_EQ(backend.object_count(Ns::kDiskChunk), c.files_with_data);
+}
+
+TEST(CdcEngine, CorpusReconstructsAndDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const Corpus corpus(test_preset(7));
+  testutil::run_corpus(engine, corpus);
+  testutil::expect_reconstructs_corpus(engine, corpus);
+  // 4 snapshots of 4 machines with ~20% daily change must dedup well:
+  // stored data noticeably below half the input.
+  EXPECT_LT(backend.content_bytes(Ns::kDiskChunk), corpus.total_bytes() / 2);
+}
+
+TEST(CdcEngine, WorksWithoutBloomFilter) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  EngineConfig cfg = small_config();
+  cfg.use_bloom = false;
+  CdcEngine engine(store, cfg);
+  const ByteVec data = random_bytes(100000, 8);
+  const std::vector<NamedFile> files = {{"a", data}, {"b", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().dup_bytes, data.size());
+  // Without the bloom filter every unique chunk pays a failed disk query.
+  EXPECT_GT(store.stats().count(AccessKind::kSmallChunkQuery), 0u);
+}
+
+TEST(CdcEngine, BloomFilterSuppressesQueriesForNewData) {
+  MemoryBackend b1, b2;
+  ObjectStore s1(b1), s2(b2);
+  EngineConfig with = small_config();
+  EngineConfig without = small_config();
+  without.use_bloom = false;
+  CdcEngine e1(s1, with), e2(s2, without);
+  const std::vector<NamedFile> files = {{"a", random_bytes(200000, 9)}};
+  testutil::run_files(e1, files);
+  testutil::run_files(e2, files);
+  EXPECT_LT(s1.stats().count(AccessKind::kSmallChunkQuery),
+            s2.stats().count(AccessKind::kSmallChunkQuery) / 10);
+}
+
+TEST(CdcEngine, EmptyFileHandled) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"empty.img", {}}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().files_with_data, 0u);
+}
+
+TEST(CdcEngine, ReconstructUnknownFileFails) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  EXPECT_FALSE(engine.reconstruct("never-added").has_value());
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,70 @@
+// Shared helpers for deduplication-engine tests: drive an engine over a
+// corpus or hand-built files and check the byte-exact reconstruction
+// invariant.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mhd/dedup/engine.h"
+#include "mhd/util/random.h"
+#include "mhd/workload/corpus.h"
+
+namespace mhd::testutil {
+
+struct NamedFile {
+  std::string name;
+  ByteVec bytes;
+};
+
+inline ByteVec random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+/// Feeds every file to the engine (in order) and calls finish().
+inline void run_files(DedupEngine& engine, const std::vector<NamedFile>& files) {
+  for (const auto& f : files) {
+    MemorySource src(f.bytes);
+    engine.add_file(f.name, src);
+  }
+  engine.finish();
+}
+
+/// Runs a whole corpus through the engine.
+inline void run_corpus(DedupEngine& engine, const Corpus& corpus) {
+  for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    auto src = corpus.open(i);
+    engine.add_file(corpus.files()[i].name, *src);
+  }
+  engine.finish();
+}
+
+/// The core invariant: every input file restores byte-exactly.
+inline void expect_reconstructs(DedupEngine& engine,
+                                const std::vector<NamedFile>& files) {
+  for (const auto& f : files) {
+    const auto restored = engine.reconstruct(f.name);
+    ASSERT_TRUE(restored.has_value()) << f.name;
+    ASSERT_EQ(restored->size(), f.bytes.size()) << f.name;
+    EXPECT_TRUE(equal(*restored, f.bytes)) << f.name;
+  }
+}
+
+inline void expect_reconstructs_corpus(DedupEngine& engine,
+                                       const Corpus& corpus) {
+  for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    auto src = corpus.open(i);
+    const ByteVec original = read_all(*src);
+    const auto restored = engine.reconstruct(corpus.files()[i].name);
+    ASSERT_TRUE(restored.has_value()) << corpus.files()[i].name;
+    ASSERT_EQ(restored->size(), original.size()) << corpus.files()[i].name;
+    EXPECT_TRUE(equal(*restored, original)) << corpus.files()[i].name;
+  }
+}
+
+}  // namespace mhd::testutil

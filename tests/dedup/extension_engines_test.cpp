@@ -1,0 +1,142 @@
+// Tests for the related-work extension engines: FBC and Extreme Binning.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "mhd/dedup/extreme_binning_engine.h"
+#include "mhd/dedup/fbc_engine.h"
+#include "mhd/sim/runner.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+using testutil::NamedFile;
+using testutil::random_bytes;
+
+EngineConfig small_config() {
+  EngineConfig cfg;
+  cfg.ecs = 512;
+  cfg.sd = 8;
+  cfg.bloom_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(FbcEngine, ReconstructsSingleFile) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  FbcEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a.img", random_bytes(200000, 1)}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+}
+
+TEST(FbcEngine, IdenticalSecondFileDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  FbcEngine engine(store, small_config());
+  const ByteVec data = random_bytes(250000, 2);
+  const std::vector<NamedFile> files = {{"a", data}, {"b", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().dup_bytes, data.size());
+}
+
+TEST(FbcEngine, FrequencySketchTriggersReChunking) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  FbcEngine engine(store, small_config());
+  // b shares an interior piece of a (no transition-point help): the
+  // frequency sketch has seen a's small fingerprints once, so b's big
+  // chunks containing them are re-chunked and the overlap is recovered.
+  ByteVec a = random_bytes(200000, 3);
+  ByteVec b = random_bytes(60000, 4);
+  append(b, ByteSpan(a.data() + 40000, 80000));
+  append(b, random_bytes(60000, 5));
+  const std::vector<NamedFile> files = {{"a", a}, {"b", b}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_GT(engine.counters().dup_bytes, 50000u);
+  EXPECT_GT(engine.index_ram_bytes(), 0u);
+}
+
+TEST(FbcEngine, CorpusReconstructs) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  FbcEngine engine(store, small_config());
+  const Corpus corpus(test_preset(11));
+  testutil::run_corpus(engine, corpus);
+  testutil::expect_reconstructs_corpus(engine, corpus);
+}
+
+TEST(ExtremeBinning, ReconstructsSingleFile) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  ExtremeBinningEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a.img", random_bytes(200000, 6)}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+}
+
+TEST(ExtremeBinning, IdenticalFileFullyDeduplicatesViaBin) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  ExtremeBinningEngine engine(store, small_config());
+  const ByteVec data = random_bytes(250000, 7);
+  const std::vector<NamedFile> files = {{"a", data}, {"b", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().dup_bytes, data.size());
+  // Exactly one bin load (one disk access per similar file).
+  EXPECT_EQ(engine.manifest_loads(), 1u);
+}
+
+TEST(ExtremeBinning, SimilarFilesShareBin) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  ExtremeBinningEngine engine(store, small_config());
+  // b = a with a small patch: the representative (min hash) almost surely
+  // survives, so b lands in a's bin and deduplicates against it.
+  ByteVec a = random_bytes(300000, 8);
+  ByteVec b = a;
+  const ByteVec patch = random_bytes(3000, 9);
+  std::copy(patch.begin(), patch.end(), b.begin() + 150000);
+  const std::vector<NamedFile> files = {{"a", a}, {"b", b}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_GT(engine.counters().dup_bytes, 250000u);
+  EXPECT_GT(engine.index_ram_bytes(), 0u);
+}
+
+TEST(ExtremeBinning, DissimilarFilesGetSeparateBins) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  ExtremeBinningEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a", random_bytes(100000, 10)},
+                                        {"b", random_bytes(100000, 11)}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().dup_bytes, 0u);
+  EXPECT_EQ(backend.object_count(Ns::kManifest), 2u);
+}
+
+TEST(ExtremeBinning, CorpusReconstructs) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  ExtremeBinningEngine engine(store, small_config());
+  const Corpus corpus(test_preset(12));
+  testutil::run_corpus(engine, corpus);
+  testutil::expect_reconstructs_corpus(engine, corpus);
+}
+
+TEST(Runner, ExtensionEnginesAvailable) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  for (const auto& name : extension_engine_names()) {
+    auto engine = make_engine(name, store, small_config());
+    ASSERT_NE(engine, nullptr) << name;
+  }
+}
+
+}  // namespace
+}  // namespace mhd

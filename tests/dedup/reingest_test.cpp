@@ -1,0 +1,97 @@
+// Regression tests for repository-reuse semantics: re-opened engines must
+// keep detecting duplicates (bloom seeding from persisted hooks), and
+// re-ingesting an existing file name must never corrupt the immutable
+// DiskChunks that other manifests reference.
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "mhd/core/mhd_engine.h"
+#include "mhd/dedup/cdc_engine.h"
+#include "mhd/store/memory_backend.h"
+
+namespace mhd {
+namespace {
+
+using testutil::NamedFile;
+using testutil::random_bytes;
+
+EngineConfig small_config() {
+  EngineConfig cfg;
+  cfg.ecs = 512;
+  cfg.sd = 8;
+  cfg.bloom_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(Reingest, FreshEngineDetectsDuplicatesViaSeededBloom) {
+  MemoryBackend backend;
+  const ByteVec data = random_bytes(150000, 1);
+  {
+    ObjectStore store(backend);
+    MhdEngine engine(store, small_config());
+    MemorySource src(data);
+    engine.add_file("first", src);
+    engine.finish();
+  }
+  // New process, same repository: the bloom filter is rebuilt from hooks,
+  // so the duplicate is found instead of being silently re-stored.
+  ObjectStore store2(backend);
+  MhdEngine engine2(store2, small_config());
+  MemorySource src(data);
+  engine2.add_file("second", src);
+  engine2.finish();
+  EXPECT_EQ(engine2.counters().dup_bytes, data.size());
+  EXPECT_EQ(backend.content_bytes(Ns::kDiskChunk), data.size());
+}
+
+TEST(Reingest, SameNameNewContentKeepsOldChunksIntact) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  MhdEngine engine(store, small_config());
+
+  const ByteVec v1 = random_bytes(120000, 2);
+  const ByteVec v2 = random_bytes(120000, 3);  // unrelated content
+  {
+    MemorySource src(v1);
+    engine.add_file("vm.img", src);
+  }
+  // Another file dedups against v1 — its manifest references v1's chunk.
+  {
+    MemorySource src(v1);
+    engine.add_file("copy-of-v1.img", src);
+  }
+  // The original name is re-ingested with different content.
+  {
+    MemorySource src(v2);
+    engine.add_file("vm.img", src);
+  }
+  engine.finish();
+
+  // Latest version of vm.img restores to v2; the dedup reference to v1
+  // still restores intact (old DiskChunk untouched).
+  const auto vm = engine.reconstruct("vm.img");
+  ASSERT_TRUE(vm.has_value());
+  EXPECT_TRUE(equal(*vm, v2));
+  const auto copy = engine.reconstruct("copy-of-v1.img");
+  ASSERT_TRUE(copy.has_value());
+  EXPECT_TRUE(equal(*copy, v1));
+}
+
+TEST(Reingest, SameNameSameContentFullyDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  CdcEngine engine(store, small_config());
+  const ByteVec data = random_bytes(100000, 4);
+  for (int round = 0; round < 3; ++round) {
+    MemorySource src(data);
+    engine.add_file("daily.img", src);
+  }
+  engine.finish();
+  EXPECT_EQ(backend.content_bytes(Ns::kDiskChunk), data.size());
+  const auto restored = engine.reconstruct("daily.img");
+  ASSERT_TRUE(restored.has_value());
+  EXPECT_TRUE(equal(*restored, data));
+}
+
+}  // namespace
+}  // namespace mhd

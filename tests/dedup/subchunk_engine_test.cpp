@@ -1,0 +1,115 @@
+#include "mhd/dedup/subchunk_engine.h"
+
+#include <gtest/gtest.h>
+
+#include "engine_test_util.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+using testutil::NamedFile;
+using testutil::random_bytes;
+
+EngineConfig small_config() {
+  EngineConfig cfg;
+  cfg.ecs = 512;
+  cfg.sd = 8;
+  cfg.bloom_bytes = 64 * 1024;
+  return cfg;
+}
+
+TEST(SubChunkEngine, ReconstructsSingleFile) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a.img", random_bytes(200000, 1)}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+}
+
+TEST(SubChunkEngine, ContainerPerBigChunk) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"a.img", random_bytes(200000, 2)}};
+  testutil::run_files(engine, files);
+  // All data unique: one container DiskChunk per big chunk (== N/SD-ish,
+  // far more than the single per-file chunk of CDC/Bimodal/MHD).
+  EXPECT_GT(backend.object_count(Ns::kDiskChunk), 5u);
+  // One hook per file (the anchor).
+  EXPECT_EQ(backend.object_count(Ns::kHook), 1u);
+  EXPECT_EQ(backend.object_count(Ns::kManifest), 1u);
+}
+
+TEST(SubChunkEngine, IdenticalSecondFileFullyDeduplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  const ByteVec data = random_bytes(250000, 3);
+  const std::vector<NamedFile> files = {{"a", data}, {"b", data}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(engine.counters().dup_bytes, data.size());
+  EXPECT_EQ(backend.content_bytes(Ns::kDiskChunk), data.size());
+  // Duplicate big chunks were answered at big granularity without
+  // re-chunking: the second file added no containers.
+  const std::uint64_t containers = backend.object_count(Ns::kDiskChunk);
+  EXPECT_LE(containers, (data.size() / (512 * 8)) * 2 + 2);
+}
+
+TEST(SubChunkEngine, EditedCopyRecoversSmallDuplicates) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  ByteVec a = random_bytes(250000, 4);
+  ByteVec b = a;
+  const ByteVec patch = random_bytes(2000, 5);
+  std::copy(patch.begin(), patch.end(), b.begin() + 120000);
+  const std::vector<NamedFile> files = {{"a", a}, {"b", b}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  // Every non-dup big chunk is re-chunked, so SubChunk recovers the
+  // duplicate smalls inside the edited big chunk.
+  EXPECT_GT(engine.counters().dup_bytes, 220000u);
+}
+
+TEST(SubChunkEngine, CorpusReconstructs) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  const Corpus corpus(test_preset(6));
+  testutil::run_corpus(engine, corpus);
+  testutil::expect_reconstructs_corpus(engine, corpus);
+}
+
+TEST(SubChunkEngine, ManifestSurvivesCacheEviction) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  EngineConfig cfg = small_config();
+  cfg.manifest_cache_capacity = 1;  // force evictions between files
+  SubChunkEngine engine(store, cfg);
+  const ByteVec a = random_bytes(150000, 7);
+  const ByteVec c = random_bytes(150000, 8);
+  const std::vector<NamedFile> files = {
+      {"a", a}, {"b", c}, {"a2", a}};  // "a" manifest evicted before "a2"
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  // a2 still deduplicates against a via the on-disk hook + manifest reload.
+  EXPECT_GT(engine.counters().dup_bytes, a.size() * 9 / 10);
+  EXPECT_GE(engine.manifest_loads(), 1u);
+}
+
+TEST(SubChunkEngine, EmptyFileHandled) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  SubChunkEngine engine(store, small_config());
+  const std::vector<NamedFile> files = {{"empty", {}}};
+  testutil::run_files(engine, files);
+  testutil::expect_reconstructs(engine, files);
+  EXPECT_EQ(backend.object_count(Ns::kManifest), 0u);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,87 @@
+#include "mhd/format/file_manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+namespace {
+
+TEST(FileManifest, CoalescesContiguousRanges) {
+  FileManifest fm("pc1/day1.img");
+  const Digest c = Sha1::hash(as_bytes("chunk"));
+  fm.add_range(c, 0, 100, /*coalesce=*/true);
+  fm.add_range(c, 100, 50, true);
+  ASSERT_EQ(fm.entries().size(), 1u);
+  EXPECT_EQ(fm.entries()[0].length, 150u);
+  EXPECT_EQ(fm.total_length(), 150u);
+}
+
+TEST(FileManifest, NoCoalesceKeepsPerChunkEntries) {
+  FileManifest fm("f");
+  const Digest c = Sha1::hash(as_bytes("chunk"));
+  fm.add_range(c, 0, 100, /*coalesce=*/false);
+  fm.add_range(c, 100, 50, false);
+  EXPECT_EQ(fm.entries().size(), 2u);
+}
+
+TEST(FileManifest, NonContiguousNeverCoalesces) {
+  FileManifest fm("f");
+  const Digest c = Sha1::hash(as_bytes("chunk"));
+  fm.add_range(c, 0, 100, true);
+  fm.add_range(c, 500, 50, true);  // gap
+  EXPECT_EQ(fm.entries().size(), 2u);
+}
+
+TEST(FileManifest, DifferentChunksNeverCoalesce) {
+  FileManifest fm("f");
+  fm.add_range(Sha1::hash(as_bytes("a")), 0, 100, true);
+  fm.add_range(Sha1::hash(as_bytes("b")), 100, 100, true);
+  EXPECT_EQ(fm.entries().size(), 2u);
+}
+
+TEST(FileManifest, SplitsRangesBeyondU32) {
+  FileManifest fm("f");
+  const Digest c = Sha1::hash(as_bytes("huge"));
+  const std::uint64_t big = (1ULL << 32) + 1000;
+  fm.add_range(c, 0, big, false);
+  EXPECT_GE(fm.entries().size(), 2u);
+  EXPECT_EQ(fm.total_length(), big);
+}
+
+TEST(FileManifest, ByteSizeAccounting) {
+  FileManifest fm("f");
+  fm.add_range(Sha1::hash(as_bytes("a")), 0, 10, false);
+  fm.add_range(Sha1::hash(as_bytes("b")), 0, 10, false);
+  EXPECT_EQ(fm.byte_size(), 2 * FileManifestEntry::kBytes);
+}
+
+TEST(FileManifest, SerializeRoundTrip) {
+  FileManifest fm("machine7/day3.img");
+  fm.add_range(Sha1::hash(as_bytes("a")), 0, 100, true);
+  fm.add_range(Sha1::hash(as_bytes("b")), 40, 9999, true);
+  const auto back = FileManifest::deserialize(fm.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->file_name(), fm.file_name());
+  EXPECT_EQ(back->entries(), fm.entries());
+}
+
+TEST(FileManifest, DeserializeRejectsTruncated) {
+  FileManifest fm("name");
+  fm.add_range(Sha1::hash(as_bytes("a")), 0, 100, true);
+  const ByteVec wire = fm.serialize();
+  EXPECT_FALSE(FileManifest::deserialize({wire.data(), 3}).has_value());
+  EXPECT_FALSE(
+      FileManifest::deserialize({wire.data(), wire.size() - 5}).has_value());
+}
+
+TEST(FileManifest, EmptyRoundTrip) {
+  FileManifest fm("empty.img");
+  const auto back = FileManifest::deserialize(fm.serialize());
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->entries().empty());
+  EXPECT_EQ(back->total_length(), 0u);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,88 @@
+#include "mhd/format/manifest.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+namespace {
+
+Manifest sample_manifest() {
+  Manifest m(Sha1::hash(as_bytes("chunkfile")));
+  m.add({Sha1::hash(as_bytes("a")), 0, 512, 1, true});
+  m.add({Sha1::hash(as_bytes("b")), 512, 4096, 9, false});
+  m.add({Sha1::hash(as_bytes("c")), 4608, 128, 1, false});
+  return m;
+}
+
+TEST(Manifest, FindLocatesEntry) {
+  const Manifest m = sample_manifest();
+  const auto idx = m.find(Sha1::hash(as_bytes("b")));
+  ASSERT_TRUE(idx.has_value());
+  EXPECT_EQ(*idx, 1u);
+  EXPECT_FALSE(m.find(Sha1::hash(as_bytes("zz"))).has_value());
+}
+
+TEST(Manifest, ByteSizeAccounting) {
+  const Manifest m = sample_manifest();
+  EXPECT_EQ(m.byte_size(false), 3 * 36u);
+  EXPECT_EQ(m.byte_size(true), 3 * 37u);
+}
+
+TEST(Manifest, SerializeRoundTripWithHookFlags) {
+  const Manifest m = sample_manifest();
+  const ByteVec wire = m.serialize(true);
+  const auto back = Manifest::deserialize(wire);
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->chunk_name(), m.chunk_name());
+  EXPECT_EQ(back->entries(), m.entries());
+}
+
+TEST(Manifest, SerializeRoundTripWithoutHookFlags) {
+  Manifest m(Sha1::hash(as_bytes("x")));
+  m.add({Sha1::hash(as_bytes("e")), 0, 100, 1, false});
+  const auto back = Manifest::deserialize(m.serialize(false));
+  ASSERT_TRUE(back.has_value());
+  ASSERT_EQ(back->entries().size(), 1u);
+  EXPECT_EQ(back->entries()[0].hash, m.entries()[0].hash);
+  EXPECT_EQ(back->entries()[0].size, 100u);
+  // Hook flags default to false without the flag byte.
+  EXPECT_FALSE(back->entries()[0].is_hook);
+}
+
+TEST(Manifest, DeserializeRejectsTruncated) {
+  const ByteVec wire = sample_manifest().serialize(true);
+  for (std::size_t cut : {std::size_t{0}, std::size_t{10}, std::size_t{24},
+                          wire.size() - 1}) {
+    EXPECT_FALSE(Manifest::deserialize({wire.data(), cut}).has_value())
+        << "cut=" << cut;
+  }
+}
+
+TEST(Manifest, RegionsContiguous) {
+  EXPECT_TRUE(sample_manifest().regions_contiguous());
+  Manifest gap(Sha1::hash(as_bytes("g")));
+  gap.add({Sha1::hash(as_bytes("a")), 0, 100, 1, false});
+  gap.add({Sha1::hash(as_bytes("b")), 150, 100, 1, false});  // hole
+  EXPECT_FALSE(gap.regions_contiguous());
+}
+
+TEST(Manifest, DirtyFlag) {
+  Manifest m;
+  EXPECT_FALSE(m.dirty());
+  m.set_dirty();
+  EXPECT_TRUE(m.dirty());
+  m.set_dirty(false);
+  EXPECT_FALSE(m.dirty());
+}
+
+TEST(Manifest, EmptyManifestRoundTrip) {
+  Manifest m(Sha1::hash(as_bytes("empty")));
+  const auto back = Manifest::deserialize(m.serialize(true));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->entries().empty());
+  EXPECT_TRUE(back->regions_contiguous());
+}
+
+}  // namespace
+}  // namespace mhd

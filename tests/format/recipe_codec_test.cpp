@@ -1,0 +1,112 @@
+#include "mhd/format/recipe_codec.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/hash/sha1.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+TEST(Varint, RoundTripsBoundaryValues) {
+  for (std::uint64_t v :
+       {0ULL, 1ULL, 127ULL, 128ULL, 16383ULL, 16384ULL, ~0ULL}) {
+    ByteVec buf;
+    put_varint(buf, v);
+    std::size_t pos = 0;
+    const auto back = get_varint(buf, pos);
+    ASSERT_TRUE(back.has_value()) << v;
+    EXPECT_EQ(*back, v);
+    EXPECT_EQ(pos, buf.size());
+  }
+}
+
+TEST(Varint, RejectsTruncated) {
+  ByteVec buf;
+  put_varint(buf, 1ULL << 40);
+  buf.pop_back();
+  std::size_t pos = 0;
+  EXPECT_FALSE(get_varint(buf, pos).has_value());
+}
+
+TEST(ZigZag, RoundTripsSignedValues) {
+  for (std::int64_t v :
+       {std::int64_t{0}, std::int64_t{1}, std::int64_t{-1},
+        std::int64_t{1000}, std::int64_t{-1000}, std::int64_t{1} << 40,
+        -(std::int64_t{1} << 40)}) {
+    EXPECT_EQ(zigzag_decode(zigzag_encode(v)), v);
+  }
+  EXPECT_EQ(zigzag_encode(0), 0u);
+  EXPECT_EQ(zigzag_encode(-1), 1u);
+  EXPECT_EQ(zigzag_encode(1), 2u);
+}
+
+FileManifest sequential_recipe(int entries) {
+  FileManifest fm("vm/disk.img");
+  const Digest chunk = Sha1::hash(as_bytes("chunkfile"));
+  std::uint64_t off = 0;
+  Xoshiro256 rng(3);
+  for (int i = 0; i < entries; ++i) {
+    const std::uint32_t len = 512 + static_cast<std::uint32_t>(rng.below(4096));
+    fm.add_range(chunk, off, len, /*coalesce=*/false);
+    off += len;
+  }
+  return fm;
+}
+
+TEST(RecipeCodec, RoundTripSequential) {
+  const FileManifest fm = sequential_recipe(200);
+  const auto back = decompress_recipe(compress_recipe(fm));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->file_name(), fm.file_name());
+  EXPECT_EQ(back->entries(), fm.entries());
+}
+
+TEST(RecipeCodec, RoundTripMultiChunkRandomOffsets) {
+  FileManifest fm("x");
+  Xoshiro256 rng(5);
+  std::vector<Digest> chunks;
+  for (int i = 0; i < 5; ++i) {
+    chunks.push_back(Sha1::hash(as_bytes("c" + std::to_string(i))));
+  }
+  for (int i = 0; i < 300; ++i) {
+    fm.add_range(chunks[rng.below(5)], rng.below(1 << 30),
+                 1 + static_cast<std::uint32_t>(rng.below(100000)), false);
+  }
+  const auto back = decompress_recipe(compress_recipe(fm));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_EQ(back->entries(), fm.entries());
+}
+
+TEST(RecipeCodec, CompressesSequentialRecipesWell) {
+  const FileManifest fm = sequential_recipe(1000);
+  const ByteVec compressed = compress_recipe(fm);
+  // Plain serialization costs 32 B/entry; sequential recipes compress to a
+  // few bytes per entry (dict id + delta 0 + length).
+  EXPECT_LT(compressed.size(), fm.serialize().size() / 5);
+}
+
+TEST(RecipeCodec, EmptyRecipe) {
+  FileManifest fm("empty");
+  const auto back = decompress_recipe(compress_recipe(fm));
+  ASSERT_TRUE(back.has_value());
+  EXPECT_TRUE(back->entries().empty());
+  EXPECT_EQ(back->file_name(), "empty");
+}
+
+TEST(RecipeCodec, RejectsCorruptInput) {
+  const ByteVec compressed = compress_recipe(sequential_recipe(10));
+  EXPECT_FALSE(decompress_recipe({compressed.data(), 2}).has_value());
+  ByteVec corrupt = compressed;
+  corrupt.resize(corrupt.size() / 2);
+  // Either decodes to fewer entries or fails; must not crash. A decode
+  // that "succeeds" with garbage entries is impossible because the entry
+  // count is encoded up front.
+  const auto r = decompress_recipe(corrupt);
+  if (r.has_value()) {
+    EXPECT_LT(r->entries().size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace mhd

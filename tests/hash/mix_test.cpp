@@ -1,0 +1,34 @@
+#include "mhd/hash/mix.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(Fnv1a64, KnownVectors) {
+  // Standard FNV-1a 64 test values.
+  EXPECT_EQ(fnv1a64({}), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a64(as_bytes("a")), 0xAF63DC4C8601EC8CULL);
+  EXPECT_EQ(fnv1a64(as_bytes("foobar")), 0x85944171F73967E8ULL);
+}
+
+TEST(Mix64, OrderSensitive) {
+  EXPECT_NE(mix64(1, 2), mix64(2, 1));
+}
+
+TEST(Mix64, Deterministic) {
+  EXPECT_EQ(mix64(123, 456), mix64(123, 456));
+}
+
+TEST(Mix64, SpreadsLowBits) {
+  // Counter inputs should produce well-spread outputs.
+  std::uint64_t min_diff = ~0ULL;
+  for (std::uint64_t i = 0; i < 100; ++i) {
+    const std::uint64_t d = mix64(i, 7) ^ mix64(i + 1, 7);
+    min_diff = std::min(min_diff, d);
+  }
+  EXPECT_GT(min_diff, 0u);
+}
+
+}  // namespace
+}  // namespace mhd

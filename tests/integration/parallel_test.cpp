@@ -1,0 +1,80 @@
+#include "mhd/sim/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/metrics/analysis.h"
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+std::vector<RunSpec> sweep_specs() {
+  std::vector<RunSpec> specs;
+  for (const char* algo : {"bf-mhd", "cdc"}) {
+    for (std::uint32_t ecs : {512u, 1024u}) {
+      RunSpec s;
+      s.algorithm = algo;
+      s.engine.ecs = ecs;
+      s.engine.sd = 8;
+      s.engine.bloom_bytes = 64 * 1024;
+      specs.push_back(s);
+    }
+  }
+  return specs;
+}
+
+// Everything except measured CPU seconds must be identical.
+void expect_equivalent(const ExperimentResult& a, const ExperimentResult& b) {
+  EXPECT_EQ(a.algorithm, b.algorithm);
+  EXPECT_EQ(a.ecs, b.ecs);
+  EXPECT_EQ(a.input_bytes, b.input_bytes);
+  EXPECT_EQ(a.stored_data_bytes, b.stored_data_bytes);
+  EXPECT_EQ(a.metadata.total_bytes(), b.metadata.total_bytes());
+  EXPECT_EQ(a.counters.dup_bytes, b.counters.dup_bytes);
+  EXPECT_EQ(a.counters.dup_slices, b.counters.dup_slices);
+  EXPECT_EQ(a.counters.stored_chunks, b.counters.stored_chunks);
+  EXPECT_EQ(a.stats.total_accesses(), b.stats.total_accesses());
+}
+
+TEST(ParallelRunner, MatchesSerialResults) {
+  const Corpus corpus(test_preset(55));
+  const auto specs = sweep_specs();
+
+  std::vector<ExperimentResult> serial;
+  for (const auto& s : specs) serial.push_back(run_experiment(s, corpus));
+
+  const auto parallel = run_experiments(specs, corpus, 4);
+  ASSERT_EQ(parallel.size(), serial.size());
+  for (std::size_t i = 0; i < serial.size(); ++i) {
+    expect_equivalent(parallel[i], serial[i]);
+  }
+}
+
+TEST(ParallelRunner, SingleThreadPath) {
+  const Corpus corpus(test_preset(56));
+  const auto results = run_experiments(sweep_specs(), corpus, 1);
+  ASSERT_EQ(results.size(), 4u);
+  for (const auto& r : results) EXPECT_GT(r.input_bytes, 0u);
+}
+
+TEST(ParallelRunner, EmptySpecList) {
+  const Corpus corpus(test_preset(57));
+  EXPECT_TRUE(run_experiments({}, corpus).empty());
+}
+
+TEST(ParallelRunner, PropagatesFirstError) {
+  const Corpus corpus(test_preset(58));
+  auto specs = sweep_specs();
+  specs[1].algorithm = "no-such-engine";
+  EXPECT_THROW(run_experiments(specs, corpus, 2), std::invalid_argument);
+}
+
+TEST(MaxBlockPerHash, SectionIvFormulas) {
+  EXPECT_EQ(max_block_per_hash_mhd(4096, 1000), 4096u * 999);
+  EXPECT_EQ(max_block_per_hash_subchunk(4096, 1000), 4096u * 1000);
+  EXPECT_EQ(max_block_per_hash_bimodal(4096, 1000), 4096u * 1000);
+  EXPECT_EQ(max_block_per_hash_cdc(4096), 4096u);
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,111 @@
+#include "mhd/metrics/analysis.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+AnalysisInputs sample() {
+  AnalysisInputs in;
+  in.F = 100;
+  in.N = 1000000;
+  in.D = 3000000;
+  in.L = 500;
+  in.SD = 1000;
+  return in;
+}
+
+TEST(Table1, CdcMatchesPaperFormulas) {
+  const auto in = sample();
+  const auto m = table1_cdc(in);
+  EXPECT_EQ(m.inodes_diskchunks, in.F);
+  EXPECT_EQ(m.inodes_hooks, in.N);
+  EXPECT_EQ(m.inodes_manifests, in.F);
+  EXPECT_EQ(m.manifest_bytes, 36 * in.N);
+  EXPECT_EQ(m.summary_printed, 512 * in.F + 312 * in.N);
+  // For CDC the printed summary equals the component sum.
+  EXPECT_EQ(m.summary_components(), m.summary_printed);
+}
+
+TEST(Table1, BimodalPrintedSummaryMatchesComponents) {
+  const auto in = sample();
+  const auto m = table1_bimodal(in);
+  EXPECT_EQ(m.inodes_hooks, in.N / in.SD + 2 * in.L * (in.SD - 1));
+  EXPECT_EQ(m.summary_components(), m.summary_printed);
+}
+
+TEST(Table1, MhdPrintedSummaryDivergesFromComponentsAsInPaper) {
+  // The paper's MHD summary row (512F + 424N/SD) omits the 148L HHR bytes
+  // and differs from its own component rows; we preserve both.
+  const auto in = sample();
+  const auto m = table1_mhd(in);
+  EXPECT_EQ(m.manifest_bytes, 74 * in.N / in.SD + 148 * in.L);
+  EXPECT_EQ(m.summary_printed, 512 * in.F + 424 * in.N / in.SD);
+  EXPECT_EQ(m.summary_components(),
+            512 * in.F + 350 * in.N / in.SD + 148 * in.L);
+}
+
+TEST(Table1, MhdRequiresFarLessThanCdc) {
+  const auto in = sample();
+  EXPECT_LT(table1_mhd(in).summary_components(),
+            table1_cdc(in).summary_components() / 100);
+}
+
+TEST(Table1, OrderingAtPaperScale) {
+  // With SD high, MHD < Bimodal and MHD < SubChunk and MHD < CDC.
+  const auto in = sample();
+  const auto mhd = table1_mhd(in).summary_components();
+  EXPECT_LT(mhd, table1_bimodal(in).summary_components());
+  EXPECT_LT(mhd, table1_subchunk(in).summary_components());
+  EXPECT_LT(mhd, table1_cdc(in).summary_components());
+}
+
+TEST(Table2, CdcRows) {
+  const auto in = sample();
+  const auto m = table2_cdc(in);
+  EXPECT_EQ(m.hook_out, in.N);
+  EXPECT_EQ(m.small_chunk_query, in.N + in.L);
+  EXPECT_EQ(m.summary_without_bloom, 2 * in.F + 3 * in.L + 2 * in.N);
+  EXPECT_EQ(m.summary_with_bloom, 2 * in.F + 3 * in.L + in.N);
+}
+
+TEST(Table2, MhdHasNoBigChunkQueries) {
+  const auto m = table2_mhd(sample());
+  EXPECT_EQ(m.big_chunk_query, 0u);
+  EXPECT_EQ(m.chunk_in, 2 * sample().L);  // HHR byte reloads
+}
+
+TEST(Table2, MhdBeatsOthersWhenSlicesAreConcentrated) {
+  // The paper's condition: when 3L < D/SD, MHD has the fewest accesses.
+  auto in = sample();
+  ASSERT_LT(3 * in.L, in.D / in.SD);
+  const auto mhd = table2_mhd(in).summary_with_bloom;
+  EXPECT_LT(mhd, table2_cdc(in).summary_with_bloom);
+  EXPECT_LT(mhd, table2_subchunk(in).summary_with_bloom);
+  EXPECT_LT(mhd, table2_bimodal(in).summary_with_bloom);
+}
+
+TEST(Table2, MhdWinsConditionHelper) {
+  auto in = sample();
+  EXPECT_TRUE(mhd_wins_disk_accesses(in));  // 1500 < 3000
+  in.L = 5000;
+  EXPECT_FALSE(mhd_wins_disk_accesses(in));
+}
+
+TEST(Table2, BimodalQueryCostScalesWithSd) {
+  auto in = sample();
+  const auto low = table2_bimodal(in).summary_with_bloom;
+  in.SD = 2000;
+  const auto high = table2_bimodal(in).summary_with_bloom;
+  EXPECT_GT(high, low);  // (2SD+1)L grows with SD
+}
+
+TEST(Table2, SubChunkPaysBigChunkQueries) {
+  const auto in = sample();
+  const auto m = table2_subchunk(in);
+  EXPECT_EQ(m.big_chunk_query, (in.N + in.D) / in.SD);
+  EXPECT_EQ(m.chunk_out, in.N / in.SD);  // one container per big chunk
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,55 @@
+#include "mhd/metrics/json_export.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(JsonEscape, HandlesSpecials) {
+  EXPECT_EQ(json_escape("plain"), "plain");
+  EXPECT_EQ(json_escape("a\"b"), "a\\\"b");
+  EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
+  EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+ExperimentResult sample() {
+  ExperimentResult r;
+  r.algorithm = "BF-MHD";
+  r.ecs = 1024;
+  r.sd = 32;
+  r.input_bytes = 1000000;
+  r.stored_data_bytes = 250000;
+  r.counters.dup_bytes = 750000;
+  r.counters.dup_slices = 10;
+  r.dedup_seconds = 2.0;
+  r.copy_seconds = 1.0;
+  return r;
+}
+
+TEST(JsonExport, ContainsAllHeadlineFields) {
+  const std::string j = to_json(sample());
+  EXPECT_NE(j.find("\"algorithm\":\"BF-MHD\""), std::string::npos);
+  EXPECT_NE(j.find("\"ecs\":1024"), std::string::npos);
+  EXPECT_NE(j.find("\"data_only_der\":4"), std::string::npos);
+  EXPECT_NE(j.find("\"throughput_ratio\":0.5"), std::string::npos);
+  EXPECT_NE(j.find("\"dad_bytes\":75000"), std::string::npos);
+  EXPECT_EQ(j.front(), '{');
+  EXPECT_EQ(j.back(), '}');
+}
+
+TEST(JsonExport, ArrayFormat) {
+  const std::string j = to_json(std::vector<ExperimentResult>{sample(), sample()});
+  EXPECT_EQ(j.front(), '[');
+  EXPECT_EQ(j.back(), '\n');
+  EXPECT_EQ(std::count(j.begin(), j.end(), '{'), 2);
+  // One comma between the two objects.
+  EXPECT_NE(j.find("},\n"), std::string::npos);
+}
+
+TEST(JsonExport, EmptyArray) {
+  EXPECT_EQ(to_json(std::vector<ExperimentResult>{}), "[\n]\n");
+}
+
+}  // namespace
+}  // namespace mhd

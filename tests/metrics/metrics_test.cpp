@@ -1,0 +1,87 @@
+#include "mhd/metrics/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "../dedup/engine_test_util.h"
+#include "mhd/dedup/cdc_engine.h"
+#include "mhd/store/memory_backend.h"
+
+namespace mhd {
+namespace {
+
+using testutil::NamedFile;
+using testutil::random_bytes;
+
+TEST(MetadataBreakdown, PullsFromBackend) {
+  MemoryBackend b;
+  b.put(Ns::kDiskChunk, "c", ByteVec(1000, 1));
+  b.put(Ns::kHook, "h", ByteVec(20, 2));
+  b.put(Ns::kManifest, "m", ByteVec(74, 3));
+  b.put(Ns::kFileManifest, "f", ByteVec(32, 4));
+  const auto m = MetadataBreakdown::from(b);
+  EXPECT_EQ(m.inodes_diskchunks, 1u);
+  EXPECT_EQ(m.inodes_hooks, 1u);
+  EXPECT_EQ(m.total_inodes(), 4u);
+  EXPECT_EQ(m.hook_bytes, 20u);
+  EXPECT_EQ(m.manifest_bytes, 74u);
+  EXPECT_EQ(m.filemanifest_bytes, 32u);
+  EXPECT_EQ(m.inode_bytes(), 4 * 256u);
+  EXPECT_EQ(m.total_bytes(), 4 * 256u + 20 + 74 + 32);
+  EXPECT_EQ(m.hook_manifest_bytes(), 94u);
+}
+
+TEST(ExperimentResult, DerivedMetrics) {
+  ExperimentResult r;
+  r.input_bytes = 100 << 20;
+  r.stored_data_bytes = 25 << 20;
+  r.metadata.hook_bytes = 1 << 20;
+  r.counters.dup_bytes = 75 << 20;
+  r.counters.dup_slices = 750;
+  r.dedup_seconds = 10;
+  r.copy_seconds = 4;
+
+  EXPECT_DOUBLE_EQ(r.data_only_der(), 4.0);
+  EXPECT_LT(r.real_der(), 4.0);  // metadata reduces the real DER
+  EXPECT_GT(r.real_der(), 3.8);
+  EXPECT_NEAR(r.metadata_ratio(), 0.01, 1e-6);
+  EXPECT_DOUBLE_EQ(r.throughput_ratio(), 0.4);
+  EXPECT_NEAR(r.dad_bytes(), (75 << 20) / 750.0, 1e-6);
+}
+
+TEST(ExperimentResult, ZeroSafe) {
+  ExperimentResult r;
+  EXPECT_EQ(r.data_only_der(), 0.0);
+  EXPECT_EQ(r.real_der(), 0.0);
+  EXPECT_EQ(r.metadata_ratio(), 0.0);
+  EXPECT_EQ(r.throughput_ratio(), 0.0);
+  EXPECT_EQ(r.dad_bytes(), 0.0);
+}
+
+TEST(Summarize, FillsFromEngineRun) {
+  MemoryBackend backend;
+  ObjectStore store(backend);
+  EngineConfig cfg;
+  cfg.ecs = 512;
+  cfg.sd = 8;
+  cfg.bloom_bytes = 64 * 1024;
+  CdcEngine engine(store, cfg);
+  const ByteVec data = random_bytes(100000, 1);
+  const std::vector<NamedFile> files = {{"a", data}, {"b", data}};
+  testutil::run_files(engine, files);
+
+  const DiskModel disk;
+  const auto r = summarize("CDC", engine, backend, disk);
+  EXPECT_EQ(r.algorithm, "CDC");
+  EXPECT_EQ(r.ecs, 512u);
+  EXPECT_EQ(r.input_bytes, 2 * data.size());
+  EXPECT_EQ(r.stored_data_bytes, backend.content_bytes(Ns::kDiskChunk));
+  EXPECT_NEAR(r.data_only_der(), 2.0, 0.01);
+  EXPECT_GT(r.metadata_ratio(), 0.0);
+  EXPECT_GT(r.dedup_seconds, 0.0);
+  EXPECT_GT(r.copy_seconds, 0.0);
+  // Dedup pays per-access seeks, so it is slower than a plain copy here.
+  EXPECT_LT(r.throughput_ratio(), 1.0);
+}
+
+}  // namespace
+}  // namespace mhd

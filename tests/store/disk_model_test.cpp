@@ -1,0 +1,45 @@
+#include "mhd/store/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(DiskModel, SeeksDominateSmallTransfers) {
+  DiskModel model;
+  StorageStats s;
+  s.record(AccessKind::kHookIn, 1000);
+  s.bytes_read = 1000 * 20;  // tiny hook files
+  const double t = model.io_seconds(s);
+  EXPECT_NEAR(t, 1000 * model.seek_seconds, 0.01);
+}
+
+TEST(DiskModel, BandwidthTermScalesWithBytes) {
+  DiskModel model;
+  StorageStats a, b;
+  a.record(AccessKind::kChunkOut, 1);
+  a.bytes_written = 100 * 1000 * 1000;
+  b.record(AccessKind::kChunkOut, 1);
+  b.bytes_written = 200 * 1000 * 1000;
+  EXPECT_GT(model.io_seconds(b), model.io_seconds(a) * 1.8);
+}
+
+TEST(DiskModel, CopyTimeMatchesManualFormula) {
+  DiskModel model;
+  const std::uint64_t bytes = 50 * 1000 * 1000;
+  const double expected = 2 * model.seek_seconds +
+                          bytes / model.read_bw + bytes / model.write_bw;
+  EXPECT_DOUBLE_EQ(model.copy_seconds(bytes), expected);
+}
+
+TEST(DiskModel, MoreAccessesNeverFaster) {
+  DiskModel model;
+  StorageStats few, many;
+  few.record(AccessKind::kManifestIn, 10);
+  many.record(AccessKind::kManifestIn, 10);
+  many.record(AccessKind::kSmallChunkQuery, 100);
+  EXPECT_GT(model.io_seconds(many), model.io_seconds(few));
+}
+
+}  // namespace
+}  // namespace mhd

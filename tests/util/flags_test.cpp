@@ -1,0 +1,58 @@
+#include "mhd/util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+Flags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return Flags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, ParsesKeyValue) {
+  const auto f = make_flags({"--size_mb=64", "--name=mhd"});
+  EXPECT_EQ(f.get_int("size_mb", 0), 64);
+  EXPECT_EQ(f.get("name", ""), "mhd");
+}
+
+TEST(Flags, DefaultsWhenAbsent) {
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get_int("missing", 7), 7);
+  EXPECT_EQ(f.get("missing", "d"), "d");
+  EXPECT_TRUE(f.get_bool("missing", true));
+}
+
+TEST(Flags, BareFlagIsTrue) {
+  const auto f = make_flags({"--verbose"});
+  EXPECT_TRUE(f.get_bool("verbose", false));
+}
+
+TEST(Flags, ParsesDoubles) {
+  const auto f = make_flags({"--rate=0.25"});
+  EXPECT_DOUBLE_EQ(f.get_double("rate", 0), 0.25);
+}
+
+TEST(Flags, ParsesIntList) {
+  const auto f = make_flags({"--ecs=512,1024,2048"});
+  EXPECT_EQ(f.get_int_list("ecs", {}),
+            (std::vector<std::int64_t>{512, 1024, 2048}));
+}
+
+TEST(Flags, IntListDefault) {
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get_int_list("ecs", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Flags, CollectsPositional) {
+  const auto f = make_flags({"input.img", "--x=1", "out.img"});
+  EXPECT_EQ(f.positional(),
+            (std::vector<std::string>{"input.img", "out.img"}));
+}
+
+}  // namespace
+}  // namespace mhd

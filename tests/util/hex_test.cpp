@@ -1,0 +1,39 @@
+#include "mhd/util/hex.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(Hex, EncodesKnownBytes) {
+  const ByteVec data = {0x00, 0x01, 0x0F, 0x10, 0xAB, 0xFF};
+  EXPECT_EQ(hex_encode(data), "00010f10abff");
+}
+
+TEST(Hex, EncodesEmpty) { EXPECT_EQ(hex_encode({}), ""); }
+
+TEST(Hex, DecodeInvertsEncode) {
+  ByteVec data;
+  for (int i = 0; i < 256; ++i) data.push_back(static_cast<Byte>(i));
+  const auto decoded = hex_decode(hex_encode(data));
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, data);
+}
+
+TEST(Hex, DecodeAcceptsUppercase) {
+  const auto decoded = hex_decode("ABFF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, (ByteVec{0xAB, 0xFF}));
+}
+
+TEST(Hex, DecodeRejectsOddLength) {
+  EXPECT_FALSE(hex_decode("abc").has_value());
+}
+
+TEST(Hex, DecodeRejectsNonHexDigit) {
+  EXPECT_FALSE(hex_decode("zz").has_value());
+  EXPECT_FALSE(hex_decode("0g").has_value());
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,44 @@
+#include "mhd/util/table.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Algorithm", "DER"});
+  t.add_row({"BF-MHD", "4.01"});
+  t.add_row({"Bimodal", "3.70"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("Algorithm"), std::string::npos);
+  EXPECT_NE(s.find("BF-MHD"), std::string::npos);
+  EXPECT_NE(s.find("3.70"), std::string::npos);
+}
+
+TEST(TextTable, AlignsColumns) {
+  TextTable t({"A", "LongHeader"});
+  t.add_row({"x", "1"});
+  const std::string s = t.to_string();
+  // The numeric column is right-aligned to the header width.
+  EXPECT_NE(s.find("         1"), std::string::npos);
+}
+
+TEST(TextTable, CsvOutput) {
+  TextTable t({"a", "b"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.to_csv(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, NumFormatting) {
+  EXPECT_EQ(TextTable::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::num(std::uint64_t{42}), "42");
+}
+
+TEST(TextTable, ToleratesShortRows) {
+  TextTable t({"a", "b", "c"});
+  t.add_row({"only"});
+  EXPECT_NO_THROW({ const auto s = t.to_string(); (void)s; });
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,66 @@
+#include "mhd/workload/block_source.h"
+
+#include <gtest/gtest.h>
+
+namespace mhd {
+namespace {
+
+TEST(BlockSource, Deterministic) {
+  BlockSource a(42), b(42);
+  ByteVec x(1000), y(1000);
+  a.fill(7, 0, x);
+  b.fill(7, 0, y);
+  EXPECT_EQ(x, y);
+}
+
+TEST(BlockSource, DifferentIdsDiffer) {
+  BlockSource s(1);
+  ByteVec x(256), y(256);
+  s.fill(1, 0, x);
+  s.fill(2, 0, y);
+  EXPECT_NE(x, y);
+}
+
+TEST(BlockSource, DifferentSeedsDiffer) {
+  BlockSource a(1), b(2);
+  ByteVec x(256), y(256);
+  a.fill(7, 0, x);
+  b.fill(7, 0, y);
+  EXPECT_NE(x, y);
+}
+
+TEST(BlockSource, WindowedReadsAgreeWithWholeRead) {
+  BlockSource s(9);
+  ByteVec whole(4096);
+  s.fill(3, 0, whole);
+  // Read the same content in odd-sized, odd-offset windows.
+  std::uint64_t off = 0;
+  std::size_t sizes[] = {1, 7, 8, 13, 64, 100, 1000};
+  std::size_t si = 0;
+  while (off < whole.size()) {
+    const std::size_t n =
+        std::min<std::size_t>(sizes[si++ % 7], whole.size() - off);
+    ByteVec window(n);
+    s.fill(3, off, window);
+    EXPECT_TRUE(equal(window, ByteSpan(whole.data() + off, n)))
+        << "offset " << off;
+    off += n;
+  }
+}
+
+TEST(BlockSource, ContentLooksIncompressible) {
+  BlockSource s(5);
+  ByteVec data(1 << 16);
+  s.fill(1, 0, data);
+  // Byte histogram should be roughly flat.
+  std::array<int, 256> histogram{};
+  for (Byte b : data) ++histogram[b];
+  const double expected = data.size() / 256.0;
+  for (int count : histogram) {
+    EXPECT_GT(count, expected * 0.5);
+    EXPECT_LT(count, expected * 1.5);
+  }
+}
+
+}  // namespace
+}  // namespace mhd

@@ -1,0 +1,117 @@
+#include "mhd/workload/corpus.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+TEST(ImageSource, StreamsPlanBytes) {
+  BlockSource blocks(1);
+  ImagePlan plan;
+  plan.add({10, 0, 1000});
+  plan.add({11, 500, 300});
+  ImageSource src(plan, blocks);
+  const ByteVec all = read_all(src);
+  ASSERT_EQ(all.size(), 1300u);
+
+  ByteVec expect_a(1000), expect_b(300);
+  blocks.fill(10, 0, expect_a);
+  blocks.fill(11, 500, expect_b);
+  EXPECT_TRUE(equal({all.data(), 1000}, expect_a));
+  EXPECT_TRUE(equal({all.data() + 1000, 300}, expect_b));
+}
+
+TEST(Corpus, FileCountAndOrder) {
+  const Corpus corpus(test_preset());
+  const auto& cfg = corpus.config();
+  ASSERT_EQ(corpus.files().size(),
+            static_cast<std::size_t>(cfg.machines) * cfg.snapshots);
+  // Snapshot-major order.
+  EXPECT_EQ(corpus.files()[0].name, "day01/pc01.img");
+  EXPECT_EQ(corpus.files()[1].name, "day01/pc02.img");
+  EXPECT_EQ(corpus.files()[cfg.machines].name, "day02/pc01.img");
+}
+
+TEST(Corpus, Deterministic) {
+  const Corpus a(test_preset(7)), b(test_preset(7));
+  ASSERT_EQ(a.files().size(), b.files().size());
+  for (std::size_t i = 0; i < a.files().size(); ++i) {
+    EXPECT_EQ(a.plan(i).extents(), b.plan(i).extents());
+  }
+  auto sa = a.open(0);
+  auto sb = b.open(0);
+  EXPECT_EQ(read_all(*sa), read_all(*sb));
+}
+
+TEST(Corpus, SeedChangesContent) {
+  const Corpus a(test_preset(1)), b(test_preset(2));
+  auto sa = a.open(0);
+  auto sb = b.open(0);
+  EXPECT_NE(read_all(*sa), read_all(*sb));
+}
+
+TEST(Corpus, TotalBytesMatchesFiles) {
+  const Corpus corpus(test_preset());
+  std::uint64_t sum = 0;
+  for (const auto& f : corpus.files()) sum += f.bytes;
+  EXPECT_EQ(sum, corpus.total_bytes());
+  // Images stay near the configured size (insertions/deletions drift a bit).
+  for (const auto& f : corpus.files()) {
+    EXPECT_GT(f.bytes, corpus.config().image_bytes * 8 / 10);
+    EXPECT_LT(f.bytes, corpus.config().image_bytes * 12 / 10);
+  }
+}
+
+TEST(Corpus, SameOsMachinesShareBase) {
+  CorpusConfig cfg = test_preset();
+  cfg.machines = 4;
+  cfg.os_count = 2;  // machines 0,2 share OS 0; 1,3 share OS 1
+  const Corpus corpus(cfg);
+  const auto& m0 = corpus.plan(0).extents();
+  const auto& m2 = corpus.plan(2).extents();
+  const auto& m1 = corpus.plan(1).extents();
+  // Day-1 leading extents (OS base) identical for same-OS machines.
+  EXPECT_EQ(m0[0], m2[0]);
+  EXPECT_NE(m0[0], m1[0]);
+}
+
+TEST(Corpus, SnapshotsMostlyShareExtents) {
+  const Corpus corpus(test_preset());
+  const auto& cfg = corpus.config();
+  // Compare machine 0 day 1 vs day 2 extent lists.
+  const auto& day1 = corpus.plan(0).extents();
+  const auto& day2 = corpus.plan(cfg.machines).extents();
+  std::map<std::uint64_t, int> ids;
+  for (const auto& e : day1) ids[e.content_id]++;
+  std::size_t shared = 0;
+  for (const auto& e : day2) {
+    auto it = ids.find(e.content_id);
+    if (it != ids.end() && it->second > 0) {
+      --it->second;
+      ++shared;
+    }
+  }
+  const double share = static_cast<double>(shared) / day2.size();
+  EXPECT_GT(share, 0.4);   // the bulk of the image persists day-over-day
+  EXPECT_LE(share, 1.0);   // (a quiet day may leave an image untouched)
+}
+
+TEST(Corpus, RejectsZeroConfig) {
+  CorpusConfig cfg = test_preset();
+  cfg.machines = 0;
+  EXPECT_THROW(Corpus{cfg}, std::invalid_argument);
+}
+
+TEST(Presets, Icpp13ScalesImageSize) {
+  const auto cfg = icpp13_preset(196);
+  EXPECT_EQ(cfg.machines, 14u);
+  EXPECT_EQ(cfg.snapshots, 14u);
+  EXPECT_EQ(cfg.image_bytes, 1u << 20);
+}
+
+}  // namespace
+}  // namespace mhd
