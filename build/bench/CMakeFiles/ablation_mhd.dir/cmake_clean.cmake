@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_mhd.dir/ablation_mhd.cpp.o"
+  "CMakeFiles/ablation_mhd.dir/ablation_mhd.cpp.o.d"
+  "ablation_mhd"
+  "ablation_mhd.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_mhd.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunk_distribution.dir/chunk_distribution.cpp.o"
+  "CMakeFiles/chunk_distribution.dir/chunk_distribution.cpp.o.d"
+  "chunk_distribution"
+  "chunk_distribution.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunk_distribution.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/chunking_motivation.dir/chunking_motivation.cpp.o"
+  "CMakeFiles/chunking_motivation.dir/chunking_motivation.cpp.o.d"
+  "chunking_motivation"
+  "chunking_motivation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/chunking_motivation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

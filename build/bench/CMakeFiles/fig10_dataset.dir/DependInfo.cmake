@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig10_dataset.cpp" "bench/CMakeFiles/fig10_dataset.dir/fig10_dataset.cpp.o" "gcc" "bench/CMakeFiles/fig10_dataset.dir/fig10_dataset.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_dedup.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

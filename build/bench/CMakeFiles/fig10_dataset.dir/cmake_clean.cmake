@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_dataset.dir/fig10_dataset.cpp.o"
+  "CMakeFiles/fig10_dataset.dir/fig10_dataset.cpp.o.d"
+  "fig10_dataset"
+  "fig10_dataset.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_dataset.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

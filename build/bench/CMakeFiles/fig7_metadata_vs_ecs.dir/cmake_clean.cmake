@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7_metadata_vs_ecs.dir/fig7_metadata_vs_ecs.cpp.o"
+  "CMakeFiles/fig7_metadata_vs_ecs.dir/fig7_metadata_vs_ecs.cpp.o.d"
+  "fig7_metadata_vs_ecs"
+  "fig7_metadata_vs_ecs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7_metadata_vs_ecs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fig7_metadata_vs_ecs.
+# This may be replaced when dependencies are built.

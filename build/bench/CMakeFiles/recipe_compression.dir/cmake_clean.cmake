@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/recipe_compression.dir/recipe_compression.cpp.o"
+  "CMakeFiles/recipe_compression.dir/recipe_compression.cpp.o.d"
+  "recipe_compression"
+  "recipe_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/recipe_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/restore_locality.dir/restore_locality.cpp.o"
+  "CMakeFiles/restore_locality.dir/restore_locality.cpp.o.d"
+  "restore_locality"
+  "restore_locality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/restore_locality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_disk_accesses.dir/table2_disk_accesses.cpp.o"
+  "CMakeFiles/table2_disk_accesses.dir/table2_disk_accesses.cpp.o.d"
+  "table2_disk_accesses"
+  "table2_disk_accesses.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_disk_accesses.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

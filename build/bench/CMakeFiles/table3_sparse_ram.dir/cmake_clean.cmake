@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_sparse_ram.dir/table3_sparse_ram.cpp.o"
+  "CMakeFiles/table3_sparse_ram.dir/table3_sparse_ram.cpp.o.d"
+  "table3_sparse_ram"
+  "table3_sparse_ram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_sparse_ram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for table3_sparse_ram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for table3_sparse_ram.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table4_mhd_metadata.dir/table4_mhd_metadata.cpp.o"
+  "CMakeFiles/table4_mhd_metadata.dir/table4_mhd_metadata.cpp.o.d"
+  "table4_mhd_metadata"
+  "table4_mhd_metadata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table4_mhd_metadata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table5_manifest_loads.dir/table5_manifest_loads.cpp.o"
+  "CMakeFiles/table5_manifest_loads.dir/table5_manifest_loads.cpp.o.d"
+  "table5_manifest_loads"
+  "table5_manifest_loads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table5_manifest_loads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

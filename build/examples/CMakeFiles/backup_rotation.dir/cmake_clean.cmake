@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/backup_rotation.dir/backup_rotation.cpp.o"
+  "CMakeFiles/backup_rotation.dir/backup_rotation.cpp.o.d"
+  "backup_rotation"
+  "backup_rotation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/backup_rotation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

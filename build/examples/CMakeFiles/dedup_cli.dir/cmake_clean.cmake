@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dedup_cli.dir/dedup_cli.cpp.o"
+  "CMakeFiles/dedup_cli.dir/dedup_cli.cpp.o.d"
+  "dedup_cli"
+  "dedup_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dedup_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

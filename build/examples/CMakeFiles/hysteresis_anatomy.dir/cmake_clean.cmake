@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hysteresis_anatomy.dir/hysteresis_anatomy.cpp.o"
+  "CMakeFiles/hysteresis_anatomy.dir/hysteresis_anatomy.cpp.o.d"
+  "hysteresis_anatomy"
+  "hysteresis_anatomy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hysteresis_anatomy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

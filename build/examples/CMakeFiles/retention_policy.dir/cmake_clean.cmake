@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/retention_policy.dir/retention_policy.cpp.o"
+  "CMakeFiles/retention_policy.dir/retention_policy.cpp.o.d"
+  "retention_policy"
+  "retention_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/retention_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/chunk/byte_source.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/byte_source.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/byte_source.cpp.o.d"
+  "/root/repo/src/mhd/chunk/chunk_stream.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/chunk_stream.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/chunk_stream.cpp.o.d"
+  "/root/repo/src/mhd/chunk/fixed_chunker.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/fixed_chunker.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/fixed_chunker.cpp.o.d"
+  "/root/repo/src/mhd/chunk/gear_chunker.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/gear_chunker.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/gear_chunker.cpp.o.d"
+  "/root/repo/src/mhd/chunk/make_chunker.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/make_chunker.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/make_chunker.cpp.o.d"
+  "/root/repo/src/mhd/chunk/rabin_chunker.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/rabin_chunker.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/rabin_chunker.cpp.o.d"
+  "/root/repo/src/mhd/chunk/tttd_chunker.cpp" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/tttd_chunker.cpp.o" "gcc" "src/CMakeFiles/mhd_chunk.dir/mhd/chunk/tttd_chunker.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

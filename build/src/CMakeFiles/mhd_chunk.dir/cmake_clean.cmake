@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/byte_source.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/byte_source.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/chunk_stream.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/chunk_stream.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/fixed_chunker.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/fixed_chunker.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/gear_chunker.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/gear_chunker.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/make_chunker.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/make_chunker.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/rabin_chunker.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/rabin_chunker.cpp.o.d"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/tttd_chunker.cpp.o"
+  "CMakeFiles/mhd_chunk.dir/mhd/chunk/tttd_chunker.cpp.o.d"
+  "libmhd_chunk.a"
+  "libmhd_chunk.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

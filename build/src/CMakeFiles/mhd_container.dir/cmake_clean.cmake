@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_container.dir/mhd/container/bloom_filter.cpp.o"
+  "CMakeFiles/mhd_container.dir/mhd/container/bloom_filter.cpp.o.d"
+  "libmhd_container.a"
+  "libmhd_container.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/core/manifest_cache.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/core/manifest_cache.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/core/manifest_cache.cpp.o.d"
+  "/root/repo/src/mhd/core/match_extension.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/core/match_extension.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/core/match_extension.cpp.o.d"
+  "/root/repo/src/mhd/core/mhd_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/core/mhd_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/core/mhd_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/bimodal_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/bimodal_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/bimodal_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/cdc_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/cdc_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/cdc_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/extreme_binning_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/extreme_binning_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/extreme_binning_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/fbc_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/fbc_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/fbc_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/sparse_index_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/sparse_index_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/sparse_index_engine.cpp.o.d"
+  "/root/repo/src/mhd/dedup/subchunk_engine.cpp" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/subchunk_engine.cpp.o" "gcc" "src/CMakeFiles/mhd_dedup.dir/mhd/dedup/subchunk_engine.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_container.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_format.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

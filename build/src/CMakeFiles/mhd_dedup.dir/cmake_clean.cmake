@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_dedup.dir/mhd/core/manifest_cache.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/core/manifest_cache.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/core/match_extension.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/core/match_extension.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/core/mhd_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/core/mhd_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/bimodal_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/bimodal_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/cdc_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/cdc_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/extreme_binning_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/extreme_binning_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/fbc_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/fbc_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/sparse_index_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/sparse_index_engine.cpp.o.d"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/subchunk_engine.cpp.o"
+  "CMakeFiles/mhd_dedup.dir/mhd/dedup/subchunk_engine.cpp.o.d"
+  "libmhd_dedup.a"
+  "libmhd_dedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

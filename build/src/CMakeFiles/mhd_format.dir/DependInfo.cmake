@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/format/file_manifest.cpp" "src/CMakeFiles/mhd_format.dir/mhd/format/file_manifest.cpp.o" "gcc" "src/CMakeFiles/mhd_format.dir/mhd/format/file_manifest.cpp.o.d"
+  "/root/repo/src/mhd/format/manifest.cpp" "src/CMakeFiles/mhd_format.dir/mhd/format/manifest.cpp.o" "gcc" "src/CMakeFiles/mhd_format.dir/mhd/format/manifest.cpp.o.d"
+  "/root/repo/src/mhd/format/recipe_codec.cpp" "src/CMakeFiles/mhd_format.dir/mhd/format/recipe_codec.cpp.o" "gcc" "src/CMakeFiles/mhd_format.dir/mhd/format/recipe_codec.cpp.o.d"
+  "/root/repo/src/mhd/store/maintenance.cpp" "src/CMakeFiles/mhd_format.dir/mhd/store/maintenance.cpp.o" "gcc" "src/CMakeFiles/mhd_format.dir/mhd/store/maintenance.cpp.o.d"
+  "/root/repo/src/mhd/store/restore_reader.cpp" "src/CMakeFiles/mhd_format.dir/mhd/store/restore_reader.cpp.o" "gcc" "src/CMakeFiles/mhd_format.dir/mhd/store/restore_reader.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

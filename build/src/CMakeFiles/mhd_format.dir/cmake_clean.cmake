@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_format.dir/mhd/format/file_manifest.cpp.o"
+  "CMakeFiles/mhd_format.dir/mhd/format/file_manifest.cpp.o.d"
+  "CMakeFiles/mhd_format.dir/mhd/format/manifest.cpp.o"
+  "CMakeFiles/mhd_format.dir/mhd/format/manifest.cpp.o.d"
+  "CMakeFiles/mhd_format.dir/mhd/format/recipe_codec.cpp.o"
+  "CMakeFiles/mhd_format.dir/mhd/format/recipe_codec.cpp.o.d"
+  "CMakeFiles/mhd_format.dir/mhd/store/maintenance.cpp.o"
+  "CMakeFiles/mhd_format.dir/mhd/store/maintenance.cpp.o.d"
+  "CMakeFiles/mhd_format.dir/mhd/store/restore_reader.cpp.o"
+  "CMakeFiles/mhd_format.dir/mhd/store/restore_reader.cpp.o.d"
+  "libmhd_format.a"
+  "libmhd_format.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

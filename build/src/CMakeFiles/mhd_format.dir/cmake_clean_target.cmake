@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmhd_format.a"
+)

@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/hash/mix.cpp" "src/CMakeFiles/mhd_hash.dir/mhd/hash/mix.cpp.o" "gcc" "src/CMakeFiles/mhd_hash.dir/mhd/hash/mix.cpp.o.d"
+  "/root/repo/src/mhd/hash/rabin.cpp" "src/CMakeFiles/mhd_hash.dir/mhd/hash/rabin.cpp.o" "gcc" "src/CMakeFiles/mhd_hash.dir/mhd/hash/rabin.cpp.o.d"
+  "/root/repo/src/mhd/hash/sha1.cpp" "src/CMakeFiles/mhd_hash.dir/mhd/hash/sha1.cpp.o" "gcc" "src/CMakeFiles/mhd_hash.dir/mhd/hash/sha1.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_hash.dir/mhd/hash/mix.cpp.o"
+  "CMakeFiles/mhd_hash.dir/mhd/hash/mix.cpp.o.d"
+  "CMakeFiles/mhd_hash.dir/mhd/hash/rabin.cpp.o"
+  "CMakeFiles/mhd_hash.dir/mhd/hash/rabin.cpp.o.d"
+  "CMakeFiles/mhd_hash.dir/mhd/hash/sha1.cpp.o"
+  "CMakeFiles/mhd_hash.dir/mhd/hash/sha1.cpp.o.d"
+  "libmhd_hash.a"
+  "libmhd_hash.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

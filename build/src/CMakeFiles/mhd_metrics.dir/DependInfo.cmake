@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/metrics/analysis.cpp" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/analysis.cpp.o" "gcc" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/analysis.cpp.o.d"
+  "/root/repo/src/mhd/metrics/json_export.cpp" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/json_export.cpp.o" "gcc" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/json_export.cpp.o.d"
+  "/root/repo/src/mhd/metrics/metrics.cpp" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/metrics.cpp.o" "gcc" "src/CMakeFiles/mhd_metrics.dir/mhd/metrics/metrics.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

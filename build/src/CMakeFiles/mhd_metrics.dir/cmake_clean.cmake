@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/analysis.cpp.o"
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/analysis.cpp.o.d"
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/json_export.cpp.o"
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/json_export.cpp.o.d"
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/metrics.cpp.o"
+  "CMakeFiles/mhd_metrics.dir/mhd/metrics/metrics.cpp.o.d"
+  "libmhd_metrics.a"
+  "libmhd_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

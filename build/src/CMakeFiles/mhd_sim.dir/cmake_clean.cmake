@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_sim.dir/mhd/sim/parallel.cpp.o"
+  "CMakeFiles/mhd_sim.dir/mhd/sim/parallel.cpp.o.d"
+  "CMakeFiles/mhd_sim.dir/mhd/sim/runner.cpp.o"
+  "CMakeFiles/mhd_sim.dir/mhd/sim/runner.cpp.o.d"
+  "libmhd_sim.a"
+  "libmhd_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/store/disk_model.cpp" "src/CMakeFiles/mhd_store.dir/mhd/store/disk_model.cpp.o" "gcc" "src/CMakeFiles/mhd_store.dir/mhd/store/disk_model.cpp.o.d"
+  "/root/repo/src/mhd/store/file_backend.cpp" "src/CMakeFiles/mhd_store.dir/mhd/store/file_backend.cpp.o" "gcc" "src/CMakeFiles/mhd_store.dir/mhd/store/file_backend.cpp.o.d"
+  "/root/repo/src/mhd/store/memory_backend.cpp" "src/CMakeFiles/mhd_store.dir/mhd/store/memory_backend.cpp.o" "gcc" "src/CMakeFiles/mhd_store.dir/mhd/store/memory_backend.cpp.o.d"
+  "/root/repo/src/mhd/store/object_store.cpp" "src/CMakeFiles/mhd_store.dir/mhd/store/object_store.cpp.o" "gcc" "src/CMakeFiles/mhd_store.dir/mhd/store/object_store.cpp.o.d"
+  "/root/repo/src/mhd/store/stats.cpp" "src/CMakeFiles/mhd_store.dir/mhd/store/stats.cpp.o" "gcc" "src/CMakeFiles/mhd_store.dir/mhd/store/stats.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

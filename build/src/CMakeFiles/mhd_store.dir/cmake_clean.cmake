@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_store.dir/mhd/store/disk_model.cpp.o"
+  "CMakeFiles/mhd_store.dir/mhd/store/disk_model.cpp.o.d"
+  "CMakeFiles/mhd_store.dir/mhd/store/file_backend.cpp.o"
+  "CMakeFiles/mhd_store.dir/mhd/store/file_backend.cpp.o.d"
+  "CMakeFiles/mhd_store.dir/mhd/store/memory_backend.cpp.o"
+  "CMakeFiles/mhd_store.dir/mhd/store/memory_backend.cpp.o.d"
+  "CMakeFiles/mhd_store.dir/mhd/store/object_store.cpp.o"
+  "CMakeFiles/mhd_store.dir/mhd/store/object_store.cpp.o.d"
+  "CMakeFiles/mhd_store.dir/mhd/store/stats.cpp.o"
+  "CMakeFiles/mhd_store.dir/mhd/store/stats.cpp.o.d"
+  "libmhd_store.a"
+  "libmhd_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

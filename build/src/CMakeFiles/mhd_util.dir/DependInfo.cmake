@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/util/flags.cpp" "src/CMakeFiles/mhd_util.dir/mhd/util/flags.cpp.o" "gcc" "src/CMakeFiles/mhd_util.dir/mhd/util/flags.cpp.o.d"
+  "/root/repo/src/mhd/util/hex.cpp" "src/CMakeFiles/mhd_util.dir/mhd/util/hex.cpp.o" "gcc" "src/CMakeFiles/mhd_util.dir/mhd/util/hex.cpp.o.d"
+  "/root/repo/src/mhd/util/random.cpp" "src/CMakeFiles/mhd_util.dir/mhd/util/random.cpp.o" "gcc" "src/CMakeFiles/mhd_util.dir/mhd/util/random.cpp.o.d"
+  "/root/repo/src/mhd/util/table.cpp" "src/CMakeFiles/mhd_util.dir/mhd/util/table.cpp.o" "gcc" "src/CMakeFiles/mhd_util.dir/mhd/util/table.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_util.dir/mhd/util/flags.cpp.o"
+  "CMakeFiles/mhd_util.dir/mhd/util/flags.cpp.o.d"
+  "CMakeFiles/mhd_util.dir/mhd/util/hex.cpp.o"
+  "CMakeFiles/mhd_util.dir/mhd/util/hex.cpp.o.d"
+  "CMakeFiles/mhd_util.dir/mhd/util/random.cpp.o"
+  "CMakeFiles/mhd_util.dir/mhd/util/random.cpp.o.d"
+  "CMakeFiles/mhd_util.dir/mhd/util/table.cpp.o"
+  "CMakeFiles/mhd_util.dir/mhd/util/table.cpp.o.d"
+  "libmhd_util.a"
+  "libmhd_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mhd/workload/block_source.cpp" "src/CMakeFiles/mhd_workload.dir/mhd/workload/block_source.cpp.o" "gcc" "src/CMakeFiles/mhd_workload.dir/mhd/workload/block_source.cpp.o.d"
+  "/root/repo/src/mhd/workload/corpus.cpp" "src/CMakeFiles/mhd_workload.dir/mhd/workload/corpus.cpp.o" "gcc" "src/CMakeFiles/mhd_workload.dir/mhd/workload/corpus.cpp.o.d"
+  "/root/repo/src/mhd/workload/image_plan.cpp" "src/CMakeFiles/mhd_workload.dir/mhd/workload/image_plan.cpp.o" "gcc" "src/CMakeFiles/mhd_workload.dir/mhd/workload/image_plan.cpp.o.d"
+  "/root/repo/src/mhd/workload/presets.cpp" "src/CMakeFiles/mhd_workload.dir/mhd/workload/presets.cpp.o" "gcc" "src/CMakeFiles/mhd_workload.dir/mhd/workload/presets.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/mhd_chunk.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/mhd_hash.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mhd_workload.dir/mhd/workload/block_source.cpp.o"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/block_source.cpp.o.d"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/corpus.cpp.o"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/corpus.cpp.o.d"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/image_plan.cpp.o"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/image_plan.cpp.o.d"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/presets.cpp.o"
+  "CMakeFiles/mhd_workload.dir/mhd/workload/presets.cpp.o.d"
+  "libmhd_workload.a"
+  "libmhd_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mhd_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

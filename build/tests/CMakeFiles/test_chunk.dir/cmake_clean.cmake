@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_chunk.dir/chunk/chunk_stream_test.cpp.o"
+  "CMakeFiles/test_chunk.dir/chunk/chunk_stream_test.cpp.o.d"
+  "CMakeFiles/test_chunk.dir/chunk/fixed_chunker_test.cpp.o"
+  "CMakeFiles/test_chunk.dir/chunk/fixed_chunker_test.cpp.o.d"
+  "CMakeFiles/test_chunk.dir/chunk/gear_chunker_test.cpp.o"
+  "CMakeFiles/test_chunk.dir/chunk/gear_chunker_test.cpp.o.d"
+  "CMakeFiles/test_chunk.dir/chunk/rabin_chunker_test.cpp.o"
+  "CMakeFiles/test_chunk.dir/chunk/rabin_chunker_test.cpp.o.d"
+  "CMakeFiles/test_chunk.dir/chunk/tttd_chunker_test.cpp.o"
+  "CMakeFiles/test_chunk.dir/chunk/tttd_chunker_test.cpp.o.d"
+  "test_chunk"
+  "test_chunk.pdb"
+  "test_chunk[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_chunk.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

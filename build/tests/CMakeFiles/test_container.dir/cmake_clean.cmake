@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_container.dir/container/bloom_filter_test.cpp.o"
+  "CMakeFiles/test_container.dir/container/bloom_filter_test.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/lru_cache_test.cpp.o"
+  "CMakeFiles/test_container.dir/container/lru_cache_test.cpp.o.d"
+  "CMakeFiles/test_container.dir/container/lru_weight_test.cpp.o"
+  "CMakeFiles/test_container.dir/container/lru_weight_test.cpp.o.d"
+  "test_container"
+  "test_container.pdb"
+  "test_container[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_container.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dedup.dir/dedup/bimodal_engine_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/bimodal_engine_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/cdc_engine_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/cdc_engine_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/extension_engines_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/extension_engines_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/fault_injection_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/fault_injection_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/reingest_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/reingest_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/sparse_index_engine_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/sparse_index_engine_test.cpp.o.d"
+  "CMakeFiles/test_dedup.dir/dedup/subchunk_engine_test.cpp.o"
+  "CMakeFiles/test_dedup.dir/dedup/subchunk_engine_test.cpp.o.d"
+  "test_dedup"
+  "test_dedup.pdb"
+  "test_dedup[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

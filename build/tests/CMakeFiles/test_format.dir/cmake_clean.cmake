@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_format.dir/format/file_manifest_test.cpp.o"
+  "CMakeFiles/test_format.dir/format/file_manifest_test.cpp.o.d"
+  "CMakeFiles/test_format.dir/format/manifest_test.cpp.o"
+  "CMakeFiles/test_format.dir/format/manifest_test.cpp.o.d"
+  "CMakeFiles/test_format.dir/format/recipe_codec_test.cpp.o"
+  "CMakeFiles/test_format.dir/format/recipe_codec_test.cpp.o.d"
+  "CMakeFiles/test_format.dir/format/serialization_fuzz_test.cpp.o"
+  "CMakeFiles/test_format.dir/format/serialization_fuzz_test.cpp.o.d"
+  "test_format"
+  "test_format.pdb"
+  "test_format[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_format.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_hash.dir/hash/mix_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/mix_test.cpp.o.d"
+  "CMakeFiles/test_hash.dir/hash/rabin_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/rabin_test.cpp.o.d"
+  "CMakeFiles/test_hash.dir/hash/sha1_test.cpp.o"
+  "CMakeFiles/test_hash.dir/hash/sha1_test.cpp.o.d"
+  "test_hash"
+  "test_hash.pdb"
+  "test_hash[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_hash.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_store.dir/store/backend_test.cpp.o"
+  "CMakeFiles/test_store.dir/store/backend_test.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/disk_model_test.cpp.o"
+  "CMakeFiles/test_store.dir/store/disk_model_test.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/maintenance_test.cpp.o"
+  "CMakeFiles/test_store.dir/store/maintenance_test.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/object_store_test.cpp.o"
+  "CMakeFiles/test_store.dir/store/object_store_test.cpp.o.d"
+  "CMakeFiles/test_store.dir/store/restore_reader_test.cpp.o"
+  "CMakeFiles/test_store.dir/store/restore_reader_test.cpp.o.d"
+  "test_store"
+  "test_store.pdb"
+  "test_store[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
