@@ -7,6 +7,7 @@
 //   --seed=N        corpus seed
 //   --cache_kb=N    equal manifest-cache RAM budget per algorithm (256)
 //   --chunker=K     rabin (default) | tttd | gear
+//   --chunker-impl=I  auto (default) | scalar | simd scan kernel
 //   --verify        byte-exact reconstruction check after every run (slow)
 //
 // Scaling note (EXPERIMENTS.md discusses this in detail): the paper used a
@@ -39,6 +40,8 @@ struct BenchOptions {
   std::uint64_t cache_kb = 256;
   /// Cut-point algorithm for every engine (--chunker=rabin|tttd|gear).
   ChunkerKind chunker = ChunkerKind::kRabin;
+  /// Scan kernel (--chunker-impl=auto|scalar|simd); cut points identical.
+  ChunkerImpl chunker_impl = ChunkerImpl::kAuto;
 
   static BenchOptions parse(int argc, char** argv) {
     const Flags flags(argc, argv);
@@ -50,6 +53,8 @@ struct BenchOptions {
     o.verify = flags.get_bool("verify", false);
     o.cache_kb = static_cast<std::uint64_t>(flags.get_int("cache_kb", 256));
     o.chunker = chunker_kind_from_string(flags.get("chunker", "rabin"));
+    o.chunker_impl = chunker_impl_from_string(
+        flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
     return o;
   }
 
@@ -65,6 +70,7 @@ struct BenchOptions {
     cfg.manifest_cache_bytes = cache_kb << 10;
     cfg.manifest_cache_capacity = 4096;
     cfg.chunker = chunker;
+    cfg.chunker_impl = chunker_impl;
     return cfg;
   }
 

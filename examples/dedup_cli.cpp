@@ -14,6 +14,7 @@
 //   ./dedup_cli stats   <repo_dir>               repository statistics
 //
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
+//          --chunker-impl=auto|scalar|simd
 #include <cstdio>
 #include <fstream>
 
@@ -50,6 +51,8 @@ EngineConfig config_from(const Flags& flags) {
   cfg.ecs = static_cast<std::uint32_t>(flags.get_int("ecs", 4096));
   cfg.sd = static_cast<std::uint32_t>(flags.get_int("sd", 64));
   cfg.chunker = chunker_kind_from_string(flags.get("chunker", "rabin"));
+  cfg.chunker_impl = chunker_impl_from_string(
+      flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
   return cfg;
 }
 

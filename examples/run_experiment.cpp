@@ -3,7 +3,8 @@
 // a table and as JSON (for plotting pipelines).
 //
 //   ./run_experiment --algo=bf-mhd --size_mb=48 --ecs=1024 --sd=32 \
-//                    [--chunker=rabin|tttd|gear] [--cache_kb=256] \
+//                    [--chunker=rabin|tttd|gear] \
+//                    [--chunker-impl=auto|scalar|simd] [--cache_kb=256] \
 //                    [--verify] [--json]
 #include <cstdio>
 
@@ -23,6 +24,8 @@ int main(int argc, char** argv) {
   spec.engine.sd = static_cast<std::uint32_t>(flags.get_int("sd", 32));
   spec.engine.chunker =
       chunker_kind_from_string(flags.get("chunker", "rabin"));
+  spec.engine.chunker_impl = chunker_impl_from_string(
+      flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
   spec.engine.manifest_cache_bytes =
       static_cast<std::uint64_t>(flags.get_int("cache_kb", 256)) << 10;
   spec.engine.manifest_cache_capacity = 4096;
@@ -45,9 +48,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%s on %.1f MB (ECS=%u, SD=%u, chunker=%s)%s\n\n",
+  std::printf("%s on %.1f MB (ECS=%u, SD=%u, chunker=%s/%s)%s\n\n",
               r.algorithm.c_str(), r.input_bytes / 1048576.0, r.ecs, r.sd,
-              chunker_kind_name(spec.engine.chunker),
+              r.chunker.c_str(), r.chunker_impl.c_str(),
               spec.verify ? " [restores verified byte-exactly]" : "");
   TextTable t({"Metric", "Value"});
   t.add_row({"data-only DER", TextTable::num(r.data_only_der(), 3)});

@@ -13,11 +13,24 @@
 
 namespace mhd {
 
+/// Which scan-loop implementation a chunker should use. Only GearChunker
+/// has a vectorized path today; every other chunker treats all values as
+/// kScalar. kAuto resolves to the best kernel the CPU supports at runtime.
+/// The implementation is a pure performance choice: every implementation
+/// MUST produce bit-identical cut points (the differential test suite in
+/// tests/chunk/chunker_differential_test.cpp enforces this).
+enum class ChunkerImpl : int {
+  kAuto = 0,
+  kScalar,
+  kSimd,
+};
+
 struct ChunkerConfig {
   std::uint32_t min_size = 0;
   std::uint32_t expected_size = 0;
   std::uint32_t max_size = 0;
   std::uint32_t window = 48;  ///< Rabin sliding-window width in bytes.
+  ChunkerImpl impl = ChunkerImpl::kAuto;  ///< scan-loop implementation
 
   /// Paper-style configuration from the expected chunk size (ECS):
   /// min = ECS/4 (floored at 64B), max = 8*ECS, as in the LBFS lineage.

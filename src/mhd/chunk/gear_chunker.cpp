@@ -1,13 +1,21 @@
 #include "mhd/chunk/gear_chunker.h"
 
+#include <bit>
 #include <cmath>
 #include <stdexcept>
 
+#include "mhd/util/cpufeatures.h"
 #include "mhd/util/random.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define MHD_GEAR_X86_KERNELS 1
+#endif
 
 namespace mhd {
 
 namespace {
+
 std::uint64_t mask_with_bits(int bits) {
   bits = std::max(1, std::min(bits, 62));
   // Spread mask bits like FastCDC's padded masks; a plain low-bit mask
@@ -30,6 +38,89 @@ std::uint64_t mask_with_bits(int bits) {
   }
   return mask;
 }
+
+// ---- Candidate kernels ---------------------------------------------------
+//
+// Each kernel answers, for 32 consecutive rolling-hash values, "which lanes
+// satisfy (h & mask) == 0?" as a 32-bit bitmap (bit k = lane k). The hash
+// chain itself is inherently serial — h_i feeds h_{i+1} — so the chain is
+// computed scalar (one shift+add per byte, branch-free) and the vector unit
+// is spent where lanes are independent: the masked zero test.
+
+constexpr std::size_t kBlock = 32;
+
+std::uint32_t zero_lanes_portable(const std::uint64_t* h, std::uint64_t mask) {
+  std::uint32_t out = 0;
+  for (std::size_t k = 0; k < kBlock; k += 4) {
+    out |= static_cast<std::uint32_t>((h[k + 0] & mask) == 0) << (k + 0);
+    out |= static_cast<std::uint32_t>((h[k + 1] & mask) == 0) << (k + 1);
+    out |= static_cast<std::uint32_t>((h[k + 2] & mask) == 0) << (k + 2);
+    out |= static_cast<std::uint32_t>((h[k + 3] & mask) == 0) << (k + 3);
+  }
+  return out;
+}
+
+#ifdef MHD_GEAR_X86_KERNELS
+
+std::uint32_t zero_lanes_sse2(const std::uint64_t* h, std::uint64_t mask) {
+  const __m128i m = _mm_set1_epi64x(static_cast<long long>(mask));
+  const __m128i z = _mm_setzero_si128();
+  std::uint32_t out = 0;
+  for (std::size_t k = 0; k < kBlock; k += 2) {
+    const __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(h + k));
+    // SSE2 has no 64-bit compare: require both 32-bit halves equal to zero.
+    const __m128i eq32 = _mm_cmpeq_epi32(_mm_and_si128(v, m), z);
+    const __m128i eq64 = _mm_and_si128(
+        eq32, _mm_shuffle_epi32(eq32, _MM_SHUFFLE(2, 3, 0, 1)));
+    out |= static_cast<std::uint32_t>(
+               _mm_movemask_pd(_mm_castsi128_pd(eq64)))
+           << k;
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) std::uint32_t zero_lanes_avx2(
+    const std::uint64_t* h, std::uint64_t mask) {
+  const __m256i m = _mm256_set1_epi64x(static_cast<long long>(mask));
+  const __m256i z = _mm256_setzero_si256();
+  std::uint32_t out = 0;
+  for (std::size_t k = 0; k < kBlock; k += 4) {
+    const __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(h + k));
+    const __m256i eq = _mm256_cmpeq_epi64(_mm256_and_si256(v, m), z);
+    out |= static_cast<std::uint32_t>(
+               _mm256_movemask_pd(_mm256_castsi256_pd(eq)))
+           << k;
+  }
+  return out;
+}
+
+#endif  // MHD_GEAR_X86_KERNELS
+
+using ZeroLanesFn = std::uint32_t (*)(const std::uint64_t*, std::uint64_t);
+
+struct GearImplChoice {
+  bool block_scan = false;       ///< use the block scan (any kernel)
+  ZeroLanesFn kernel = nullptr;  ///< candidate kernel when block_scan
+  const char* name = "scalar";
+};
+
+GearImplChoice choose_impl(ChunkerImpl requested) {
+  if (requested == ChunkerImpl::kScalar) return {false, nullptr, "scalar"};
+  const SimdLevel level = best_simd_level();
+#ifdef MHD_GEAR_X86_KERNELS
+  if (level == SimdLevel::kAvx2) return {true, zero_lanes_avx2, "simd-avx2"};
+  if (level == SimdLevel::kSse2) return {true, zero_lanes_sse2, "simd-sse2"};
+#else
+  (void)level;
+#endif
+  // No vector unit: kAuto keeps the reference loop, an explicit kSimd
+  // request still exercises the block scan through the portable kernel
+  // (same code path, so the differential tests mean something everywhere).
+  if (requested == ChunkerImpl::kAuto) return {false, nullptr, "scalar"};
+  return {true, zero_lanes_portable, "simd-portable"};
+}
+
 }  // namespace
 
 GearChunker::GearChunker(const ChunkerConfig& config) : config_(config) {
@@ -47,7 +138,17 @@ GearChunker::GearChunker(const ChunkerConfig& config) : config_(config) {
   // FastCDC normalization level 1: +/- one bit around the expected size.
   mask_small_ = mask_with_bits(bits + 1);
   mask_large_ = mask_with_bits(bits - 1);
+  const GearImplChoice choice = choose_impl(config_.impl);
+  use_simd_ = choice.block_scan;
+  impl_name_ = choice.name;
+  kernel_ = choice.kernel;
   reset();
+}
+
+const char* GearChunker::impl_name() const { return impl_name_; }
+
+const char* resolved_gear_impl_name(const ChunkerConfig& config) {
+  return choose_impl(config.impl).name;
 }
 
 void GearChunker::reset() {
@@ -62,12 +163,16 @@ Chunker::ScanResult GearChunker::scan(ByteSpan data) {
   // No cut can occur before min_size; the gear window self-primes within
   // 64 bytes, so skipping the hash updates before (min - 64) is safe.
   if (pos_ + 64 < config_.min_size) {
-    const std::size_t skip =
-        std::min(n, config_.min_size - 64 - pos_);
+    const std::size_t skip = std::min(n, config_.min_size - 64 - pos_);
     pos_ += skip;
     i += skip;
   }
 
+  return use_simd_ ? scan_simd(data, i) : scan_scalar(data, i);
+}
+
+Chunker::ScanResult GearChunker::scan_scalar(ByteSpan data, std::size_t i) {
+  const std::size_t n = data.size();
   while (i < n) {
     hash_ = (hash_ << 1) + gear_[data[i]];
     ++i;
@@ -86,6 +191,83 @@ Chunker::ScanResult GearChunker::scan(ByteSpan data) {
     }
   }
   return {i, false};
+}
+
+// Block scan. Equivalence with scan_scalar, lane by lane:
+//  * the hash chain is the identical recurrence over the identical bytes
+//    (the shared min-size skip ran in scan()), so hbuf[k] equals the value
+//    scan_scalar's hash_ would hold after consuming byte i+k;
+//  * lane k sits at stream position pos_+k+1; the eligibility bitmap
+//    reproduces the `pos >= min_size` guard and the small/large bitmap
+//    reproduces the `pos < expected_size` mask choice, per lane;
+//  * the first set bit of `hits` is the first position scan_scalar would
+//    have cut at (the max_size forced cut cannot fire inside a block: the
+//    loop condition caps blocks at max_size - kBlock, and the scalar tail
+//    below owns the boundary).
+Chunker::ScanResult GearChunker::scan_simd(ByteSpan data, std::size_t i) {
+  const std::size_t n = data.size();
+  const Byte* p = data.data();
+  const std::uint64_t* g = gear_.data();
+  const ZeroLanesFn kernel = kernel_;
+  std::uint64_t h = hash_;
+  std::size_t pos = pos_;
+
+  // The strict > keeps the max_size position itself out of the block loop
+  // (a lane can mask-hit there but never force-cut), so the scalar tail
+  // owns the forced cut.
+  while (n - i >= kBlock && config_.max_size - pos > kBlock) {
+    alignas(32) std::uint64_t hbuf[kBlock];
+    for (std::size_t k = 0; k < kBlock; k += 4) {
+      h = (h << 1) + g[p[i + k + 0]];
+      hbuf[k + 0] = h;
+      h = (h << 1) + g[p[i + k + 1]];
+      hbuf[k + 1] = h;
+      h = (h << 1) + g[p[i + k + 2]];
+      hbuf[k + 2] = h;
+      h = (h << 1) + g[p[i + k + 3]];
+      hbuf[k + 3] = h;
+    }
+
+    const std::size_t p0 = pos + 1;  // stream position of lane 0
+    std::uint32_t elig;
+    if (p0 >= config_.min_size) {
+      elig = 0xFFFFFFFFu;
+    } else if (config_.min_size - p0 >= kBlock) {
+      elig = 0;
+    } else {
+      elig = 0xFFFFFFFFu << (config_.min_size - p0);
+    }
+
+    std::uint32_t hits = 0;
+    if (elig != 0) {
+      std::uint32_t small_lanes;  // lanes before expected_size
+      if (p0 >= config_.expected_size) {
+        small_lanes = 0;
+      } else if (config_.expected_size - p0 >= kBlock) {
+        small_lanes = 0xFFFFFFFFu;
+      } else {
+        small_lanes = ~(0xFFFFFFFFu << (config_.expected_size - p0));
+      }
+      std::uint32_t cand_small = 0, cand_large = 0;
+      if ((small_lanes & elig) != 0) cand_small = kernel(hbuf, mask_small_);
+      if ((~small_lanes & elig) != 0) cand_large = kernel(hbuf, mask_large_);
+      hits = ((cand_small & small_lanes) | (cand_large & ~small_lanes)) & elig;
+    }
+
+    if (hits != 0) {
+      const unsigned k = static_cast<unsigned>(std::countr_zero(hits));
+      reset();
+      return {i + k + 1, true};
+    }
+    i += kBlock;
+    pos += kBlock;
+  }
+
+  // Tail: fewer than kBlock bytes left, or the max_size forced cut is less
+  // than a block away. The reference loop finishes the call either way.
+  hash_ = h;
+  pos_ = pos;
+  return scan_scalar(data, i);
 }
 
 }  // namespace mhd

@@ -9,6 +9,22 @@
 // whose window is implicitly the last 64 bytes. FastCDC normalization
 // applies a harder mask before the expected size and an easier one after,
 // tightening the size distribution without TTTD's backup-cut bookkeeping.
+//
+// Two scan implementations share the same cut semantics:
+//  * scalar  — the reference per-byte loop;
+//  * simd    — a block scan: the rolling hash of a whole block is
+//    materialized, boundary *candidates* are found with vector compares
+//    (AVX2/SSE2 picked at runtime, portable unrolled fallback), and only
+//    candidate positions pay the position/mask decision logic.
+// Cut points are bit-identical between the two for every configuration:
+// the block scan runs the same serial hash recurrence over the same bytes
+// (including the shared skip of the pre-min-size region, which is safe
+// because (x << 1) mod 2^64 is linear, so
+//   h_i = sum_{j=0..63} G[b_{i-j}] << j  (mod 2^64)
+// exactly — the hash depends on nothing but the last 64 bytes) and only
+// restructures *where the boundary test branches*: one branch per 32-byte
+// block instead of two per byte. tests/chunk/chunker_differential_test
+// enforces the equivalence over adversarial corpora and split points.
 #pragma once
 
 #include <array>
@@ -28,13 +44,33 @@ class GearChunker final : public Chunker {
   /// runs and platforms).
   static constexpr std::uint64_t kTableSeed = 0x9E2C6A15B7F3D481ULL;
 
+  /// The implementation the constructor resolved config.impl to, e.g.
+  /// "scalar", "simd-avx2", "simd-sse2", "simd-portable".
+  const char* impl_name() const;
+
  private:
+  /// Per-byte reference loop over data[i..n); updates hash_/pos_ and
+  /// returns on cut or when `limit` bytes were consumed.
+  ScanResult scan_scalar(ByteSpan data, std::size_t i);
+
+  /// Block scan: vectorized candidate pre-filter + scalar cut resolution.
+  ScanResult scan_simd(ByteSpan data, std::size_t i);
+
   ChunkerConfig config_;
   std::array<std::uint64_t, 256> gear_;
   std::uint64_t mask_small_;  ///< harder mask, used before expected_size
   std::uint64_t mask_large_;  ///< easier mask, used after expected_size
   std::uint64_t hash_ = 0;
   std::size_t pos_ = 0;
+  bool use_simd_ = false;
+  const char* impl_name_ = "scalar";
+  /// Candidate kernel: bitmap of 32 hash lanes with (h & mask) == 0.
+  std::uint32_t (*kernel_)(const std::uint64_t*, std::uint64_t) = nullptr;
 };
+
+/// The implementation name GearChunker would resolve `config` to on this
+/// machine ("scalar" / "simd-avx2" / ...), without building one. Used by
+/// metrics reporting so exported results record which kernel ran.
+const char* resolved_gear_impl_name(const ChunkerConfig& config);
 
 }  // namespace mhd

@@ -27,6 +27,28 @@ ChunkerKind chunker_kind_from_string(const std::string& name) {
   throw std::invalid_argument("unknown chunker: " + name);
 }
 
+const char* chunker_impl_name(ChunkerImpl impl) {
+  switch (impl) {
+    case ChunkerImpl::kAuto: return "auto";
+    case ChunkerImpl::kScalar: return "scalar";
+    case ChunkerImpl::kSimd: return "simd";
+  }
+  return "?";
+}
+
+ChunkerImpl chunker_impl_from_string(const std::string& name) {
+  if (name == "auto") return ChunkerImpl::kAuto;
+  if (name == "scalar") return ChunkerImpl::kScalar;
+  if (name == "simd") return ChunkerImpl::kSimd;
+  throw std::invalid_argument("unknown chunker impl: " + name);
+}
+
+const char* resolved_chunker_impl_name(ChunkerKind kind,
+                                       const ChunkerConfig& config) {
+  return kind == ChunkerKind::kGear ? resolved_gear_impl_name(config)
+                                    : "scalar";
+}
+
 std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,
                                       const ChunkerConfig& config) {
   switch (kind) {

@@ -23,6 +23,17 @@ const char* chunker_kind_name(ChunkerKind kind);
 /// on anything else.
 ChunkerKind chunker_kind_from_string(const std::string& name);
 
+const char* chunker_impl_name(ChunkerImpl impl);
+
+/// Parses "auto" | "scalar" | "simd" (the --chunker-impl flag values);
+/// throws std::invalid_argument on anything else.
+ChunkerImpl chunker_impl_from_string(const std::string& name);
+
+/// The scan-kernel name `kind` + `config` resolve to on this machine:
+/// "scalar" for every chunker but Gear, else resolved_gear_impl_name().
+const char* resolved_chunker_impl_name(ChunkerKind kind,
+                                       const ChunkerConfig& config);
+
 /// Creates a chunker of `kind` with the given configuration (kFixed uses
 /// config.expected_size as the block size).
 std::unique_ptr<Chunker> make_chunker(ChunkerKind kind,

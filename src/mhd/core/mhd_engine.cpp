@@ -136,7 +136,7 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
   ctx.manifest = Manifest(ctx.dig);
 
   const auto chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   ChunkStream stream(data, *chunker);
 
   auto pull_chunk = [&]() -> std::optional<StreamChunk> {

@@ -70,7 +70,7 @@ void BimodalEngine::emit_big(FileCtx& ctx, BigChunk& chunk, bool transition) {
   // Transition point: re-chunk at the small expected size and deduplicate
   // each small chunk individually.
   const auto small_chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   MemorySource src(chunk.bytes);
   ChunkStream stream(src, *small_chunker);
   ByteVec bytes;
@@ -97,7 +97,7 @@ void BimodalEngine::process_file(const std::string& file_name,
   const std::uint64_t big_size =
       static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
   const auto big_chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(big_size));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(big_size));
   ChunkStream stream(data, *big_chunker);
 
   // One-big-chunk delay line so a non-duplicate chunk knows whether its

@@ -46,7 +46,7 @@ void CdcEngine::process_file(const std::string& file_name, ByteSource& data) {
   current_file_.clear();
 
   const auto chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   ChunkStream stream(data, *chunker);
   ByteVec bytes;
   while (stream.next(bytes)) {

@@ -26,6 +26,19 @@ struct EngineConfig {
   std::uint32_t ecs = 4096;  ///< expected (small) chunk size, bytes
   std::uint32_t sd = 1000;   ///< sample distance, in hashes
   ChunkerKind chunker = ChunkerKind::kRabin;  ///< cut-point algorithm
+  /// Scan-loop implementation (--chunker-impl). Purely a speed knob: every
+  /// implementation yields bit-identical cut points, so dedup results do
+  /// not depend on it.
+  ChunkerImpl chunker_impl = ChunkerImpl::kAuto;
+
+  /// ChunkerConfig for this engine at the given expected chunk size, with
+  /// the engine's scan-implementation choice applied. Engines must build
+  /// their chunkers through this so --chunker-impl reaches the hot loop.
+  ChunkerConfig chunker_config(std::uint64_t expected_bytes) const {
+    ChunkerConfig cc = ChunkerConfig::from_expected(expected_bytes);
+    cc.impl = chunker_impl;
+    return cc;
+  }
 
   bool use_bloom = true;
   std::size_t bloom_bytes = 4 << 20;  ///< paper: 100 MB; scaled for corpus

@@ -60,7 +60,7 @@ void ExtremeBinningEngine::process_file(const std::string& file_name,
   // (minimum) chunk hash before it can pick a bin.
   std::vector<std::pair<Digest, ByteVec>> chunks;
   const auto chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   ChunkStream stream(data, *chunker);
   ByteVec bytes;
   std::optional<Digest> representative;

@@ -55,7 +55,7 @@ void FbcEngine::store_region(FileCtx& ctx, ByteSpan bytes, const Digest& hash,
 bool FbcEngine::looks_frequent(
     ByteSpan big_bytes, std::vector<std::pair<Digest, ByteVec>>& smalls) {
   const auto chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   MemorySource src(big_bytes);
   ChunkStream stream(src, *chunker);
   bool frequent = false;
@@ -82,7 +82,7 @@ void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
   const std::uint64_t big_size =
       static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
   const auto big_chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(big_size));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(big_size));
   ChunkStream stream(data, *big_chunker);
 
   ByteVec big_bytes;

@@ -198,7 +198,7 @@ void SparseIndexEngine::process_file(const std::string& file_name,
   const std::uint64_t segment_bytes = static_cast<std::uint64_t>(cfg_.ecs) *
                                       cfg_.sd * cfg_.segment_factor;
   const auto chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
   ChunkStream stream(data, *chunker);
 
   std::vector<SegChunk> segment;

@@ -179,7 +179,7 @@ void SubChunkEngine::process_file(const std::string& file_name,
   const std::uint64_t big_size =
       static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
   const auto big_chunker =
-      make_chunker(cfg_.chunker, ChunkerConfig::from_expected(big_size));
+      make_chunker(cfg_.chunker, cfg_.chunker_config(big_size));
   ChunkStream stream(data, *big_chunker);
 
   ByteVec big_bytes;
@@ -213,7 +213,7 @@ void SubChunkEngine::process_file(const std::string& file_name,
     const Digest container = group.container;
 
     const auto small_chunker =
-        make_chunker(cfg_.chunker, ChunkerConfig::from_expected(cfg_.ecs));
+        make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
     MemorySource src(big_bytes);
     ChunkStream small_stream(src, *small_chunker);
     ByteVec bytes;

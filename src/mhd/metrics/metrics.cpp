@@ -69,6 +69,9 @@ ExperimentResult summarize(const std::string& algorithm,
   r.algorithm = algorithm;
   r.ecs = engine.config().ecs;
   r.sd = engine.config().sd;
+  r.chunker = chunker_kind_name(engine.config().chunker);
+  r.chunker_impl = resolved_chunker_impl_name(
+      engine.config().chunker, engine.config().chunker_config(r.ecs));
   r.counters = engine.counters();
   r.stats = engine.store().stats();
   r.input_bytes = r.counters.input_bytes;

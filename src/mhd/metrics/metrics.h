@@ -52,6 +52,8 @@ struct ExperimentResult {
   std::string algorithm;
   std::uint32_t ecs = 0;
   std::uint32_t sd = 0;
+  std::string chunker = "rabin";        ///< cut-point algorithm
+  std::string chunker_impl = "scalar";  ///< resolved scan kernel
 
   std::uint64_t input_bytes = 0;
   std::uint64_t stored_data_bytes = 0;  ///< DiskChunk content

@@ -1,6 +1,7 @@
 #include "mhd/util/flags.h"
 
 #include <cstdlib>
+#include <stdexcept>
 
 namespace mhd {
 
@@ -40,6 +41,20 @@ bool Flags::get_bool(const std::string& key, bool def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::string Flags::get_choice(const std::string& key,
+                              const std::vector<std::string>& allowed,
+                              const std::string& def) const {
+  const auto it = values_.find(key);
+  const std::string value = it == values_.end() ? def : it->second;
+  for (const auto& a : allowed) {
+    if (value == a) return value;
+  }
+  std::string msg = "--" + key + "=" + value + " (allowed:";
+  for (const auto& a : allowed) msg += " " + a;
+  msg += ")";
+  throw std::invalid_argument(msg);
 }
 
 std::vector<std::int64_t> Flags::get_int_list(

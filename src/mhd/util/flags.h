@@ -22,6 +22,13 @@ class Flags {
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
 
+  /// Value of an enumerated flag, e.g. --chunker-impl={auto,scalar,simd}:
+  /// returns `def` when absent, and throws std::invalid_argument naming the
+  /// allowed values when the given value is not one of `allowed`.
+  std::string get_choice(const std::string& key,
+                         const std::vector<std::string>& allowed,
+                         const std::string& def) const;
+
   /// Comma-separated integer list, e.g. --ecs=512,1024,2048.
   std::vector<std::int64_t> get_int_list(const std::string& key,
                                          std::vector<std::int64_t> def) const;

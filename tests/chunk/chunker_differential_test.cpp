@@ -1,0 +1,307 @@
+// Differential / property harness for the GearChunker scan kernels.
+//
+// The SIMD block scan is a correctness-critical rewrite of the hottest
+// loop in the system, so it is locked down from three directions:
+//  1. cut-point differential: scalar vs. simd over >= 1000 randomized
+//     (seed-logged) buffers, plus all-zero / periodic / boundary-
+//     adversarial corpora, across several chunker geometries;
+//  2. resumption differential: the same buffers re-fed through scan() in
+//     pieces split at every offset modulo a prime, so the carried
+//     (hash_, pos_) state is exercised at arbitrary block phases;
+//  3. engine-level property: every deduplication engine must produce
+//     identical dedup results (chunk population, duplicate bytes, manifest
+//     entry counts) under --chunker-impl=scalar and =simd.
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mhd/chunk/gear_chunker.h"
+#include "mhd/sim/runner.h"
+#include "mhd/util/random.h"
+#include "mhd/workload/presets.h"
+
+namespace mhd {
+namespace {
+
+ChunkerConfig config_with_impl(std::uint64_t ecs, ChunkerImpl impl) {
+  ChunkerConfig cfg = ChunkerConfig::from_expected(ecs);
+  cfg.impl = impl;
+  return cfg;
+}
+
+/// Drives scan() over `data` fed as consecutive pieces whose boundaries
+/// are the (sorted) offsets in `splits`, collecting the absolute offsets
+/// of every cut point. A piece boundary mid-chunk exercises the resumable
+/// scan state exactly like ChunkStream's refill does.
+std::vector<std::size_t> cut_points(Chunker& chunker, ByteSpan data,
+                                    const std::vector<std::size_t>& splits) {
+  std::vector<std::size_t> cuts;
+  std::size_t piece_start = 0;
+  std::size_t split_index = 0;
+  while (piece_start < data.size()) {
+    std::size_t piece_end = data.size();
+    while (split_index < splits.size() && splits[split_index] <= piece_start) {
+      ++split_index;
+    }
+    if (split_index < splits.size()) {
+      piece_end = std::min(piece_end, splits[split_index]);
+    }
+    // Within one piece, scan() may return several cuts; re-feed the rest.
+    std::size_t off = piece_start;
+    while (off < piece_end) {
+      const auto r = chunker.scan({data.data() + off, piece_end - off});
+      off += r.consumed;
+      if (r.cut) cuts.push_back(off);
+    }
+    piece_start = piece_end;
+  }
+  return cuts;
+}
+
+std::vector<std::size_t> whole_buffer_cuts(Chunker& chunker, ByteSpan data) {
+  return cut_points(chunker, data, {});
+}
+
+ByteVec random_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+ByteVec periodic_bytes(std::size_t n, std::size_t period, std::uint64_t seed) {
+  const ByteVec pattern = random_bytes(period, seed);
+  ByteVec out(n);
+  for (std::size_t i = 0; i < n; ++i) out[i] = pattern[i % period];
+  return out;
+}
+
+void expect_identical_cuts(const ChunkerConfig& base, ByteSpan data,
+                           const std::vector<std::size_t>& splits) {
+  ChunkerConfig scalar_cfg = base;
+  scalar_cfg.impl = ChunkerImpl::kScalar;
+  ChunkerConfig simd_cfg = base;
+  simd_cfg.impl = ChunkerImpl::kSimd;
+  GearChunker scalar(scalar_cfg);
+  GearChunker simd(simd_cfg);
+  const auto ref = cut_points(scalar, data, splits);
+  const auto got = cut_points(simd, data, splits);
+  ASSERT_EQ(ref, got) << "scalar vs " << simd.impl_name();
+}
+
+TEST(ChunkerDifferential, ReportsDistinctImplementations) {
+  GearChunker scalar(config_with_impl(1024, ChunkerImpl::kScalar));
+  GearChunker simd(config_with_impl(1024, ChunkerImpl::kSimd));
+  EXPECT_STREQ(scalar.impl_name(), "scalar");
+  EXPECT_NE(std::string(simd.impl_name()).find("simd"), std::string::npos);
+}
+
+// Satellite requirement: >= 1k randomized buffers with logged seeds. Runs
+// across several geometries, including a tight min==max-adjacent one and a
+// min_size below the 64-byte gear window.
+TEST(ChunkerDifferential, ThousandRandomBuffersBitIdentical) {
+  struct Geometry {
+    std::uint32_t min, expected, max;
+  };
+  const std::vector<Geometry> geometries = {
+      {64, 256, 2048},    // small chunks: many cuts per buffer
+      {256, 1024, 8192},  // from_expected(1024) shape
+      {1000, 1024, 1100}, // all three zones inside a few blocks
+      {16, 128, 1024},    // min below the 64-byte gear window
+  };
+  std::size_t buffers = 0;
+  for (const auto& g : geometries) {
+    ChunkerConfig cfg;
+    cfg.min_size = g.min;
+    cfg.expected_size = g.expected;
+    cfg.max_size = g.max;
+    for (std::uint64_t seed = 1; seed <= 260; ++seed) {
+      SCOPED_TRACE(testing::Message()
+                   << "seed=" << seed << " min=" << g.min << " expected="
+                   << g.expected << " max=" << g.max);
+      Xoshiro256 rng(seed * 7919);
+      const std::size_t n = 1 + rng() % (48 * 1024);
+      const ByteVec data = random_bytes(n, seed);
+      expect_identical_cuts(cfg, data, {});
+      ++buffers;
+    }
+  }
+  EXPECT_GE(buffers, 1000u);
+}
+
+// Satellite requirement: buffers split at every offset mod a prime, so
+// scan() resumption state is exercised at every block phase. Every split
+// schedule must also match the unsplit scalar reference.
+TEST(ChunkerDifferential, SplitAtEveryOffsetModPrime) {
+  const ByteVec data = random_bytes(24 * 1024, 42);
+  const ChunkerConfig cfg = ChunkerConfig::from_expected(1024);
+
+  ChunkerConfig scalar_cfg = cfg;
+  scalar_cfg.impl = ChunkerImpl::kScalar;
+  GearChunker reference(scalar_cfg);
+  const auto ref = whole_buffer_cuts(reference, data);
+
+  for (const std::size_t prime : {3u, 61u, 257u, 1021u, 4099u}) {
+    // Boundaries at every multiple of the prime: piece sizes are `prime`
+    // bytes, so every offset r mod prime occurs as an intra-piece phase
+    // and every multiple as a resumption point.
+    std::vector<std::size_t> splits;
+    for (std::size_t off = prime; off < data.size(); off += prime) {
+      splits.push_back(off);
+    }
+    SCOPED_TRACE(testing::Message() << "prime=" << prime);
+    ChunkerConfig simd_cfg = cfg;
+    simd_cfg.impl = ChunkerImpl::kSimd;
+    GearChunker simd(simd_cfg);
+    EXPECT_EQ(cut_points(simd, data, splits), ref);
+
+    ChunkerConfig rescan_cfg = cfg;
+    rescan_cfg.impl = ChunkerImpl::kScalar;
+    GearChunker scalar(rescan_cfg);
+    EXPECT_EQ(cut_points(scalar, data, splits), ref);
+  }
+}
+
+// Two-piece split at every single offset of a small buffer: the exhaustive
+// version of the resumption property.
+TEST(ChunkerDifferential, TwoPieceSplitAtEveryOffset) {
+  const ByteVec data = random_bytes(4096, 7);
+  const ChunkerConfig cfg = ChunkerConfig::from_expected(256);
+
+  ChunkerConfig scalar_cfg = cfg;
+  scalar_cfg.impl = ChunkerImpl::kScalar;
+  GearChunker reference(scalar_cfg);
+  const auto ref = whole_buffer_cuts(reference, data);
+
+  for (std::size_t split = 0; split <= data.size(); ++split) {
+    ChunkerConfig simd_cfg = cfg;
+    simd_cfg.impl = ChunkerImpl::kSimd;
+    GearChunker simd(simd_cfg);
+    const std::vector<std::size_t> splits =
+        (split == 0 || split == data.size())
+            ? std::vector<std::size_t>{}
+            : std::vector<std::size_t>{split};
+    ASSERT_EQ(cut_points(simd, data, splits), ref) << "split=" << split;
+  }
+}
+
+// All-zero input saturates the gear hash into a fixed point; depending on
+// the mask this degenerates to max_size-forced cuts — the adversarial case
+// for the block scan's max boundary handoff.
+TEST(ChunkerDifferential, AllZeroBufferForcedCuts) {
+  const ByteVec data(512 * 1024, 0);
+  for (const std::uint64_t ecs : {256u, 1024u, 4096u}) {
+    SCOPED_TRACE(testing::Message() << "ecs=" << ecs);
+    expect_identical_cuts(ChunkerConfig::from_expected(ecs), data, {});
+  }
+  // Forced cuts must actually occur (the scenario is exercised, not vacuous).
+  ChunkerConfig cfg = ChunkerConfig::from_expected(1024);
+  cfg.impl = ChunkerImpl::kSimd;
+  GearChunker simd(cfg);
+  const auto cuts = whole_buffer_cuts(simd, data);
+  ASSERT_FALSE(cuts.empty());
+  EXPECT_EQ(cuts.front(), cfg.max_size);
+}
+
+// Periodic data hits the same hash window over and over: either a cut
+// fires every period (dense-candidate stress) or never (forced-cut
+// stress). Periods around the 64-byte window and the 32-byte block size
+// are the interesting phases.
+TEST(ChunkerDifferential, PeriodicBuffers) {
+  for (const std::size_t period : {1u, 3u, 31u, 32u, 33u, 64u, 255u}) {
+    for (const std::uint64_t seed : {11u, 12u, 13u}) {
+      SCOPED_TRACE(testing::Message() << "period=" << period
+                                      << " seed=" << seed);
+      const ByteVec data = periodic_bytes(128 * 1024, period, seed);
+      expect_identical_cuts(ChunkerConfig::from_expected(512), data, {});
+      expect_identical_cuts(ChunkerConfig::from_expected(4096), data, {});
+    }
+  }
+}
+
+// Boundary-adversarial: buffers sized to land scan() calls exactly on the
+// min/expected/max transitions and on block-size multiples of them.
+TEST(ChunkerDifferential, BoundaryAdversarialLengthsAndSplits) {
+  ChunkerConfig cfg;
+  cfg.min_size = 128;
+  cfg.expected_size = 160;  // expected just past min: all zones collide
+  cfg.max_size = 192;
+  const ByteVec data = random_bytes(16 * 1024, 99);
+
+  std::vector<std::size_t> interesting;
+  for (const std::size_t base : {128u, 160u, 192u}) {
+    for (int delta = -33; delta <= 33; ++delta) {
+      const std::ptrdiff_t off = static_cast<std::ptrdiff_t>(base) + delta;
+      if (off > 0 && static_cast<std::size_t>(off) < data.size()) {
+        interesting.push_back(static_cast<std::size_t>(off));
+      }
+    }
+  }
+  std::sort(interesting.begin(), interesting.end());
+  interesting.erase(std::unique(interesting.begin(), interesting.end()),
+                    interesting.end());
+
+  expect_identical_cuts(cfg, data, {});
+  expect_identical_cuts(cfg, data, interesting);
+
+  // And with the default geometry, piece sizes straddling the block size.
+  const ChunkerConfig def = ChunkerConfig::from_expected(1024);
+  for (const std::size_t piece : {31u, 32u, 33u}) {
+    std::vector<std::size_t> splits;
+    for (std::size_t off = piece; off < data.size(); off += piece) {
+      splits.push_back(off);
+    }
+    SCOPED_TRACE(testing::Message() << "piece=" << piece);
+    expect_identical_cuts(def, data, splits);
+  }
+}
+
+// Engine-level property: identical dedup ratios and manifest entry counts
+// under both implementations, for every engine. Cut points being identical
+// is necessary but not sufficient — this asserts nothing downstream
+// branches on the implementation either.
+TEST(ChunkerDifferential, EnginesProduceIdenticalResultsUnderBothImpls) {
+  CorpusConfig corpus_cfg = test_preset(1234);
+  corpus_cfg.machines = 2;
+  corpus_cfg.snapshots = 2;
+  const Corpus corpus(corpus_cfg);
+
+  std::vector<std::string> engines = engine_names();
+  const auto& extensions = extension_engine_names();
+  engines.insert(engines.end(), extensions.begin(), extensions.end());
+
+  for (const auto& engine : engines) {
+    SCOPED_TRACE(engine);
+    auto run = [&](ChunkerImpl impl) {
+      RunSpec spec;
+      spec.algorithm = engine;
+      spec.engine.ecs = 1024;
+      spec.engine.sd = 8;
+      spec.engine.bloom_bytes = 64 * 1024;
+      spec.engine.chunker = ChunkerKind::kGear;
+      spec.engine.chunker_impl = impl;
+      return run_experiment(spec, corpus);
+    };
+    const ExperimentResult scalar = run(ChunkerImpl::kScalar);
+    const ExperimentResult simd = run(ChunkerImpl::kSimd);
+
+    EXPECT_EQ(scalar.counters.input_chunks, simd.counters.input_chunks);
+    EXPECT_EQ(scalar.counters.stored_chunks, simd.counters.stored_chunks);
+    EXPECT_EQ(scalar.counters.dup_chunks, simd.counters.dup_chunks);
+    EXPECT_EQ(scalar.counters.dup_bytes, simd.counters.dup_bytes);
+    EXPECT_EQ(scalar.counters.dup_slices, simd.counters.dup_slices);
+    EXPECT_EQ(scalar.stored_data_bytes, simd.stored_data_bytes);
+    EXPECT_EQ(scalar.metadata.inodes_manifests, simd.metadata.inodes_manifests);
+    EXPECT_EQ(scalar.metadata.manifest_bytes, simd.metadata.manifest_bytes);
+    EXPECT_EQ(scalar.metadata.total_bytes(), simd.metadata.total_bytes());
+    EXPECT_DOUBLE_EQ(scalar.data_only_der(), simd.data_only_der());
+    // The only allowed difference is the reported kernel name.
+    EXPECT_EQ(scalar.chunker_impl, "scalar");
+    EXPECT_NE(simd.chunker_impl.find("simd"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace mhd

@@ -21,6 +21,29 @@ ByteVec chunk_content(int id) {
 
 Digest hash_of(ByteSpan b) { return Sha1::hash(b); }
 
+/// A stream chunk with arbitrary bytes (for boundaries that do not line up
+/// with the synthetic kChunk grid).
+StreamChunk custom(ByteVec bytes, std::uint64_t file_offset) {
+  StreamChunk c;
+  c.bytes = std::move(bytes);
+  c.hash = hash_of(c.bytes);
+  c.file_offset = file_offset;
+  return c;
+}
+
+ByteVec fresh_bytes(std::size_t n, std::uint64_t seed) {
+  Xoshiro256 rng(seed);
+  ByteVec out(n);
+  for (auto& b : out) b = static_cast<Byte>(rng());
+  return out;
+}
+
+ByteVec concat_chunks(int first, int last) {
+  ByteVec out;
+  for (int id = first; id <= last; ++id) append(out, chunk_content(id));
+  return out;
+}
+
 // Fixture: an old DiskChunk of 10 chunks c0..c9 with the SHM manifest
 // shape [hook c0][merged c1-4][hook c5][merged c6-9].
 class MatchExtensionTest : public ::testing::Test {
@@ -236,6 +259,128 @@ TEST_F(MatchExtensionTest, BackwardDisabledByAblation) {
   const auto out = run_extend(incoming(5, 1400), pending, {});
   EXPECT_EQ(out.dup_bytes, kChunk);  // anchor only
   EXPECT_EQ(pending.size(), 4u);
+}
+
+// ---- HHR splice cardinality -------------------------------------------
+//
+// A merged-entry splice can replace one entry with two or three entries;
+// a one-entry "splice" (full-entry byte match) is unreachable because any
+// run of new chunks covering an entry byte-for-byte is caught by the
+// whole-entry hash comparison before HHR is consulted. The tests below pin
+// each cardinality down.
+
+TEST_F(MatchExtensionTest, FullEntryMatchNeverTriggersHhr) {
+  // The stream re-chunks c6..c9 as ONE 400-byte chunk — boundaries do not
+  // line up with the original four — yet the run still covers merged c6-9
+  // exactly, so the hash fast path must match it without loading bytes.
+  std::deque<StreamChunk> stream;
+  stream.push_back(custom(concat_chunks(6, 9), 3100));
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(5, 3000), pending, stream);
+
+  EXPECT_EQ(out.dup_bytes, 5 * kChunk);  // c5 + the whole merged entry
+  EXPECT_EQ(counters_.hhr_operations, 0u);
+  EXPECT_EQ(counters_.hhr_chunk_reloads, 0u);
+  EXPECT_EQ(manifest_->entries().size(), 4u);  // nothing spliced
+}
+
+TEST_F(MatchExtensionTest, ForwardHhrStreamEndSplitsInTwo) {
+  // The stream ends after c6, c7: the matched prefix is cut short by the
+  // end of input, not by a mismatching chunk, so there is no edge chunk to
+  // pin — the splice is exactly [dup][remainder].
+  std::deque<StreamChunk> stream = {incoming(6, 3100), incoming(7, 3200)};
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(5, 3000), pending, stream);
+
+  EXPECT_EQ(out.dup_bytes, 3 * kChunk);  // c5 + c6 + c7
+  EXPECT_EQ(counters_.hhr_operations, 1u);
+  EXPECT_TRUE(out.leftover.empty());
+
+  const auto& entries = manifest_->entries();
+  ASSERT_EQ(entries.size(), 5u);  // [c0][c1-4][c5][dup c6-7][rem c8-9]
+  EXPECT_EQ(entries[3].size, 2 * kChunk);
+  EXPECT_EQ(entries[3].chunk_count, 2u);
+  EXPECT_EQ(entries[3].hash, hash_of(concat_chunks(6, 7)));
+  EXPECT_EQ(entries[4].size, 2 * kChunk);
+  EXPECT_EQ(entries[4].chunk_count, 2u);
+  EXPECT_EQ(entries[4].hash, hash_of(concat_chunks(8, 9)));
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+TEST_F(MatchExtensionTest, ForwardHhrEdgeReachingEntryEndSplitsInTwo) {
+  // The duplicate prefix (c6..c8 as one chunk) leaves only 100 bytes of
+  // the entry; the mismatching chunk is larger, so the EdgeHash block is
+  // clamped to the entry end and absorbs the whole remainder — the splice
+  // is exactly [dup][edge] with no remainder entry.
+  std::deque<StreamChunk> stream;
+  stream.push_back(custom(concat_chunks(6, 8), 3100));
+  stream.push_back(custom(fresh_bytes(150, 555), 3400));
+  std::deque<StreamChunk> pending;
+  const auto out = run_extend(incoming(5, 3000), pending, stream);
+
+  EXPECT_EQ(out.dup_bytes, 4 * kChunk);  // c5 + c6..c8
+  EXPECT_EQ(counters_.hhr_operations, 1u);
+  ASSERT_EQ(out.leftover.size(), 1u);  // the fresh chunk
+  EXPECT_EQ(out.leftover[0].file_offset, 3400u);
+
+  const auto& entries = manifest_->entries();
+  ASSERT_EQ(entries.size(), 5u);  // [c0][c1-4][c5][dup c6-8][edge c9]
+  EXPECT_EQ(entries[3].size, 3 * kChunk);
+  EXPECT_EQ(entries[3].hash, hash_of(concat_chunks(6, 8)));
+  EXPECT_EQ(entries[4].size, kChunk);  // clamped edge == old c9 region
+  EXPECT_EQ(entries[4].chunk_count, 1u);
+  EXPECT_EQ(entries[4].hash, hash_of(chunk_content(9)));
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+TEST_F(MatchExtensionTest, BackwardHhrTailOnlySplitsInTwo) {
+  // Only c4 is buffered before the anchor: the matched tail is bounded by
+  // the start of the pending buffer, not by a mismatch, so there is no
+  // edge chunk — the splice is exactly [remainder][dup].
+  std::deque<StreamChunk> pending = {incoming(4, 4400)};
+  const auto out = run_extend(incoming(5, 4500), pending, {});
+
+  EXPECT_EQ(out.dup_bytes, 2 * kChunk);  // c4 + anchor c5
+  EXPECT_EQ(counters_.hhr_operations, 1u);
+  EXPECT_TRUE(pending.empty());
+
+  const auto& entries = manifest_->entries();
+  ASSERT_EQ(entries.size(), 5u);  // [c0][rem c1-3][dup c4][c5][c6-9]
+  EXPECT_EQ(entries[1].size, 3 * kChunk);
+  EXPECT_EQ(entries[1].chunk_count, 3u);
+  EXPECT_EQ(entries[1].hash, hash_of(concat_chunks(1, 3)));
+  EXPECT_EQ(entries[2].size, kChunk);
+  EXPECT_EQ(entries[2].chunk_count, 1u);
+  EXPECT_EQ(entries[2].hash, hash_of(chunk_content(4)));
+  EXPECT_TRUE(manifest_->regions_contiguous());
+}
+
+TEST_F(MatchExtensionTest, BackwardEdgeHashPreventsSecondReload) {
+  // First pass: backward HHR splits merged c1-4 into [rem][edge][dup] and
+  // pins the edge with the fresh chunk's size.
+  {
+    std::deque<StreamChunk> pending = {incoming(99, 2000), incoming(3, 2100),
+                                       incoming(4, 2200)};
+    const auto out = run_extend(incoming(5, 2300), pending, {});
+    EXPECT_EQ(out.dup_bytes, 3 * kChunk);
+  }
+  EXPECT_EQ(counters_.hhr_chunk_reloads, 1u);
+  ASSERT_EQ(manifest_->entries().size(), 6u);
+
+  // Second identical slice at new offsets: the dup entry (c3,c4) now
+  // hash-matches directly, and backward extension stops at the single-chunk
+  // EdgeHash entry without re-loading any old bytes or re-splicing.
+  {
+    std::deque<StreamChunk> pending = {incoming(99, 9000), incoming(3, 9100),
+                                       incoming(4, 9200)};
+    const auto out = run_extend(incoming(5, 9300), pending, {});
+    EXPECT_EQ(out.dup_bytes, 3 * kChunk);
+    ASSERT_EQ(pending.size(), 1u);  // the fresh chunk survives again
+    EXPECT_EQ(pending[0].file_offset, 9000u);
+  }
+  EXPECT_EQ(counters_.hhr_chunk_reloads, 1u);  // no second reload
+  EXPECT_EQ(counters_.hhr_operations, 1u);     // no second splice
+  EXPECT_EQ(manifest_->entries().size(), 6u);
 }
 
 TEST_F(MatchExtensionTest, EdgeHashDisabledStillCorrect) {

@@ -24,6 +24,8 @@ ExperimentResult sample() {
   r.counters.dup_slices = 10;
   r.dedup_seconds = 2.0;
   r.copy_seconds = 1.0;
+  r.chunker = "gear";
+  r.chunker_impl = "simd-avx2";
   return r;
 }
 
@@ -34,6 +36,8 @@ TEST(JsonExport, ContainsAllHeadlineFields) {
   EXPECT_NE(j.find("\"data_only_der\":4"), std::string::npos);
   EXPECT_NE(j.find("\"throughput_ratio\":0.5"), std::string::npos);
   EXPECT_NE(j.find("\"dad_bytes\":75000"), std::string::npos);
+  EXPECT_NE(j.find("\"chunker\":\"gear\""), std::string::npos);
+  EXPECT_NE(j.find("\"chunker_impl\":\"simd-avx2\""), std::string::npos);
   EXPECT_EQ(j.front(), '{');
   EXPECT_EQ(j.back(), '}');
 }

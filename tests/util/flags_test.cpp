@@ -1,5 +1,7 @@
 #include "mhd/util/flags.h"
 
+#include <stdexcept>
+
 #include <gtest/gtest.h>
 
 namespace mhd {
@@ -46,6 +48,25 @@ TEST(Flags, ParsesIntList) {
 TEST(Flags, IntListDefault) {
   const auto f = make_flags({});
   EXPECT_EQ(f.get_int_list("ecs", {1, 2}), (std::vector<std::int64_t>{1, 2}));
+}
+
+TEST(Flags, ChoiceAcceptsAllowedValue) {
+  const auto f = make_flags({"--chunker-impl=simd"});
+  EXPECT_EQ(f.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"),
+            "simd");
+}
+
+TEST(Flags, ChoiceDefaultsWhenAbsent) {
+  const auto f = make_flags({});
+  EXPECT_EQ(f.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"),
+            "auto");
+}
+
+TEST(Flags, ChoiceRejectsUnknownValue) {
+  const auto f = make_flags({"--chunker-impl=sse9"});
+  EXPECT_THROW(
+      f.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"),
+      std::invalid_argument);
 }
 
 TEST(Flags, CollectsPositional) {
