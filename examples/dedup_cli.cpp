@@ -15,6 +15,8 @@
 //
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
 //          --chunker-impl=auto|scalar|simd
+//          --pipeline | --ingest-threads=N   staged concurrent ingest
+//          (N SHA-1 workers; 0 = serial; stored bytes are bit-identical)
 #include <cstdio>
 #include <fstream>
 
@@ -53,6 +55,10 @@ EngineConfig config_from(const Flags& flags) {
   cfg.chunker = chunker_kind_from_string(flags.get("chunker", "rabin"));
   cfg.chunker_impl = chunker_impl_from_string(
       flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
+  cfg.ingest_threads = static_cast<std::uint32_t>(flags.get_uint(
+      "ingest-threads", flags.get_bool("pipeline", false) ? 4 : 0, 0, 256));
+  cfg.pipeline_queue_depth = static_cast<std::uint32_t>(
+      flags.get_uint("pipeline-queue-depth", 64, 1, 65536));
   return cfg;
 }
 
@@ -85,6 +91,14 @@ int cmd_store(const Flags& flags, bool verify_after) {
               c.dup_bytes / 1048576.0,
               static_cast<unsigned long long>(c.dup_slices),
               static_cast<unsigned long long>(c.hhr_operations));
+  for (const auto& s : engine.pipeline_stats().stages) {
+    std::printf("  stage %-5s: %2u thread(s), %8llu items, %8.2f MB, "
+                "busy %.3fs, idle %.3fs, queue max %llu\n",
+                s.stage.c_str(), s.threads,
+                static_cast<unsigned long long>(s.items),
+                s.bytes / 1048576.0, s.busy_seconds, s.idle_seconds,
+                static_cast<unsigned long long>(s.queue_high_water));
+  }
 
   if (verify_after) {
     for (std::size_t i = 2; i < args.size(); ++i) {

@@ -135,9 +135,7 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
   ctx.dig = unique_store_digest(file_digest(file_name));
   ctx.manifest = Manifest(ctx.dig);
 
-  const auto chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
-  ChunkStream stream(data, *chunker);
+  const auto stream = open_ingest(data, cfg_.ecs);
 
   auto pull_chunk = [&]() -> std::optional<StreamChunk> {
     if (!ctx.inbox.empty()) {
@@ -146,13 +144,12 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
       return c;
     }
     ByteVec bytes;
-    if (!stream.next(bytes)) return std::nullopt;
     StreamChunk c;
+    if (!stream->next(bytes, c.hash)) return std::nullopt;
     c.file_offset = ctx.file_offset;
     ctx.file_offset += bytes.size();
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
-    c.hash = Sha1::hash(bytes);
     c.bytes = std::move(bytes);
     return c;
   };

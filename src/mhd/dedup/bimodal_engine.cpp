@@ -96,9 +96,7 @@ void BimodalEngine::process_file(const std::string& file_name,
 
   const std::uint64_t big_size =
       static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
-  const auto big_chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(big_size));
-  ChunkStream stream(data, *big_chunker);
+  const auto stream = open_ingest(data, big_size);
 
   // One-big-chunk delay line so a non-duplicate chunk knows whether its
   // successor is a duplicate (transition-point detection needs both sides).
@@ -106,11 +104,12 @@ void BimodalEngine::process_file(const std::string& file_name,
   bool prev_was_dup = false;
 
   ByteVec bytes;
-  while (stream.next(bytes)) {
+  Digest hash;
+  while (stream->next(bytes, hash)) {
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
     BigChunk incoming;
-    incoming.hash = Sha1::hash(bytes);
+    incoming.hash = hash;
     incoming.bytes = std::move(bytes);
     incoming.dup =
         find_duplicate(incoming.hash, ctx, AccessKind::kBigChunkQuery);

@@ -45,14 +45,12 @@ void CdcEngine::process_file(const std::string& file_name, ByteSource& data) {
   std::uint64_t chunk_off = 0;
   current_file_.clear();
 
-  const auto chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
-  ChunkStream stream(data, *chunker);
+  const auto stream = open_ingest(data, cfg_.ecs);
   ByteVec bytes;
-  while (stream.next(bytes)) {
+  Digest hash;
+  while (stream->next(bytes, hash)) {
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
-    const Digest hash = Sha1::hash(bytes);
 
     if (const auto dup = find_duplicate(hash)) {
       note_duplicate(dup->size);

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "mhd/format/file_manifest.h"
+#include "mhd/pipeline/ingest_pipeline.h"
 #include "mhd/util/hex.h"
 #include "mhd/util/timer.h"
 
@@ -29,6 +30,14 @@ Digest DedupEngine::unique_store_digest(const Digest& base) const {
     d = Sha1::hash(salted);
   }
   return d;
+}
+
+std::unique_ptr<HashedChunkStream> DedupEngine::open_ingest(
+    ByteSource& data, std::uint64_t expected_chunk_bytes) {
+  auto chunker =
+      make_chunker(cfg_.chunker, cfg_.chunker_config(expected_chunk_bytes));
+  return open_hashed_stream(data, std::move(chunker), cfg_.ingest_threads,
+                            cfg_.pipeline_queue_depth, &pipeline_stats_);
 }
 
 void DedupEngine::add_file(const std::string& file_name, ByteSource& data) {

@@ -18,6 +18,8 @@
 #include "mhd/chunk/make_chunker.h"
 #include "mhd/container/bloom_filter.h"
 #include "mhd/hash/sha1.h"
+#include "mhd/pipeline/hashed_chunk_stream.h"
+#include "mhd/pipeline/stage.h"
 #include "mhd/store/object_store.h"
 
 namespace mhd {
@@ -39,6 +41,16 @@ struct EngineConfig {
     cc.impl = chunker_impl;
     return cc;
   }
+
+  /// Hash-worker pool size for the staged ingest pipeline
+  /// (--ingest-threads). 0 = serial ingest: read, chunk and SHA-1 run
+  /// inline on the caller's thread. N >= 1 runs the pipelined path
+  /// (read → chunk → N hash workers → reorder → dedup); results are
+  /// bit-identical either way — this is purely a throughput knob.
+  std::uint32_t ingest_threads = 0;
+  /// Bounded capacity of each inter-stage queue, in chunks. Caps the
+  /// memory held by in-flight chunks and the reorder window.
+  std::uint32_t pipeline_queue_depth = 64;
 
   bool use_bloom = true;
   std::size_t bloom_bytes = 4 << 20;  ///< paper: 100 MB; scaled for corpus
@@ -107,6 +119,10 @@ class DedupEngine {
   const EngineCounters& counters() const { return counters_; }
   const EngineConfig& config() const { return cfg_; }
 
+  /// Per-stage ingest-pipeline counters aggregated over all add_file
+  /// calls. Empty when the engine ran serially (ingest_threads == 0).
+  const PipelineStats& pipeline_stats() const { return pipeline_stats_; }
+
   /// Manifests loaded from disk into the cache (the paper's TABLE V).
   virtual std::uint64_t manifest_loads() const { return 0; }
 
@@ -130,6 +146,14 @@ class DedupEngine {
 
  protected:
   virtual void process_file(const std::string& file_name, ByteSource& data) = 0;
+
+  /// Opens the top-level ingest stream over `data` with a chunker of the
+  /// engine's configured kind at `expected_chunk_bytes`: serial when
+  /// cfg_.ingest_threads == 0, the staged concurrent pipeline otherwise.
+  /// Chunk boundaries, hashes and delivery order are identical either way,
+  /// so engines use this without caring which path runs underneath.
+  std::unique_ptr<HashedChunkStream> open_ingest(
+      ByteSource& data, std::uint64_t expected_chunk_bytes);
 
   /// Returns `base`, salted until no DiskChunk/Manifest with that name
   /// exists. DiskChunks are immutable and may be referenced by other
@@ -155,6 +179,7 @@ class DedupEngine {
 
  private:
   bool in_dup_run_ = false;
+  PipelineStats pipeline_stats_;
 };
 
 }  // namespace mhd

@@ -59,15 +59,13 @@ void ExtremeBinningEngine::process_file(const std::string& file_name,
   // Chunk the whole file first: Extreme Binning needs the representative
   // (minimum) chunk hash before it can pick a bin.
   std::vector<std::pair<Digest, ByteVec>> chunks;
-  const auto chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
-  ChunkStream stream(data, *chunker);
+  const auto stream = open_ingest(data, cfg_.ecs);
   ByteVec bytes;
+  Digest hash;
   std::optional<Digest> representative;
-  while (stream.next(bytes)) {
+  while (stream->next(bytes, hash)) {
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
-    const Digest hash = Sha1::hash(bytes);
     if (!representative || hash < *representative) representative = hash;
     chunks.emplace_back(hash, std::move(bytes));
   }

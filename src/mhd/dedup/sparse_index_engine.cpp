@@ -197,20 +197,17 @@ void SparseIndexEngine::process_file(const std::string& file_name,
 
   const std::uint64_t segment_bytes = static_cast<std::uint64_t>(cfg_.ecs) *
                                       cfg_.sd * cfg_.segment_factor;
-  const auto chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(cfg_.ecs));
-  ChunkStream stream(data, *chunker);
+  const auto stream = open_ingest(data, cfg_.ecs);
 
   std::vector<SegChunk> segment;
   std::uint64_t segment_fill = 0;
   std::uint64_t segment_seq = 0;
 
   ByteVec bytes;
-  while (stream.next(bytes)) {
+  SegChunk c;
+  while (stream->next(bytes, c.hash)) {
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
-    SegChunk c;
-    c.hash = Sha1::hash(bytes);
     segment_fill += bytes.size();
     c.bytes = std::move(bytes);
     segment.push_back(std::move(c));

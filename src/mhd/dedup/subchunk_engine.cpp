@@ -178,15 +178,13 @@ void SubChunkEngine::process_file(const std::string& file_name,
 
   const std::uint64_t big_size =
       static_cast<std::uint64_t>(cfg_.ecs) * cfg_.sd;
-  const auto big_chunker =
-      make_chunker(cfg_.chunker, cfg_.chunker_config(big_size));
-  ChunkStream stream(data, *big_chunker);
+  const auto stream = open_ingest(data, big_size);
 
   ByteVec big_bytes;
-  while (stream.next(big_bytes)) {
+  Digest big_hash;
+  while (stream->next(big_bytes, big_hash)) {
     counters_.input_bytes += big_bytes.size();
     ++counters_.input_chunks;
-    const Digest big_hash = Sha1::hash(big_bytes);
 
     // Big-chunk duplication query (cache first, then the on-disk hook — the
     // query MHD's bi-directional extension avoids).

@@ -79,6 +79,8 @@ ExperimentResult summarize(const std::string& algorithm,
   r.metadata = MetadataBreakdown::from(backend);
   r.manifest_loads = engine.manifest_loads();
   r.index_ram_bytes = engine.index_ram_bytes();
+  r.ingest_threads = engine.config().ingest_threads;
+  r.pipeline = engine.pipeline_stats();
 
   r.dedup_seconds = r.counters.cpu_seconds + disk.io_seconds(r.stats);
   r.copy_seconds = disk.copy_seconds(r.input_bytes) +

@@ -63,6 +63,11 @@ struct ExperimentResult {
   std::uint64_t manifest_loads = 0;   ///< TABLE V
   std::uint64_t index_ram_bytes = 0;  ///< TABLE III
 
+  /// Staged-ingest configuration and per-stage observability (empty when
+  /// the run ingested serially, i.e. ingest_threads == 0).
+  std::uint32_t ingest_threads = 0;
+  PipelineStats pipeline;
+
   double dedup_seconds = 0;  ///< CPU + modeled disk time
   double copy_seconds = 0;   ///< modeled baseline copy
 

@@ -1,0 +1,126 @@
+// BoundedQueue — the blocking MPMC channel that joins pipeline stages.
+//
+// Semantics (the pipeline's backpressure and shutdown contract):
+//   * push() blocks while the queue is full; returns false (item dropped)
+//     once the queue is closed, so producers learn the consumer went away.
+//   * pop() blocks while the queue is empty; after close() it drains the
+//     remaining items and then returns false.
+//   * fail(err) aborts the channel: every blocked or future push/pop
+//     rethrows `err` on the calling thread. Unlike close(), fail() does
+//     not drain — a failed pipeline must stop fast, not finish its queue.
+//   * high_water() reports the largest size the queue ever reached, the
+//     per-stage queue-depth observability counter.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <mutex>
+#include <utility>
+
+namespace mhd {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity)
+      : capacity_(capacity == 0 ? 1 : capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Blocks until there is space (or the queue is closed/failed). Returns
+  /// true if the item was enqueued, false if the queue was closed first.
+  /// Rethrows the failure exception if fail() was called.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_full_.wait(lock, [&] {
+      return items_.size() < capacity_ || closed_ || error_;
+    });
+    if (error_) std::rethrow_exception(error_);
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    if (items_.size() > high_water_) high_water_ = items_.size();
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an item is available (or the queue is closed/failed).
+  /// Returns true with `out` filled, or false once closed and drained.
+  /// Rethrows the failure exception if fail() was called (undelivered
+  /// items are discarded — abort beats completeness).
+  bool pop(T& out) {
+    std::unique_lock<std::mutex> lock(mu_);
+    not_empty_.wait(lock, [&] {
+      return !items_.empty() || closed_ || error_;
+    });
+    if (error_) std::rethrow_exception(error_);
+    if (items_.empty()) return false;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Graceful shutdown: producers are done (or the consumer stopped
+  /// caring). Blocked pushers return false; poppers drain whatever is
+  /// queued, then get false. Idempotent.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  /// Abort with an error: every blocked or subsequent push/pop rethrows
+  /// `err` on its own thread. The first error wins; later calls are
+  /// ignored. A null `err` degrades to close().
+  void fail(std::exception_ptr err) {
+    if (!err) {
+      close();
+      return;
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!error_) error_ = std::move(err);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+
+  std::size_t capacity() const { return capacity_; }
+
+  /// Largest number of items ever queued (queue-depth high-water mark).
+  std::size_t high_water() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return high_water_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  std::size_t high_water_ = 0;
+  bool closed_ = false;
+  std::exception_ptr error_;
+};
+
+}  // namespace mhd

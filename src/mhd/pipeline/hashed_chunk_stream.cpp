@@ -1,0 +1,17 @@
+#include "mhd/pipeline/hashed_chunk_stream.h"
+
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+
+SerialHashedChunkStream::SerialHashedChunkStream(
+    ByteSource& source, std::unique_ptr<Chunker> chunker)
+    : chunker_(std::move(chunker)), stream_(source, *chunker_) {}
+
+bool SerialHashedChunkStream::next(ByteVec& bytes, Digest& hash) {
+  if (!stream_.next(bytes)) return false;
+  hash = Sha1::hash(bytes);
+  return true;
+}
+
+}  // namespace mhd

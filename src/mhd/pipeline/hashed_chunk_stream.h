@@ -1,0 +1,46 @@
+// HashedChunkStream — the ingest front end every deduplication engine
+// pulls from: whole chunks plus their SHA-1 fingerprints, strictly in
+// input order.
+//
+// Two implementations share this interface:
+//   * SerialHashedChunkStream: ChunkStream + Sha1 inline on the caller's
+//     thread (the classic path, zero threads).
+//   * IngestPipeline (ingest_pipeline.h): read → chunk → hash-pool →
+//     reorder, delivering the exact same (bytes, hash) sequence from a
+//     pool of worker threads.
+// Because delivery order and content are identical, an engine cannot tell
+// which implementation feeds it — dedup results are bit-identical.
+#pragma once
+
+#include <memory>
+
+#include "mhd/chunk/chunk_stream.h"
+#include "mhd/chunk/chunker.h"
+#include "mhd/hash/digest.h"
+
+namespace mhd {
+
+class HashedChunkStream {
+ public:
+  virtual ~HashedChunkStream() = default;
+
+  /// Fills `bytes` and `hash` with the next chunk, in input order.
+  /// Returns false at end of stream. Propagates any pipeline-stage
+  /// failure as the original exception on the calling thread.
+  virtual bool next(ByteVec& bytes, Digest& hash) = 0;
+};
+
+/// The zero-thread implementation: chunk and fingerprint inline.
+/// Takes ownership of the chunker (its state is private to the stream).
+class SerialHashedChunkStream final : public HashedChunkStream {
+ public:
+  SerialHashedChunkStream(ByteSource& source, std::unique_ptr<Chunker> chunker);
+
+  bool next(ByteVec& bytes, Digest& hash) override;
+
+ private:
+  std::unique_ptr<Chunker> chunker_;
+  ChunkStream stream_;
+};
+
+}  // namespace mhd

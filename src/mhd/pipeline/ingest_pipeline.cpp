@@ -1,0 +1,255 @@
+#include "mhd/pipeline/ingest_pipeline.h"
+
+#include <cstring>
+
+#include "mhd/hash/sha1.h"
+
+namespace mhd {
+
+namespace {
+
+/// ByteSource over the read→chunk queue: the chunk stage's ChunkStream
+/// pulls from here instead of the real source. Pop waits are charged to
+/// the chunk stage's idle time.
+class QueueSource final : public ByteSource {
+ public:
+  QueueSource(BoundedQueue<ByteVec>& queue, StageTimer& timer)
+      : queue_(queue), timer_(timer) {}
+
+  std::size_t read(MutByteSpan out) override {
+    if (offset_ == current_.size()) {
+      current_.clear();
+      offset_ = 0;
+      const bool got = timer_.idle([&] { return queue_.pop(current_); });
+      if (!got) return 0;
+    }
+    const std::size_t n = std::min(out.size(), current_.size() - offset_);
+    std::memcpy(out.data(), current_.data() + offset_, n);
+    offset_ += n;
+    return n;
+  }
+
+ private:
+  BoundedQueue<ByteVec>& queue_;
+  StageTimer& timer_;
+  ByteVec current_;
+  std::size_t offset_ = 0;
+};
+
+}  // namespace
+
+IngestPipeline::IngestPipeline(ByteSource& source,
+                               std::unique_ptr<Chunker> chunker,
+                               const PipelineOptions& options,
+                               PipelineStats* stats_sink)
+    : source_(source),
+      chunker_(std::move(chunker)),
+      opts_(options.normalized()),
+      stats_sink_(stats_sink),
+      raw_q_(4),
+      work_q_(opts_.queue_depth),
+      worker_logs_(opts_.hash_workers),
+      read_stage_("read", error_),
+      chunk_stage_("chunk", error_),
+      hash_stage_("hash", error_) {
+  // The consumer (dedup) clock runs from construction until shutdown —
+  // the caller drives next() for the pipeline's whole active window.
+  dedup_timer_.start();
+  const auto on_error = [this] { abort_all(); };
+  read_stage_.launch(1, [this](std::uint32_t) { run_read(); }, on_error);
+  chunk_stage_.launch(1, [this](std::uint32_t) { run_chunk(); }, on_error);
+  hash_stage_.launch(opts_.hash_workers,
+                     [this](std::uint32_t w) { run_hash(w); }, on_error);
+}
+
+IngestPipeline::~IngestPipeline() { shutdown(); }
+
+void IngestPipeline::run_read() {
+  const StageTimer::Scope alive(read_timer_);
+  for (;;) {
+    ByteVec block(opts_.read_block);
+    const std::size_t n = source_.read({block.data(), block.size()});
+    if (n == 0) break;
+    block.resize(n);
+    ++read_items_;
+    read_bytes_ += n;
+    const bool pushed =
+        read_timer_.idle([&] { return raw_q_.push(std::move(block)); });
+    if (!pushed) return;  // consumer went away
+  }
+  raw_q_.close();
+}
+
+void IngestPipeline::run_chunk() {
+  const StageTimer::Scope alive(chunk_timer_);
+  QueueSource qs(raw_q_, chunk_timer_);
+  ChunkStream stream(qs, *chunker_);
+  ByteVec bytes;
+  std::uint64_t seq = 0;
+  while (stream.next(bytes)) {
+    ++chunk_items_;
+    chunk_bytes_ += bytes.size();
+    WorkItem w{seq, std::move(bytes)};
+    const bool pushed =
+        chunk_timer_.idle([&] { return work_q_.push(std::move(w)); });
+    if (!pushed) return;
+    ++seq;
+  }
+  {
+    std::lock_guard<std::mutex> lock(ro_mu_);
+    chunk_done_ = true;
+    total_chunks_ = seq;
+  }
+  ro_avail_.notify_all();
+  work_q_.close();
+}
+
+void IngestPipeline::run_hash(std::uint32_t worker) {
+  WorkerLog& log = worker_logs_[worker];
+  const StageTimer::Scope alive(log.timer);
+  WorkItem w;
+  while (log.timer.idle([&] { return work_q_.pop(w); })) {
+    const std::uint64_t seq = w.seq;
+    HashedItem item;
+    item.hash = Sha1::hash(w.bytes);
+    ++log.items;
+    log.bytes += w.bytes.size();
+    item.bytes = std::move(w.bytes);
+    if (!emplace_result(seq, std::move(item), log)) return;
+  }
+}
+
+bool IngestPipeline::emplace_result(std::uint64_t seq, HashedItem item,
+                                    WorkerLog& log) {
+  std::unique_lock<std::mutex> lock(ro_mu_);
+  // The window bounds memory: a worker far ahead of the consumer parks
+  // until the cursor catches up. The worker holding next_seq_ always fits
+  // (seq == next_seq_ < next_seq_ + depth), so this cannot deadlock.
+  log.timer.idle([&] {
+    ro_space_.wait(lock, [&] {
+      return cancelled_ || failed_ || seq < next_seq_ + opts_.queue_depth;
+    });
+  });
+  if (cancelled_ || failed_) return false;
+  ro_buf_.emplace(seq, std::move(item));
+  if (ro_buf_.size() > ro_high_water_) ro_high_water_ = ro_buf_.size();
+  const bool ready = seq == next_seq_;
+  lock.unlock();
+  if (ready) ro_avail_.notify_one();
+  return true;
+}
+
+bool IngestPipeline::next(ByteVec& bytes, Digest& hash) {
+  std::unique_lock<std::mutex> lock(ro_mu_);
+  dedup_timer_.idle([&] {
+    ro_avail_.wait(lock, [&] {
+      return failed_ || ro_buf_.count(next_seq_) > 0 ||
+             (chunk_done_ && next_seq_ >= total_chunks_);
+    });
+  });
+  if (failed_) {
+    lock.unlock();
+    error_.rethrow_if_set();
+  }
+  const auto it = ro_buf_.find(next_seq_);
+  if (it == ro_buf_.end()) return false;  // end of stream
+  bytes = std::move(it->second.bytes);
+  hash = it->second.hash;
+  ro_buf_.erase(it);
+  ++next_seq_;
+  ++dedup_items_;
+  dedup_bytes_ += bytes.size();
+  lock.unlock();
+  ro_space_.notify_all();
+  return true;
+}
+
+void IngestPipeline::abort_all() {
+  const std::exception_ptr err = error_.get();
+  raw_q_.fail(err);
+  work_q_.fail(err);
+  {
+    std::lock_guard<std::mutex> lock(ro_mu_);
+    failed_ = true;
+  }
+  ro_avail_.notify_all();
+  ro_space_.notify_all();
+}
+
+void IngestPipeline::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(ro_mu_);
+    cancelled_ = true;
+  }
+  raw_q_.close();
+  work_q_.close();
+  ro_avail_.notify_all();
+  ro_space_.notify_all();
+  read_stage_.join();
+  chunk_stage_.join();
+  hash_stage_.join();
+  dedup_timer_.stop();
+  flush_stats();
+}
+
+void IngestPipeline::flush_stats() {
+  if (stats_flushed_) return;
+  stats_flushed_ = true;
+  if (!stats_sink_) return;
+
+  PipelineStats p;
+  p.hash_workers = opts_.hash_workers;
+  p.files = 1;
+
+  StageStats& read = p.stage("read");
+  read.threads = 1;
+  read.items = read_items_;
+  read.bytes = read_bytes_;
+  read.busy_seconds = read_timer_.busy_seconds();
+  read.idle_seconds = read_timer_.idle_seconds();
+  read.queue_high_water = raw_q_.high_water();
+
+  StageStats& chunk = p.stage("chunk");
+  chunk.threads = 1;
+  chunk.items = chunk_items_;
+  chunk.bytes = chunk_bytes_;
+  chunk.busy_seconds = chunk_timer_.busy_seconds();
+  chunk.idle_seconds = chunk_timer_.idle_seconds();
+  chunk.queue_high_water = work_q_.high_water();
+
+  StageStats& hash = p.stage("hash");
+  hash.threads = opts_.hash_workers;
+  for (const auto& log : worker_logs_) {
+    hash.items += log.items;
+    hash.bytes += log.bytes;
+    hash.busy_seconds += log.timer.busy_seconds();
+    hash.idle_seconds += log.timer.idle_seconds();
+  }
+  hash.queue_high_water = ro_high_water_;
+
+  StageStats& dedup = p.stage("dedup");
+  dedup.threads = 1;
+  dedup.items = dedup_items_;
+  dedup.bytes = dedup_bytes_;
+  dedup.busy_seconds = dedup_timer_.busy_seconds();
+  dedup.idle_seconds = dedup_timer_.idle_seconds();
+
+  stats_sink_->merge(p);
+}
+
+std::unique_ptr<HashedChunkStream> open_hashed_stream(
+    ByteSource& source, std::unique_ptr<Chunker> chunker,
+    std::uint32_t hash_workers, std::uint32_t queue_depth,
+    PipelineStats* stats_sink) {
+  if (hash_workers == 0) {
+    return std::make_unique<SerialHashedChunkStream>(source,
+                                                     std::move(chunker));
+  }
+  PipelineOptions opts;
+  opts.hash_workers = hash_workers;
+  opts.queue_depth = queue_depth;
+  return std::make_unique<IngestPipeline>(source, std::move(chunker), opts,
+                                          stats_sink);
+}
+
+}  // namespace mhd

@@ -1,0 +1,133 @@
+// IngestPipeline — the staged concurrent ingest path:
+//
+//   read(1) ──raw blocks──▶ chunk(1) ──seq'd chunks──▶ hash pool(N)
+//                                                          │ out of order
+//                                                          ▼
+//   caller (dedup+store) ◀──strict input order── reorder buffer
+//
+// The read stage pulls fixed-size blocks from the ByteSource; the chunk
+// stage runs the (stateful, inherently serial) chunker over them; a pool
+// of hash workers fingerprints chunks out of order; and a sequence-number
+// reorder buffer hands them to the caller strictly in input order. Chunk
+// boundaries and SHA-1 are pure functions of the byte stream, so the
+// delivered (bytes, hash) sequence — and therefore every dedup decision,
+// manifest and counter downstream — is bit-identical to the serial path.
+//
+// All queues are bounded (backpressure, bounded memory: at most
+// queue_depth chunks live between any two stages). A failing stage latches
+// its exception, aborts every queue, and the caller's next() rethrows it.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+
+#include "mhd/pipeline/bounded_queue.h"
+#include "mhd/pipeline/hashed_chunk_stream.h"
+#include "mhd/pipeline/stage.h"
+
+namespace mhd {
+
+struct PipelineOptions {
+  std::uint32_t hash_workers = 4;  ///< SHA-1 pool size (>= 1)
+  std::uint32_t queue_depth = 64;  ///< chunks in flight between stages
+  std::uint32_t read_block = 256 * 1024;  ///< read-stage granularity, bytes
+
+  PipelineOptions normalized() const {
+    PipelineOptions o = *this;
+    if (o.hash_workers == 0) o.hash_workers = 1;
+    if (o.queue_depth == 0) o.queue_depth = 1;
+    if (o.read_block == 0) o.read_block = 64 * 1024;
+    return o;
+  }
+};
+
+class IngestPipeline final : public HashedChunkStream {
+ public:
+  /// Starts the stage threads immediately. `source` must outlive the
+  /// pipeline and is only touched by the read stage. Takes ownership of
+  /// the chunker. When `stats_sink` is non-null, per-stage counters are
+  /// merged into it when the pipeline is destroyed.
+  IngestPipeline(ByteSource& source, std::unique_ptr<Chunker> chunker,
+                 const PipelineOptions& options,
+                 PipelineStats* stats_sink = nullptr);
+  ~IngestPipeline() override;
+
+  bool next(ByteVec& bytes, Digest& hash) override;
+
+ private:
+  struct WorkItem {
+    std::uint64_t seq = 0;
+    ByteVec bytes;
+  };
+  struct HashedItem {
+    ByteVec bytes;
+    Digest hash;
+  };
+  struct WorkerLog {  // one per hash worker, merged after join
+    StageTimer timer;
+    std::uint64_t items = 0;
+    std::uint64_t bytes = 0;
+  };
+
+  void run_read();
+  void run_chunk();
+  void run_hash(std::uint32_t worker);
+  /// Parks a finished chunk in the reorder buffer (blocking while the
+  /// window is full). Returns false when the pipeline is cancelled.
+  bool emplace_result(std::uint64_t seq, HashedItem item, WorkerLog& log);
+  void abort_all();
+  void shutdown();
+  void flush_stats();
+
+  ByteSource& source_;
+  std::unique_ptr<Chunker> chunker_;
+  const PipelineOptions opts_;
+  PipelineStats* stats_sink_;
+
+  BoundedQueue<ByteVec> raw_q_;     ///< read → chunk
+  BoundedQueue<WorkItem> work_q_;   ///< chunk → hash pool
+
+  // Reorder buffer: hash results parked by sequence number until the
+  // consumer's cursor reaches them.
+  std::mutex ro_mu_;
+  std::condition_variable ro_avail_;  ///< consumer waits for next_seq_
+  std::condition_variable ro_space_;  ///< workers wait for window space
+  std::map<std::uint64_t, HashedItem> ro_buf_;
+  std::uint64_t next_seq_ = 0;       ///< consumer cursor
+  std::uint64_t total_chunks_ = 0;   ///< valid once chunk_done_
+  std::uint64_t ro_high_water_ = 0;
+  bool chunk_done_ = false;
+  bool cancelled_ = false;  ///< consumer went away (destructor)
+  bool failed_ = false;     ///< a stage latched an exception
+
+  PipelineError error_;
+
+  // Per-stage observability (threads write their own slots; merged after
+  // join in flush_stats).
+  StageTimer read_timer_;
+  std::uint64_t read_items_ = 0;
+  std::uint64_t read_bytes_ = 0;
+  StageTimer chunk_timer_;
+  std::uint64_t chunk_items_ = 0;
+  std::uint64_t chunk_bytes_ = 0;
+  std::vector<WorkerLog> worker_logs_;
+  StageTimer dedup_timer_;
+  std::uint64_t dedup_items_ = 0;
+  std::uint64_t dedup_bytes_ = 0;
+  bool stats_flushed_ = false;
+
+  Stage read_stage_;
+  Stage chunk_stage_;
+  Stage hash_stage_;
+};
+
+/// Opens the ingest front end over `source`: serial when hash_workers is
+/// 0, the staged pipeline otherwise. This is the single switch point every
+/// engine goes through.
+std::unique_ptr<HashedChunkStream> open_hashed_stream(
+    ByteSource& source, std::unique_ptr<Chunker> chunker,
+    std::uint32_t hash_workers, std::uint32_t queue_depth = 64,
+    PipelineStats* stats_sink = nullptr);
+
+}  // namespace mhd

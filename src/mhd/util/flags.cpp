@@ -14,10 +14,12 @@ Flags::Flags(int argc, char** argv) {
     }
     const std::string body = arg.substr(2);
     const auto eq = body.find('=');
-    if (eq == std::string::npos) {
-      values_[body] = "true";
-    } else {
-      values_[body.substr(0, eq)] = body.substr(eq + 1);
+    const std::string key =
+        eq == std::string::npos ? body : body.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "true" : body.substr(eq + 1);
+    if (!values_.emplace(key, value).second) {
+      throw std::invalid_argument("duplicate flag: --" + key);
     }
   }
 }
@@ -41,6 +43,40 @@ bool Flags::get_bool(const std::string& key, bool def) const {
   const auto it = values_.find(key);
   if (it == values_.end()) return def;
   return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::uint64_t Flags::get_uint(const std::string& key, std::uint64_t def,
+                              std::uint64_t min_value,
+                              std::uint64_t max_value) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  const std::string& s = it->second;
+  std::uint64_t value = 0;
+  bool ok = !s.empty();
+  for (const char c : s) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {  // overflow
+      ok = false;
+      break;
+    }
+    value = value * 10 + digit;
+  }
+  if (!ok) {
+    throw std::invalid_argument("--" + key + "=" + s +
+                                " (expected a non-negative integer)");
+  }
+  if (value < min_value || value > max_value) {
+    throw std::invalid_argument(
+        "--" + key + "=" + s + " (allowed range: " +
+        std::to_string(min_value) + ".." + std::to_string(max_value) + ")");
+  }
+  return value;
 }
 
 std::string Flags::get_choice(const std::string& key,

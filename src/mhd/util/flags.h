@@ -14,13 +14,24 @@ namespace mhd {
 class Flags {
  public:
   /// Parses argv entries of the form --key=value or --key (value "true").
-  /// Non-flag arguments are collected into positional().
+  /// Non-flag arguments are collected into positional(). Defining the same
+  /// flag twice (e.g. "--ecs=512 --ecs=1024") throws std::invalid_argument:
+  /// silently keeping one of the two has burned enough benchmark runs.
   Flags(int argc, char** argv);
 
   std::string get(const std::string& key, const std::string& def) const;
   std::int64_t get_int(const std::string& key, std::int64_t def) const;
   double get_double(const std::string& key, double def) const;
   bool get_bool(const std::string& key, bool def) const;
+
+  /// Unsigned integer flag with range validation: returns `def` when
+  /// absent; throws std::invalid_argument when the value is not a plain
+  /// non-negative integer (rejecting "-1", "4x", "") or falls outside
+  /// [min_value, max_value]. The go-to helper for thread/size knobs where
+  /// a silently-truncated negative would mean "4 billion workers".
+  std::uint64_t get_uint(const std::string& key, std::uint64_t def,
+                         std::uint64_t min_value = 0,
+                         std::uint64_t max_value = UINT64_MAX) const;
 
   /// Value of an enumerated flag, e.g. --chunker-impl={auto,scalar,simd}:
   /// returns `def` when absent, and throws std::invalid_argument naming the

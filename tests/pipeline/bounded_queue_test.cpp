@@ -1,0 +1,215 @@
+#include "mhd/pipeline/bounded_queue.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mhd {
+namespace {
+
+TEST(BoundedQueue, FifoSingleThread) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(q.push(i));
+  q.close();
+  int v = -1;
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(q.pop(v));
+    EXPECT_EQ(v, i);
+  }
+  EXPECT_FALSE(q.pop(v));  // closed and drained
+}
+
+TEST(BoundedQueue, PushAfterCloseIsRejected) {
+  BoundedQueue<int> q(4);
+  EXPECT_TRUE(q.push(1));
+  q.close();
+  EXPECT_FALSE(q.push(2));
+  int v = 0;
+  EXPECT_TRUE(q.pop(v));  // the pre-close item still drains
+  EXPECT_EQ(v, 1);
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, ZeroCapacityIsClampedToOne) {
+  BoundedQueue<int> q(0);
+  EXPECT_EQ(q.capacity(), 1u);
+}
+
+// Capacity-1 queue: the producer can only ever be one item ahead of the
+// consumer, so after both finish, every push must have been matched by a
+// pop before the next push could proceed (strict backpressure).
+TEST(BoundedQueue, CapacityOneBackpressure) {
+  BoundedQueue<int> q(1);
+  constexpr int kItems = 10000;
+  std::atomic<int> max_depth{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < kItems; ++i) {
+      ASSERT_TRUE(q.push(i));
+      const int depth = static_cast<int>(q.size());
+      int seen = max_depth.load();
+      while (depth > seen && !max_depth.compare_exchange_weak(seen, depth)) {
+      }
+    }
+    q.close();
+  });
+
+  std::vector<int> got;
+  got.reserve(kItems);
+  int v;
+  while (q.pop(v)) got.push_back(v);
+  producer.join();
+
+  ASSERT_EQ(got.size(), static_cast<std::size_t>(kItems));
+  for (int i = 0; i < kItems; ++i) EXPECT_EQ(got[i], i);
+  EXPECT_LE(max_depth.load(), 1);
+  EXPECT_EQ(q.high_water(), 1u);
+}
+
+// Multi-producer / multi-consumer stress: every pushed value arrives
+// exactly once across all consumers.
+TEST(BoundedQueue, MpmcStress) {
+  constexpr int kProducers = 4;
+  constexpr int kConsumers = 4;
+  constexpr int kPerProducer = 25000;
+  BoundedQueue<int> q(64);
+
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        ASSERT_TRUE(q.push(p * kPerProducer + i));
+      }
+    });
+  }
+
+  std::vector<std::vector<int>> received(kConsumers);
+  std::vector<std::thread> consumers;
+  for (int c = 0; c < kConsumers; ++c) {
+    consumers.emplace_back([&, c] {
+      int v;
+      while (q.pop(v)) received[c].push_back(v);
+    });
+  }
+
+  for (auto& t : producers) t.join();
+  q.close();
+  for (auto& t : consumers) t.join();
+
+  std::vector<bool> seen(kProducers * kPerProducer, false);
+  std::size_t total = 0;
+  for (const auto& r : received) {
+    for (const int v : r) {
+      ASSERT_GE(v, 0);
+      ASSERT_LT(v, kProducers * kPerProducer);
+      ASSERT_FALSE(seen[static_cast<std::size_t>(v)])
+          << "duplicate delivery of " << v;
+      seen[static_cast<std::size_t>(v)] = true;
+      ++total;
+    }
+  }
+  EXPECT_EQ(total, static_cast<std::size_t>(kProducers * kPerProducer));
+  EXPECT_LE(q.high_water(), 64u);
+}
+
+// close() must wake a consumer that is already blocked in pop().
+TEST(BoundedQueue, ShutdownWakesBlockedConsumer) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> returned{false};
+  std::thread consumer([&] {
+    int v;
+    EXPECT_FALSE(q.pop(v));
+    returned = true;
+  });
+  // Give the consumer a moment to block (not strictly required for
+  // correctness — close() is a no-lost-wakeup barrier either way).
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(returned.load());
+  q.close();
+  consumer.join();
+  EXPECT_TRUE(returned.load());
+}
+
+// close() must wake a producer blocked on a full queue.
+TEST(BoundedQueue, ShutdownWakesBlockedProducer) {
+  BoundedQueue<int> q(1);
+  ASSERT_TRUE(q.push(1));  // fill it
+  std::atomic<bool> rejected{false};
+  std::thread producer([&] {
+    if (!q.push(2)) rejected = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(rejected.load());
+  q.close();
+  producer.join();
+  EXPECT_TRUE(rejected.load());
+}
+
+// fail() rethrows the stage's exception on every blocked or future
+// push/pop — the cross-thread propagation path the pipeline relies on.
+TEST(BoundedQueue, FailPropagatesExceptionToBlockedPop) {
+  BoundedQueue<int> q(4);
+  std::atomic<bool> caught{false};
+  std::thread consumer([&] {
+    int v;
+    try {
+      q.pop(v);
+    } catch (const std::runtime_error& e) {
+      caught = std::string(e.what()) == "stage exploded";
+    }
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  q.fail(std::make_exception_ptr(std::runtime_error("stage exploded")));
+  consumer.join();
+  EXPECT_TRUE(caught.load());
+}
+
+TEST(BoundedQueue, FailPropagatesExceptionToSubsequentOps) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(7));  // queued before the failure
+  q.fail(std::make_exception_ptr(std::runtime_error("boom")));
+  int v;
+  // Abort semantics: even queued items are not delivered after fail().
+  EXPECT_THROW(q.pop(v), std::runtime_error);
+  EXPECT_THROW(q.push(8), std::runtime_error);
+}
+
+TEST(BoundedQueue, FailWithNullErrorDegradesToClose) {
+  BoundedQueue<int> q(2);
+  ASSERT_TRUE(q.push(1));
+  q.fail(nullptr);
+  int v;
+  EXPECT_TRUE(q.pop(v));  // drains like close()
+  EXPECT_FALSE(q.pop(v));
+}
+
+TEST(BoundedQueue, FirstFailureWins) {
+  BoundedQueue<int> q(2);
+  q.fail(std::make_exception_ptr(std::runtime_error("first")));
+  q.fail(std::make_exception_ptr(std::logic_error("second")));
+  int v;
+  try {
+    q.pop(v);
+    FAIL() << "pop should rethrow";
+  } catch (const std::runtime_error& e) {
+    EXPECT_STREQ(e.what(), "first");
+  } catch (...) {
+    FAIL() << "wrong exception type (second fail() overwrote the first)";
+  }
+}
+
+TEST(BoundedQueue, HighWaterTracksDeepestFill) {
+  BoundedQueue<int> q(8);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.push(i));
+  int v;
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(q.pop(v));
+  ASSERT_TRUE(q.push(99));
+  EXPECT_EQ(q.high_water(), 5u);
+}
+
+}  // namespace
+}  // namespace mhd

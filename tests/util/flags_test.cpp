@@ -69,6 +69,43 @@ TEST(Flags, ChoiceRejectsUnknownValue) {
       std::invalid_argument);
 }
 
+TEST(Flags, UintParsesAndDefaults) {
+  const auto f = make_flags({"--ingest-threads=8"});
+  EXPECT_EQ(f.get_uint("ingest-threads", 0), 8u);
+  EXPECT_EQ(f.get_uint("missing", 4), 4u);
+}
+
+TEST(Flags, UintEnforcesRange) {
+  const auto f = make_flags({"--ingest-threads=300"});
+  EXPECT_THROW(f.get_uint("ingest-threads", 0, 0, 256),
+               std::invalid_argument);
+  EXPECT_EQ(f.get_uint("ingest-threads", 0, 0, 512), 300u);
+  const auto g = make_flags({"--depth=0"});
+  EXPECT_THROW(g.get_uint("depth", 1, 1, 100), std::invalid_argument);
+}
+
+TEST(Flags, UintRejectsNonNumeric) {
+  EXPECT_THROW(make_flags({"--n=-1"}).get_uint("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--n=4x"}).get_uint("n", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--n="}).get_uint("n", 0),
+               std::invalid_argument);
+  // a bare "--n" parses as "true", which is not an unsigned integer
+  EXPECT_THROW(make_flags({"--n"}).get_uint("n", 0), std::invalid_argument);
+}
+
+TEST(Flags, UintRejectsOverflow) {
+  EXPECT_THROW(make_flags({"--n=99999999999999999999"}).get_uint("n", 0),
+               std::invalid_argument);
+}
+
+TEST(Flags, RejectsDuplicateDefinitions) {
+  EXPECT_THROW(make_flags({"--ecs=512", "--ecs=1024"}),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--verify", "--verify"}), std::invalid_argument);
+}
+
 TEST(Flags, CollectsPositional) {
   const auto f = make_flags({"input.img", "--x=1", "out.img"});
   EXPECT_EQ(f.positional(),
