@@ -4,6 +4,8 @@
 // context for the ThroughputRatio results.
 #include <benchmark/benchmark.h>
 
+#include <string>
+
 #include "mhd/chunk/chunk_stream.h"
 #include "mhd/chunk/fixed_chunker.h"
 #include "mhd/chunk/rabin_chunker.h"
@@ -32,6 +34,30 @@ void BM_Sha1(benchmark::State& state) {
                           state.range(0));
 }
 BENCHMARK(BM_Sha1)->Arg(512)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+
+/// Per-kernel SHA-1 MB/s (the BENCH_sha1.json section). One benchmark per
+/// compiled-in kernel the host supports, pinned via sha1_digest_with so
+/// the numbers are dispatch-independent; registered dynamically in main()
+/// because the kernel list is a runtime CPUID question.
+void BM_Sha1Kernel(benchmark::State& state, Sha1CompressFn fn) {
+  const ByteVec data = make_data(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sha1_digest_with(fn, data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+
+void register_sha1_throughput() {
+  for (const Sha1KernelInfo& k : sha1_kernels()) {
+    if (!k.supported) continue;
+    const std::string name = std::string("sha1_throughput/") + k.name;
+    auto* bench = benchmark::RegisterBenchmark(
+        name.c_str(),
+        [fn = k.fn](benchmark::State& s) { BM_Sha1Kernel(s, fn); });
+    bench->Arg(1024)->Arg(4096)->Arg(65536)->Arg(1 << 20);
+  }
+}
 
 void BM_RabinRoll(benchmark::State& state) {
   const ByteVec data = make_data(1 << 16);
@@ -97,4 +123,11 @@ BENCHMARK(BM_BlockSourceFill);
 }  // namespace
 }  // namespace mhd
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  mhd::register_sha1_throughput();
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -4,7 +4,8 @@
 //   ./pipeline_throughput [--size_mb=96] [--ecs=4096] [--reps=3]
 //                         [--workers=0,1,2,4,8] [--engine=cdc]
 //                         [--chunker=gear] [--chunker-impl=auto]
-//                         [--seed=1] [--json=BENCH_pipeline.json]
+//                         [--hash-impl=auto] [--seed=1]
+//                         [--json=BENCH_pipeline.json]
 //
 // Each row drives the full corpus through a fresh engine + in-memory
 // store with the given hash-pool size (0 = the serial reference path) and
@@ -128,9 +129,11 @@ void write_json(const std::string& path, const RunConfig& rc,
   std::fprintf(f,
                "{\n  \"bench\": \"pipeline_throughput\",\n"
                "  \"engine\": \"%s\",\n  \"ecs\": %u,\n"
+               "  \"hash_impl\": \"%s\",\n"
                "  \"corpus_mb\": %.1f,\n  \"host_cpus\": %u,\n"
                "  \"rows\": [\n",
                rc.engine_name.c_str(), rc.engine.ecs,
+               resolved_sha1_impl_name(rc.engine.hash_impl),
                corpus.total_bytes / 1048576.0,
                std::thread::hardware_concurrency());
   for (std::size_t i = 0; i < rows.size(); ++i) {
@@ -161,6 +164,8 @@ int main(int argc, char** argv) {
   rc.engine.chunker = chunker_kind_from_string(flags.get("chunker", "gear"));
   rc.engine.chunker_impl = chunker_impl_from_string(
       flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
+  rc.engine.hash_impl = sha1_impl_from_string(flags.get_choice(
+      "hash-impl", {"auto", "shani", "simd", "portable"}, "auto"));
   rc.engine.pipeline_queue_depth = static_cast<std::uint32_t>(
       flags.get_uint("pipeline-queue-depth", 64, 1, 65536));
 
@@ -179,10 +184,11 @@ int main(int argc, char** argv) {
   const unsigned cpus = std::thread::hardware_concurrency();
   std::printf("=== ingest pipeline throughput ===\n");
   std::printf(
-      "engine=%s ecs=%u chunker=%s corpus=%lluMB (%zu files, in RAM), "
-      "best of %d, host cpus=%u\n\n",
+      "engine=%s ecs=%u chunker=%s sha1=%s corpus=%lluMB (%zu files, in "
+      "RAM), best of %d, host cpus=%u\n\n",
       rc.engine_name.c_str(), rc.engine.ecs,
       chunker_kind_name(rc.engine.chunker),
+      resolved_sha1_impl_name(rc.engine.hash_impl),
       static_cast<unsigned long long>(size_mb), corpus.data.size(), rc.reps,
       cpus);
   if (cpus <= 1) {

@@ -15,6 +15,7 @@
 //
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
 //          --chunker-impl=auto|scalar|simd
+//          --hash-impl=auto|shani|simd|portable   SHA-1 kernel selection
 //          --pipeline | --ingest-threads=N   staged concurrent ingest
 //          (N SHA-1 workers; 0 = serial; stored bytes are bit-identical)
 #include <cstdio>
@@ -55,6 +56,8 @@ EngineConfig config_from(const Flags& flags) {
   cfg.chunker = chunker_kind_from_string(flags.get("chunker", "rabin"));
   cfg.chunker_impl = chunker_impl_from_string(
       flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
+  cfg.hash_impl = sha1_impl_from_string(flags.get_choice(
+      "hash-impl", {"auto", "shani", "simd", "portable"}, "auto"));
   cfg.ingest_threads = static_cast<std::uint32_t>(flags.get_uint(
       "ingest-threads", flags.get_bool("pipeline", false) ? 4 : 0, 0, 256));
   cfg.pipeline_queue_depth = static_cast<std::uint32_t>(

@@ -4,7 +4,8 @@
 //
 //   ./run_experiment --algo=bf-mhd --size_mb=48 --ecs=1024 --sd=32
 //                    [--chunker=rabin|tttd|gear]
-//                    [--chunker-impl=auto|scalar|simd] [--cache_kb=256]
+//                    [--chunker-impl=auto|scalar|simd]
+//                    [--hash-impl=auto|shani|simd|portable] [--cache_kb=256]
 //                    [--pipeline] [--ingest-threads=N]
 //                    [--verify] [--json]
 //
@@ -32,6 +33,8 @@ int main(int argc, char** argv) {
       chunker_kind_from_string(flags.get("chunker", "rabin"));
   spec.engine.chunker_impl = chunker_impl_from_string(
       flags.get_choice("chunker-impl", {"auto", "scalar", "simd"}, "auto"));
+  spec.engine.hash_impl = sha1_impl_from_string(flags.get_choice(
+      "hash-impl", {"auto", "shani", "simd", "portable"}, "auto"));
   spec.engine.manifest_cache_bytes =
       static_cast<std::uint64_t>(flags.get_int("cache_kb", 256)) << 10;
   spec.engine.manifest_cache_capacity = 4096;
@@ -58,9 +61,9 @@ int main(int argc, char** argv) {
     return 0;
   }
 
-  std::printf("%s on %.1f MB (ECS=%u, SD=%u, chunker=%s/%s)%s\n\n",
+  std::printf("%s on %.1f MB (ECS=%u, SD=%u, chunker=%s/%s, sha1=%s)%s\n\n",
               r.algorithm.c_str(), r.input_bytes / 1048576.0, r.ecs, r.sd,
-              r.chunker.c_str(), r.chunker_impl.c_str(),
+              r.chunker.c_str(), r.chunker_impl.c_str(), r.hash_impl.c_str(),
               spec.verify ? " [restores verified byte-exactly]" : "");
   TextTable t({"Metric", "Value"});
   t.add_row({"data-only DER", TextTable::num(r.data_only_der(), 3)});

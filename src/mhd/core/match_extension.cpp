@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "mhd/util/buffer_pool.h"
+
 namespace mhd {
 
 namespace {
@@ -12,6 +14,13 @@ Digest hash_run(const std::deque<StreamChunk>& chunks, std::size_t first,
   Sha1 h;
   for (std::size_t i = 0; i < count; ++i) h.update(chunks[first + i].bytes);
   return h.digest();
+}
+
+/// Match extension is a terminal consumer: a matched buffered chunk's
+/// bytes are never needed again, so the slab goes back to the pool right
+/// before the deque erases the StreamChunk.
+void recycle(StreamChunk& c) {
+  if (c.bytes.capacity() > 0) chunk_buffer_pool().release(std::move(c.bytes));
 }
 
 }  // namespace
@@ -76,15 +85,15 @@ bool MatchExtender::hhr_backward(Manifest& m, const Digest& name,
     const std::uint32_t rem_chunks = static_cast<std::uint32_t>(std::max<std::int64_t>(
         1, static_cast<std::int64_t>(e.chunk_count) -
                static_cast<std::int64_t>(matched) - (edge_size > 0 ? 1 : 0)));
-    repl.push_back({Sha1::hash({bytes->data(), rem_size}), e.offset,
+    repl.push_back({Sha1::digest_of({bytes->data(), rem_size}), e.offset,
                     static_cast<std::uint32_t>(rem_size), rem_chunks, false});
   }
   if (edge_size > 0) {
-    repl.push_back({Sha1::hash({bytes->data() + rem_size, edge_size}),
+    repl.push_back({Sha1::digest_of({bytes->data() + rem_size, edge_size}),
                     e.offset + rem_size, static_cast<std::uint32_t>(edge_size),
                     1, false});
   }
-  repl.push_back({Sha1::hash({bytes->data() + (e.size - acc), acc}),
+  repl.push_back({Sha1::digest_of({bytes->data() + (e.size - acc), acc}),
                   e.offset + e.size - acc, static_cast<std::uint32_t>(acc),
                   static_cast<std::uint32_t>(std::max<std::size_t>(1, matched)),
                   false});
@@ -96,6 +105,9 @@ bool MatchExtender::hhr_backward(Manifest& m, const Digest& name,
        e.offset + e.size - acc, acc});
   out.dup_chunks += matched;
   out.dup_bytes += acc;
+  for (std::size_t j = pending.size() - matched; j < pending.size(); ++j) {
+    recycle(pending[j]);
+  }
   pending.erase(pending.end() - static_cast<std::ptrdiff_t>(matched),
                 pending.end());
   return true;
@@ -128,12 +140,12 @@ bool MatchExtender::hhr_forward(Manifest& m, const Digest& name,
   const std::uint64_t rem_size = e.size - acc - edge_size;
 
   std::vector<ManifestEntry> repl;
-  repl.push_back({Sha1::hash({bytes->data(), acc}), e.offset,
+  repl.push_back({Sha1::digest_of({bytes->data(), acc}), e.offset,
                   static_cast<std::uint32_t>(acc),
                   static_cast<std::uint32_t>(std::max<std::size_t>(1, matched)),
                   false});
   if (edge_size > 0) {
-    repl.push_back({Sha1::hash({bytes->data() + acc, edge_size}),
+    repl.push_back({Sha1::digest_of({bytes->data() + acc, edge_size}),
                     e.offset + acc, static_cast<std::uint32_t>(edge_size), 1,
                     false});
   }
@@ -141,7 +153,7 @@ bool MatchExtender::hhr_forward(Manifest& m, const Digest& name,
     const std::uint32_t rem_chunks = static_cast<std::uint32_t>(std::max<std::int64_t>(
         1, static_cast<std::int64_t>(e.chunk_count) -
                static_cast<std::int64_t>(matched) - (edge_size > 0 ? 1 : 0)));
-    repl.push_back({Sha1::hash({bytes->data() + acc + edge_size, rem_size}),
+    repl.push_back({Sha1::digest_of({bytes->data() + acc + edge_size, rem_size}),
                     e.offset + acc + edge_size,
                     static_cast<std::uint32_t>(rem_size), rem_chunks, false});
   }
@@ -151,6 +163,7 @@ bool MatchExtender::hhr_forward(Manifest& m, const Digest& name,
       {look.front().file_offset, m.chunk_name(), e.offset, acc});
   out.dup_chunks += matched;
   out.dup_bytes += acc;
+  for (std::size_t j = 0; j < matched; ++j) recycle(look[j]);
   look.erase(look.begin(), look.begin() + static_cast<std::ptrdiff_t>(matched));
   return true;
 }
@@ -200,6 +213,9 @@ MatchExtender::Outcome MatchExtender::extend(
         out.dup_chunks += k;
         out.dup_bytes += e.size;
         frontier -= e.size;
+        for (std::size_t j = pending.size() - k; j < pending.size(); ++j) {
+          recycle(pending[j]);
+        }
         pending.erase(pending.end() - static_cast<std::ptrdiff_t>(k),
                       pending.end());
         --bi;
@@ -244,6 +260,7 @@ MatchExtender::Outcome MatchExtender::extend(
       out.dup_bytes += e.size;
       for (std::size_t j = 0; j < k; ++j) {
         look_bytes -= look.front().bytes.size();
+        recycle(look.front());
         look.pop_front();
       }
       ++fi;

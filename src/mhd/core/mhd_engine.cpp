@@ -72,6 +72,7 @@ void MhdEngine::flush_pending(FileCtx& ctx, std::size_t count) {
                          static_cast<std::uint32_t>(first.bytes.size())));
       ctx.chunk_off += first.bytes.size();
       ++counters_.stored_chunks;
+      recycle_chunk(std::move(ctx.pending.front().bytes));
       ctx.pending.pop_front();
       ++done;
     }
@@ -97,6 +98,7 @@ void MhdEngine::flush_pending(FileCtx& ctx, std::size_t count) {
                                    static_cast<std::uint32_t>(c.bytes.size())));
         ctx.chunk_off += c.bytes.size();
         ++counters_.stored_chunks;
+        recycle_chunk(std::move(ctx.pending.front().bytes));
         ctx.pending.pop_front();
         ++done;
       }
@@ -120,6 +122,7 @@ void MhdEngine::flush_pending(FileCtx& ctx, std::size_t count) {
                                    static_cast<std::uint32_t>(c.bytes.size())));
         ctx.chunk_off += c.bytes.size();
         ++counters_.stored_chunks;
+        recycle_chunk(std::move(ctx.pending.front().bytes));
         ctx.pending.pop_front();
         ++done;
       }
@@ -171,6 +174,8 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
           ctx.inbox.push_front(std::move(outcome.leftover.back()));
           outcome.leftover.pop_back();
         }
+        // The anchor's bytes were fully consumed by the match.
+        recycle_chunk(std::move(chunk->bytes));
         continue;
       }
     }
@@ -183,6 +188,7 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
       note_duplicate(chunk->bytes.size());
       ctx.log.push_back({chunk->file_offset, ctx.dig, it->second.first,
                          it->second.second});
+      recycle_chunk(std::move(chunk->bytes));
       continue;
     }
     note_unique();

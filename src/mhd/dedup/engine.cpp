@@ -4,10 +4,15 @@
 
 #include "mhd/format/file_manifest.h"
 #include "mhd/pipeline/ingest_pipeline.h"
+#include "mhd/util/buffer_pool.h"
 #include "mhd/util/hex.h"
 #include "mhd/util/timer.h"
 
 namespace mhd {
+
+void DedupEngine::recycle_chunk(ByteVec&& bytes) {
+  if (bytes.capacity() > 0) chunk_buffer_pool().release(std::move(bytes));
+}
 
 void DedupEngine::seed_bloom_from_hooks(BloomFilter& bloom,
                                         const StorageBackend& backend) {

@@ -32,6 +32,11 @@ struct EngineConfig {
   /// implementation yields bit-identical cut points, so dedup results do
   /// not depend on it.
   ChunkerImpl chunker_impl = ChunkerImpl::kAuto;
+  /// SHA-1 kernel selection (--hash-impl). Like chunker_impl a pure speed
+  /// knob: every kernel produces bit-identical digests. Applied
+  /// process-wide at engine construction (the fingerprint kernel is global
+  /// state, like the allocator).
+  Sha1Impl hash_impl = Sha1Impl::kAuto;
 
   /// ChunkerConfig for this engine at the given expected chunk size, with
   /// the engine's scan-implementation choice applied. Engines must build
@@ -99,7 +104,9 @@ struct EngineCounters {
 class DedupEngine {
  public:
   DedupEngine(ObjectStore& store, const EngineConfig& config)
-      : store_(store), cfg_(config) {}
+      : store_(store), cfg_(config) {
+    set_sha1_impl(config.hash_impl);
+  }
   virtual ~DedupEngine() = default;
 
   virtual std::string name() const = 0;
@@ -160,6 +167,13 @@ class DedupEngine {
   /// files' manifests, so re-ingesting a file name (or a colliding
   /// container id) must never append to an existing object.
   Digest unique_store_digest(const Digest& base) const;
+
+  /// Returns a consumed chunk buffer's storage to the process-wide pool
+  /// (see util/buffer_pool.h). Engines call this wherever a chunk's bytes
+  /// leave the pending window for good — after the store write, a
+  /// duplicate drop, or match extension consuming the buffer — closing the
+  /// acquire/release cycle that makes steady-state ingest allocation-free.
+  static void recycle_chunk(ByteVec&& bytes);
 
   /// Tracks the L counter: call per chunk decision in stream order.
   void note_duplicate(std::uint64_t bytes) {

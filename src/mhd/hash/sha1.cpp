@@ -1,65 +1,136 @@
 #include "mhd/hash/sha1.h"
 
+#include <atomic>
 #include <cstring>
+#include <stdexcept>
+#include <string>
 
 namespace mhd {
 
+// ---- Kernel dispatch ---------------------------------------------------
+
 namespace {
-inline std::uint32_t rotl32(std::uint32_t x, int n) {
-  return (x << n) | (x >> (32 - n));
+
+constexpr std::uint32_t kInit[5] = {0x67452301u, 0xEFCDAB89u, 0x98BADCFEu,
+                                    0x10325476u, 0xC3D2E1F0u};
+
+std::atomic<int> g_requested{static_cast<int>(Sha1Impl::kAuto)};
+std::atomic<Sha1CompressFn> g_compress{nullptr};  // nullptr = not resolved yet
+
+const Sha1KernelInfo* kernel_for(Sha1Impl impl) {
+  for (const Sha1KernelInfo& k : sha1_kernels()) {
+    if (k.impl == impl && k.supported) return &k;
+  }
+  return nullptr;
 }
+
+/// Resolution order: explicit supported request wins; everything else
+/// (kAuto, or an unsupported explicit request) walks shani > simd >
+/// portable. MHD_FORCE_PORTABLE_HASH pins portable regardless.
+const Sha1KernelInfo& resolve_kernel(Sha1Impl requested) {
+  const Sha1KernelInfo* portable = kernel_for(Sha1Impl::kPortable);
+  if (sha1_portable_forced() || requested == Sha1Impl::kPortable) {
+    return *portable;
+  }
+  if (requested != Sha1Impl::kAuto) {
+    if (const Sha1KernelInfo* k = kernel_for(requested)) return *k;
+    // Graceful fallback: asked-for kernel not on this silicon.
+  }
+  if (const Sha1KernelInfo* k = kernel_for(Sha1Impl::kShaNi)) return *k;
+  if (const Sha1KernelInfo* k = kernel_for(Sha1Impl::kSimd)) return *k;
+  return *portable;
+}
+
 }  // namespace
 
-void Sha1::reset() {
-  h_[0] = 0x67452301u;
-  h_[1] = 0xEFCDAB89u;
-  h_[2] = 0x98BADCFEu;
-  h_[3] = 0x10325476u;
-  h_[4] = 0xC3D2E1F0u;
-  total_bytes_ = 0;
-  buffered_ = 0;
+void set_sha1_impl(Sha1Impl requested) {
+  g_requested.store(static_cast<int>(requested), std::memory_order_relaxed);
+  g_compress.store(resolve_kernel(requested).fn, std::memory_order_release);
 }
 
-void Sha1::process_block(const Byte* block) {
-  std::uint32_t w[80];
-  for (int i = 0; i < 16; ++i) {
-    w[i] = (std::uint32_t(block[i * 4]) << 24) |
-           (std::uint32_t(block[i * 4 + 1]) << 16) |
-           (std::uint32_t(block[i * 4 + 2]) << 8) |
-           std::uint32_t(block[i * 4 + 3]);
-  }
-  for (int i = 16; i < 80; ++i) {
-    w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
-  }
+Sha1Impl sha1_impl() {
+  return static_cast<Sha1Impl>(g_requested.load(std::memory_order_relaxed));
+}
 
-  std::uint32_t a = h_[0], b = h_[1], c = h_[2], d = h_[3], e = h_[4];
-  for (int i = 0; i < 80; ++i) {
-    std::uint32_t f, k;
-    if (i < 20) {
-      f = (b & c) | (~b & d);
-      k = 0x5A827999u;
-    } else if (i < 40) {
-      f = b ^ c ^ d;
-      k = 0x6ED9EBA1u;
-    } else if (i < 60) {
-      f = (b & c) | (b & d) | (c & d);
-      k = 0x8F1BBCDCu;
-    } else {
-      f = b ^ c ^ d;
-      k = 0xCA62C1D6u;
-    }
-    const std::uint32_t tmp = rotl32(a, 5) + f + e + k + w[i];
-    e = d;
-    d = c;
-    c = rotl32(b, 30);
-    b = a;
-    a = tmp;
+Sha1CompressFn active_sha1_compress() {
+  Sha1CompressFn fn = g_compress.load(std::memory_order_acquire);
+  if (fn == nullptr) {
+    fn = resolve_kernel(sha1_impl()).fn;
+    g_compress.store(fn, std::memory_order_release);
   }
-  h_[0] += a;
-  h_[1] += b;
-  h_[2] += c;
-  h_[3] += d;
-  h_[4] += e;
+  return fn;
+}
+
+const char* active_sha1_impl_name() {
+  const Sha1CompressFn fn = active_sha1_compress();
+  for (const Sha1KernelInfo& k : sha1_kernels()) {
+    if (k.fn == fn) return k.name;
+  }
+  return "?";
+}
+
+const char* resolved_sha1_impl_name(Sha1Impl requested) {
+  return resolve_kernel(requested).name;
+}
+
+const char* sha1_impl_name(Sha1Impl impl) {
+  switch (impl) {
+    case Sha1Impl::kAuto: return "auto";
+    case Sha1Impl::kShaNi: return "shani";
+    case Sha1Impl::kSimd: return "simd";
+    case Sha1Impl::kPortable: return "portable";
+  }
+  return "?";
+}
+
+Sha1Impl sha1_impl_from_string(std::string_view name) {
+  if (name == "auto") return Sha1Impl::kAuto;
+  if (name == "shani") return Sha1Impl::kShaNi;
+  if (name == "simd") return Sha1Impl::kSimd;
+  if (name == "portable") return Sha1Impl::kPortable;
+  throw std::invalid_argument("unknown --hash-impl value: " +
+                              std::string(name));
+}
+
+// ---- One-shot fast path ------------------------------------------------
+
+Digest sha1_digest_with(Sha1CompressFn fn, ByteSpan data) {
+  std::uint32_t h[5];
+  std::memcpy(h, kInit, sizeof(h));
+
+  const std::size_t whole = data.size() / 64;
+  if (whole > 0) fn(h, data.data(), whole);
+
+  // Tail + padding in one stack buffer: rem bytes, 0x80, zeros, 64-bit
+  // big-endian bit length — one block when rem < 56, two otherwise.
+  const std::size_t rem = data.size() - whole * 64;
+  alignas(16) Byte tail[128];
+  if (rem > 0) std::memcpy(tail, data.data() + whole * 64, rem);
+  const std::size_t tail_blocks = (rem < 56) ? 1 : 2;
+  std::memset(tail + rem, 0, tail_blocks * 64 - rem);
+  tail[rem] = 0x80;
+  const std::uint64_t bit_len = static_cast<std::uint64_t>(data.size()) * 8;
+  for (int i = 0; i < 8; ++i) {
+    tail[tail_blocks * 64 - 8 + i] = static_cast<Byte>(bit_len >> (56 - 8 * i));
+  }
+  fn(h, tail, tail_blocks);
+
+  Digest out;
+  for (int i = 0; i < 5; ++i) {
+    out.bytes[i * 4] = static_cast<Byte>(h[i] >> 24);
+    out.bytes[i * 4 + 1] = static_cast<Byte>(h[i] >> 16);
+    out.bytes[i * 4 + 2] = static_cast<Byte>(h[i] >> 8);
+    out.bytes[i * 4 + 3] = static_cast<Byte>(h[i]);
+  }
+  return out;
+}
+
+// ---- Incremental hasher ------------------------------------------------
+
+void Sha1::reset() {
+  std::memcpy(h_, kInit, sizeof(h_));
+  total_bytes_ = 0;
+  buffered_ = 0;
 }
 
 void Sha1::update(ByteSpan data) {
@@ -74,14 +145,17 @@ void Sha1::update(ByteSpan data) {
     p += take;
     n -= take;
     if (buffered_ == sizeof(buffer_)) {
-      process_block(buffer_);
+      fn_(h_, buffer_, 1);
       buffered_ = 0;
     }
   }
-  while (n >= 64) {
-    process_block(p);
-    p += 64;
-    n -= 64;
+  // Whole blocks go straight from the caller's buffer in one multi-block
+  // kernel call (SHA-NI amortizes its state load/shuffle across the run).
+  const std::size_t whole = n / 64;
+  if (whole > 0) {
+    fn_(h_, p, whole);
+    p += whole * 64;
+    n -= whole * 64;
   }
   if (n > 0) {
     std::memcpy(buffer_, p, n);
@@ -106,7 +180,7 @@ Digest Sha1::digest() {
   total_bytes_ -= pad_len;  // keep semantics tidy if caller inspects later
   std::memcpy(buffer_ + buffered_, len_be, 8);
   buffered_ += 8;
-  process_block(buffer_);
+  fn_(h_, buffer_, 1);
   buffered_ = 0;
 
   Digest out;

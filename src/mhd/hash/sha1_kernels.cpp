@@ -1,0 +1,270 @@
+#include "mhd/hash/sha1_kernels.h"
+
+#include <cstdlib>
+
+#include "mhd/util/cpufeatures.h"
+
+#if defined(__x86_64__) && defined(__GNUC__)
+#include <immintrin.h>
+#define MHD_SHA1_X86_KERNELS 1
+#endif
+
+namespace mhd {
+
+namespace {
+
+inline std::uint32_t rotl32(std::uint32_t x, int n) {
+  return (x << n) | (x >> (32 - n));
+}
+
+/// The 80 rounds of FIPS 180-1 over a fully expanded message schedule.
+/// Shared by the portable kernel (scalar schedule) and the SSSE3 kernel
+/// (vector schedule): the rounds are a strict serial dependency chain
+/// (a..e feed every step), so only the schedule is worth vectorizing
+/// short of SHA-NI.
+inline void sha1_rounds(std::uint32_t state[5], const std::uint32_t w[80]) {
+  std::uint32_t a = state[0], b = state[1], c = state[2], d = state[3],
+                e = state[4];
+  for (int i = 0; i < 20; ++i) {
+    const std::uint32_t tmp =
+        rotl32(a, 5) + ((b & c) | (~b & d)) + e + 0x5A827999u + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  for (int i = 20; i < 40; ++i) {
+    const std::uint32_t tmp =
+        rotl32(a, 5) + (b ^ c ^ d) + e + 0x6ED9EBA1u + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  for (int i = 40; i < 60; ++i) {
+    const std::uint32_t tmp = rotl32(a, 5) + ((b & c) | (b & d) | (c & d)) +
+                              e + 0x8F1BBCDCu + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  for (int i = 60; i < 80; ++i) {
+    const std::uint32_t tmp =
+        rotl32(a, 5) + (b ^ c ^ d) + e + 0xCA62C1D6u + w[i];
+    e = d;
+    d = c;
+    c = rotl32(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state[0] += a;
+  state[1] += b;
+  state[2] += c;
+  state[3] += d;
+  state[4] += e;
+}
+
+}  // namespace
+
+void sha1_compress_portable(std::uint32_t state[5], const Byte* blocks,
+                            std::size_t nblocks) {
+  while (nblocks-- > 0) {
+    std::uint32_t w[80];
+    for (int i = 0; i < 16; ++i) {
+      w[i] = (std::uint32_t(blocks[i * 4]) << 24) |
+             (std::uint32_t(blocks[i * 4 + 1]) << 16) |
+             (std::uint32_t(blocks[i * 4 + 2]) << 8) |
+             std::uint32_t(blocks[i * 4 + 3]);
+    }
+    for (int i = 16; i < 80; ++i) {
+      w[i] = rotl32(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+    }
+    sha1_rounds(state, w);
+    blocks += 64;
+  }
+}
+
+#ifdef MHD_SHA1_X86_KERNELS
+
+namespace {
+
+// ---- SSSE3: vectorized message schedule --------------------------------
+//
+// W[i] = rotl1(W[i-3] ^ W[i-8] ^ W[i-14] ^ W[i-16]) computed four words at
+// a time. Lane 3 of each quad depends on lane 0 (W[i+3] needs W[i]); the
+// fix uses linearity of rotl over XOR:
+//   W[i+3] = rotl1(W[i] ^ rest) = rotl1(W[i]) ^ rotl1(rest),
+// so the quad is first computed with a zero in lane 3's missing term and
+// lane 3 is patched with rotl1 of the quad's own lane 0 afterwards.
+
+__attribute__((target("ssse3"))) inline __m128i rotl1_epi32(__m128i v) {
+  return _mm_or_si128(_mm_slli_epi32(v, 1), _mm_srli_epi32(v, 31));
+}
+
+__attribute__((target("ssse3"))) void sha1_compress_ssse3_impl(
+    std::uint32_t state[5], const Byte* blocks, std::size_t nblocks) {
+  const __m128i bswap = _mm_set_epi8(12, 13, 14, 15, 8, 9, 10, 11, 4, 5, 6,
+                                     7, 0, 1, 2, 3);
+  while (nblocks-- > 0) {
+    alignas(16) std::uint32_t w[80];
+    for (int q = 0; q < 4; ++q) {
+      const __m128i x = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(blocks + 16 * q));
+      _mm_store_si128(reinterpret_cast<__m128i*>(w + 4 * q),
+                      _mm_shuffle_epi8(x, bswap));
+    }
+    for (int i = 16; i < 80; i += 4) {
+      const __m128i x16 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(w + i - 16));
+      const __m128i x14 =
+          _mm_loadu_si128(reinterpret_cast<const __m128i*>(w + i - 14));
+      const __m128i x8 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(w + i - 8));
+      // [W[i-3], W[i-2], W[i-1], 0] — lane 3's W[i] term patched below.
+      const __m128i x3 = _mm_srli_si128(
+          _mm_load_si128(reinterpret_cast<const __m128i*>(w + i - 4)), 4);
+      __m128i r = rotl1_epi32(_mm_xor_si128(_mm_xor_si128(x16, x14),
+                                            _mm_xor_si128(x8, x3)));
+      r = _mm_xor_si128(r, rotl1_epi32(_mm_slli_si128(r, 12)));
+      _mm_store_si128(reinterpret_cast<__m128i*>(w + i), r);
+    }
+    sha1_rounds(state, w);
+    blocks += 64;
+  }
+}
+
+// ---- SHA-NI: full compression on the SHA extensions --------------------
+//
+// The canonical sha1rnds4 schedule: ABCD lives byte-reversed in one XMM,
+// E rides in lane 3 of the round-constant operand, sha1msg1/sha1msg2
+// expand the schedule four words at a time. State load/shuffle is hoisted
+// out of the block loop — the reason the kernel API is multi-block.
+
+// Steady-state 4-round group (rounds 12..63): consumes Ma, advances the
+// schedule for the next three groups.
+#define MHD_SHANI_G(Ein, Eout, Ma, Mb, Mc, Md, K)     \
+  do {                                                \
+    (Ein) = _mm_sha1nexte_epu32((Ein), (Ma));         \
+    (Eout) = abcd;                                    \
+    (Mb) = _mm_sha1msg2_epu32((Mb), (Ma));            \
+    abcd = _mm_sha1rnds4_epu32(abcd, (Ein), (K));     \
+    (Mc) = _mm_sha1msg1_epu32((Mc), (Ma));            \
+    (Md) = _mm_xor_si128((Md), (Ma));                 \
+  } while (0)
+
+__attribute__((target("sha,sse4.1"))) void sha1_compress_shani_impl(
+    std::uint32_t state[5], const Byte* blocks, std::size_t nblocks) {
+  const __m128i bswap =
+      _mm_set_epi64x(0x0001020304050607LL, 0x08090a0b0c0d0e0fLL);
+
+  // abcd holds {A,B,C,D} with A in lane 3 (the 0x1B shuffle); e0 carries E
+  // in lane 3.
+  __m128i abcd = _mm_shuffle_epi32(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(state)), 0x1B);
+  __m128i e0 = _mm_set_epi32(static_cast<int>(state[4]), 0, 0, 0);
+  __m128i e1;
+
+  while (nblocks-- > 0) {
+    const __m128i abcd_save = abcd;
+    const __m128i e0_save = e0;
+
+    __m128i m0 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 0)), bswap);
+    __m128i m1 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 16)), bswap);
+    __m128i m2 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 32)), bswap);
+    __m128i m3 = _mm_shuffle_epi8(
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(blocks + 48)), bswap);
+
+    // Rounds 0-3.
+    e0 = _mm_add_epi32(e0, m0);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    // Rounds 4-7.
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 0);
+    m0 = _mm_sha1msg1_epu32(m0, m1);
+    // Rounds 8-11.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 0);
+    m1 = _mm_sha1msg1_epu32(m1, m2);
+    m0 = _mm_xor_si128(m0, m2);
+
+    MHD_SHANI_G(e1, e0, m3, m0, m2, m1, 0);  // rounds 12-15
+    MHD_SHANI_G(e0, e1, m0, m1, m3, m2, 0);  // rounds 16-19
+    MHD_SHANI_G(e1, e0, m1, m2, m0, m3, 1);  // rounds 20-23
+    MHD_SHANI_G(e0, e1, m2, m3, m1, m0, 1);  // rounds 24-27
+    MHD_SHANI_G(e1, e0, m3, m0, m2, m1, 1);  // rounds 28-31
+    MHD_SHANI_G(e0, e1, m0, m1, m3, m2, 1);  // rounds 32-35
+    MHD_SHANI_G(e1, e0, m1, m2, m0, m3, 1);  // rounds 36-39
+    MHD_SHANI_G(e0, e1, m2, m3, m1, m0, 2);  // rounds 40-43
+    MHD_SHANI_G(e1, e0, m3, m0, m2, m1, 2);  // rounds 44-47
+    MHD_SHANI_G(e0, e1, m0, m1, m3, m2, 2);  // rounds 48-51
+    MHD_SHANI_G(e1, e0, m1, m2, m0, m3, 2);  // rounds 52-55
+    MHD_SHANI_G(e0, e1, m2, m3, m1, m0, 2);  // rounds 56-59
+    MHD_SHANI_G(e1, e0, m3, m0, m2, m1, 3);  // rounds 60-63
+
+    MHD_SHANI_G(e0, e1, m0, m1, m3, m2, 3);  // rounds 64-67
+    // Rounds 68-71 (schedule expansion winds down: no more sha1msg1).
+    e1 = _mm_sha1nexte_epu32(e1, m1);
+    e0 = abcd;
+    m2 = _mm_sha1msg2_epu32(m2, m1);
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+    m3 = _mm_xor_si128(m3, m1);
+    // Rounds 72-75.
+    e0 = _mm_sha1nexte_epu32(e0, m2);
+    e1 = abcd;
+    m3 = _mm_sha1msg2_epu32(m3, m2);
+    abcd = _mm_sha1rnds4_epu32(abcd, e0, 3);
+    // Rounds 76-79.
+    e1 = _mm_sha1nexte_epu32(e1, m3);
+    e0 = abcd;
+    abcd = _mm_sha1rnds4_epu32(abcd, e1, 3);
+
+    e0 = _mm_sha1nexte_epu32(e0, e0_save);
+    abcd = _mm_add_epi32(abcd, abcd_save);
+    blocks += 64;
+  }
+
+  abcd = _mm_shuffle_epi32(abcd, 0x1B);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(state), abcd);
+  state[4] = static_cast<std::uint32_t>(_mm_extract_epi32(e0, 3));
+}
+
+#undef MHD_SHANI_G
+
+}  // namespace
+
+#endif  // MHD_SHA1_X86_KERNELS
+
+bool sha1_portable_forced() {
+  const char* v = std::getenv("MHD_FORCE_PORTABLE_HASH");
+  return v != nullptr && v[0] != '\0' &&
+         !(v[0] == '0' && v[1] == '\0');
+}
+
+std::span<const Sha1KernelInfo> sha1_kernels() {
+#ifdef MHD_SHA1_X86_KERNELS
+  static const Sha1KernelInfo kernels[] = {
+      {"portable", Sha1Impl::kPortable, &sha1_compress_portable, true},
+      {"simd-ssse3", Sha1Impl::kSimd, &sha1_compress_ssse3_impl,
+       cpu_features().ssse3},
+      {"shani", Sha1Impl::kShaNi, &sha1_compress_shani_impl,
+       cpu_features().sha_ni && cpu_features().sse41},
+  };
+#else
+  static const Sha1KernelInfo kernels[] = {
+      {"portable", Sha1Impl::kPortable, &sha1_compress_portable, true},
+  };
+#endif
+  return kernels;
+}
+
+}  // namespace mhd

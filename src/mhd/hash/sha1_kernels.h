@@ -1,0 +1,71 @@
+// SHA-1 compression-function kernel family.
+//
+// Ingest is fingerprint-bound: every small chunk is SHA-1'd once at ingest
+// and again during BME/HHR match extension, so the compression function is
+// the hot loop that caps end-to-end MB/s once chunking is SIMD. Three
+// kernels share one multi-block contract and are bit-identical on every
+// input (enforced by tests/hash/sha1_kernel_differential_test.cpp):
+//
+//  * portable   — the reference 80-round scalar loop; runs anywhere.
+//  * simd-ssse3 — the message schedule (W[16..79]) is computed four words
+//    at a time in XMM registers; the rounds themselves stay scalar.
+//  * shani      — the full compression function on the SHA New
+//    Instructions (sha1rnds4/sha1nexte/sha1msg1/sha1msg2), four rounds
+//    per instruction.
+//
+// Accelerated kernels are compiled with per-function target attributes so
+// the binary stays runnable on any x86-64; availability is a runtime
+// CPUID question (util/cpufeatures), never a compile-time one. Selection
+// happens once at startup through the dispatch in sha1.h; this header is
+// the raw kernel registry the differential tests and micro-benchmarks
+// iterate over.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd {
+
+/// Compresses `nblocks` consecutive 64-byte blocks into `state`. The
+/// multi-block contract matters: SHA-NI amortizes the state load/shuffle
+/// across the whole run instead of paying it per block.
+using Sha1CompressFn = void (*)(std::uint32_t state[5], const Byte* blocks,
+                                std::size_t nblocks);
+
+void sha1_compress_portable(std::uint32_t state[5], const Byte* blocks,
+                            std::size_t nblocks);
+
+/// Requested implementation (the --hash-impl flag values). kAuto resolves
+/// to the best kernel the host supports: shani > simd > portable.
+enum class Sha1Impl : int {
+  kAuto = 0,
+  kShaNi,
+  kSimd,
+  kPortable,
+};
+
+/// One compiled-in kernel. `supported` is the host CPUID verdict: calling
+/// `fn` with supported == false raises SIGILL, so every iteration over the
+/// registry must gate on it. (The MHD_FORCE_PORTABLE_HASH override affects
+/// dispatch resolution only, not this registry — the differential suite
+/// still exercises every kernel the silicon can run.)
+struct Sha1KernelInfo {
+  const char* name;   ///< resolved name, e.g. "shani", "simd-ssse3"
+  Sha1Impl impl;      ///< the request that selects exactly this kernel
+  Sha1CompressFn fn;
+  bool supported;
+};
+
+/// Every kernel compiled into this binary, portable first.
+std::span<const Sha1KernelInfo> sha1_kernels();
+
+/// True when MHD_FORCE_PORTABLE_HASH is set to a non-empty value other
+/// than "0": dispatch then resolves every request to the portable kernel,
+/// emulating a host without SHA extensions (the CI path for the
+/// differential suite). Read live on every call, never cached.
+bool sha1_portable_forced();
+
+}  // namespace mhd

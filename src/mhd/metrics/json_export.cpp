@@ -42,6 +42,7 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"ecs\":" << r.ecs << ",\"sd\":" << r.sd
       << ",\"chunker\":\"" << json_escape(r.chunker) << "\""
       << ",\"chunker_impl\":\"" << json_escape(r.chunker_impl) << "\""
+      << ",\"hash_impl\":\"" << json_escape(r.hash_impl) << "\""
       << ",\"input_bytes\":" << r.input_bytes
       << ",\"stored_data_bytes\":" << r.stored_data_bytes
       << ",\"metadata_bytes\":" << r.metadata.total_bytes()

@@ -72,6 +72,7 @@ ExperimentResult summarize(const std::string& algorithm,
   r.chunker = chunker_kind_name(engine.config().chunker);
   r.chunker_impl = resolved_chunker_impl_name(
       engine.config().chunker, engine.config().chunker_config(r.ecs));
+  r.hash_impl = resolved_sha1_impl_name(engine.config().hash_impl);
   r.counters = engine.counters();
   r.stats = engine.store().stats();
   r.input_bytes = r.counters.input_bytes;

@@ -54,6 +54,7 @@ struct ExperimentResult {
   std::uint32_t sd = 0;
   std::string chunker = "rabin";        ///< cut-point algorithm
   std::string chunker_impl = "scalar";  ///< resolved scan kernel
+  std::string hash_impl = "portable";   ///< resolved SHA-1 kernel
 
   std::uint64_t input_bytes = 0;
   std::uint64_t stored_data_bytes = 0;  ///< DiskChunk content

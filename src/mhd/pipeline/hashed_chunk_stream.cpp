@@ -10,7 +10,7 @@ SerialHashedChunkStream::SerialHashedChunkStream(
 
 bool SerialHashedChunkStream::next(ByteVec& bytes, Digest& hash) {
   if (!stream_.next(bytes)) return false;
-  hash = Sha1::hash(bytes);
+  hash = Sha1::digest_of(bytes);
   return true;
 }
 

@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "mhd/hash/sha1.h"
+#include "mhd/util/buffer_pool.h"
 
 namespace mhd {
 
@@ -18,6 +19,10 @@ class QueueSource final : public ByteSource {
 
   std::size_t read(MutByteSpan out) override {
     if (offset_ == current_.size()) {
+      // Recycle the drained I/O block for the read stage to refill.
+      if (current_.capacity() > 0) {
+        chunk_buffer_pool().release(std::move(current_));
+      }
       current_.clear();
       offset_ = 0;
       const bool got = timer_.idle([&] { return queue_.pop(current_); });
@@ -67,7 +72,8 @@ IngestPipeline::~IngestPipeline() { shutdown(); }
 void IngestPipeline::run_read() {
   const StageTimer::Scope alive(read_timer_);
   for (;;) {
-    ByteVec block(opts_.read_block);
+    ByteVec block = chunk_buffer_pool().acquire();
+    block.resize(opts_.read_block);
     const std::size_t n = source_.read({block.data(), block.size()});
     if (n == 0) break;
     block.resize(n);
@@ -111,7 +117,7 @@ void IngestPipeline::run_hash(std::uint32_t worker) {
   while (log.timer.idle([&] { return work_q_.pop(w); })) {
     const std::uint64_t seq = w.seq;
     HashedItem item;
-    item.hash = Sha1::hash(w.bytes);
+    item.hash = Sha1::digest_of(w.bytes);
     ++log.items;
     log.bytes += w.bytes.size();
     item.bytes = std::move(w.bytes);
@@ -153,6 +159,9 @@ bool IngestPipeline::next(ByteVec& bytes, Digest& hash) {
   }
   const auto it = ro_buf_.find(next_seq_);
   if (it == ro_buf_.end()) return false;  // end of stream
+  // The caller's vector still holds the previous chunk's slab when the
+  // engine didn't keep it; recycle it before overwriting.
+  if (bytes.capacity() > 0) chunk_buffer_pool().release(std::move(bytes));
   bytes = std::move(it->second.bytes);
   hash = it->second.hash;
   ro_buf_.erase(it);

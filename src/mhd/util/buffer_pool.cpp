@@ -1,0 +1,71 @@
+#include "mhd/util/buffer_pool.h"
+
+#include <utility>
+
+namespace mhd {
+
+ByteVec BufferPool::acquire() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.acquires;
+  ++stats_.outstanding;
+  if (stats_.outstanding > stats_.outstanding_high_water) {
+    stats_.outstanding_high_water = stats_.outstanding;
+  }
+  if (free_.empty()) return ByteVec{};
+  ++stats_.reuses;
+  ByteVec buf = std::move(free_.back());
+  free_.pop_back();
+  stats_.free_count = free_.size();
+  return buf;
+}
+
+void BufferPool::release(ByteVec&& buf) {
+  ByteVec local = std::move(buf);
+  local.clear();
+  std::lock_guard<std::mutex> lock(mu_);
+  ++stats_.releases;
+  if (stats_.outstanding > 0) --stats_.outstanding;
+  if (local.capacity() == 0) return;  // nothing worth pooling
+  if (local.capacity() > kMaxSlabBytes) {
+    ++stats_.dropped_oversize;
+    return;  // freed by local's destructor, after the lock is released
+  }
+  free_.push_back(std::move(local));
+  stats_.free_count = free_.size();
+  if (stats_.releases % kTrimInterval == 0) trim_locked();
+}
+
+void BufferPool::trim() {
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.dropped_trim += free_.size();
+  free_.clear();
+  free_.shrink_to_fit();
+  stats_.free_count = 0;
+  stats_.outstanding_high_water = stats_.outstanding;
+}
+
+void BufferPool::trim_locked() {
+  // Keep enough slabs to refill every concurrently outstanding buffer at
+  // the observed peak, plus slack; beyond that the burst is over and the
+  // memory should go back. The high-water then decays to the current
+  // outstanding count so the next interval measures afresh.
+  const std::size_t keep = stats_.outstanding_high_water + kTrimSlack;
+  if (free_.size() > keep) {
+    stats_.dropped_trim += free_.size() - keep;
+    free_.resize(keep);
+    stats_.free_count = free_.size();
+  }
+  stats_.outstanding_high_water = stats_.outstanding;
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+BufferPool& chunk_buffer_pool() {
+  static BufferPool pool;
+  return pool;
+}
+
+}  // namespace mhd

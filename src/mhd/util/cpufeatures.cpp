@@ -26,17 +26,24 @@ CpuFeatures detect_x86() {
   unsigned eax = 0, ebx = 0, ecx = 0, edx = 0;
   if (!__get_cpuid(1, &eax, &ebx, &ecx, &edx)) return f;
   f.sse2 = (edx & (1u << 26)) != 0;
+  f.ssse3 = (ecx & (1u << 9)) != 0;
+  f.sse41 = (ecx & (1u << 19)) != 0;
 
-  // AVX2 needs the instruction set (leaf 7 EBX bit 5) *and* OS-enabled
-  // YMM state: CPUID.1:ECX OSXSAVE + AVX bits, then XCR0 XMM|YMM.
-  const bool osxsave = (ecx & (1u << 27)) != 0;
-  const bool avx = (ecx & (1u << 28)) != 0;
-  if (osxsave && avx && __get_cpuid_max(0, nullptr) >= 7) {
+  if (__get_cpuid_max(0, nullptr) >= 7) {
     unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;
     __cpuid_count(7, 0, eax7, ebx7, ecx7, edx7);
-    const bool avx2_insn = (ebx7 & (1u << 5)) != 0;
-    const std::uint64_t xcr0 = read_xcr0();
-    f.avx2 = avx2_insn && (xcr0 & 0x6) == 0x6;
+    // SHA-NI operates on XMM state only, so no XGETBV gate beyond SSE.
+    f.sha_ni = (ebx7 & (1u << 29)) != 0;
+
+    // AVX2 needs the instruction set (leaf 7 EBX bit 5) *and* OS-enabled
+    // YMM state: CPUID.1:ECX OSXSAVE + AVX bits, then XCR0 XMM|YMM.
+    const bool osxsave = (ecx & (1u << 27)) != 0;
+    const bool avx = (ecx & (1u << 28)) != 0;
+    if (osxsave && avx) {
+      const bool avx2_insn = (ebx7 & (1u << 5)) != 0;
+      const std::uint64_t xcr0 = read_xcr0();
+      f.avx2 = avx2_insn && (xcr0 & 0x6) == 0x6;
+    }
   }
   return f;
 }

@@ -12,7 +12,10 @@ namespace mhd {
 
 struct CpuFeatures {
   bool sse2 = false;
-  bool avx2 = false;  ///< implies OS support for YMM state (XGETBV checked)
+  bool ssse3 = false;
+  bool sse41 = false;
+  bool avx2 = false;    ///< implies OS support for YMM state (XGETBV checked)
+  bool sha_ni = false;  ///< SHA New Instructions (CPUID leaf 7 EBX bit 29)
 };
 
 /// Detects and caches the host CPU's features (thread-safe, detection runs

@@ -1,0 +1,181 @@
+// BufferPool: the zero-realloc contract behind steady-state ingest.
+// Covers slab reuse under churn, the oversize drop, high-water trimming,
+// adoption of foreign buffers, and a concurrent acquire/release storm that
+// the tsan preset runs under ThreadSanitizer.
+#include "mhd/util/buffer_pool.h"
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "mhd/util/random.h"
+
+namespace mhd {
+namespace {
+
+TEST(BufferPool, AcquireStartsEmptyAndFresh) {
+  BufferPool pool;
+  ByteVec buf = pool.acquire();
+  EXPECT_TRUE(buf.empty());
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 1u);
+  EXPECT_EQ(s.reuses, 0u);
+  EXPECT_EQ(s.outstanding, 1u);
+}
+
+TEST(BufferPool, ReleasedSlabKeepsCapacityAndIsReused) {
+  BufferPool pool;
+  ByteVec buf = pool.acquire();
+  buf.resize(10000);
+  const std::size_t cap = buf.capacity();
+  pool.release(std::move(buf));
+
+  ByteVec again = pool.acquire();
+  EXPECT_TRUE(again.empty());
+  EXPECT_GE(again.capacity(), cap);  // recycled storage, not a fresh vec
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, 2u);
+  EXPECT_EQ(s.reuses, 1u);
+  EXPECT_EQ(s.releases, 1u);
+}
+
+// Steady-state churn: after the first lap every acquire must be served
+// from the free list — this is the "zero heap allocations per chunk"
+// property the ingest path relies on.
+TEST(BufferPool, SteadyStateChurnAllocatesOnlyOnce) {
+  BufferPool pool;
+  constexpr int kLaps = 200;
+  for (int lap = 0; lap < kLaps; ++lap) {
+    ByteVec buf = pool.acquire();
+    buf.resize(4096);
+    pool.release(std::move(buf));
+  }
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires, static_cast<std::uint64_t>(kLaps));
+  EXPECT_EQ(s.reuses, static_cast<std::uint64_t>(kLaps - 1));
+  EXPECT_EQ(s.free_count, 1u);
+  EXPECT_EQ(s.outstanding, 0u);
+}
+
+TEST(BufferPool, AdoptsForeignBuffers) {
+  BufferPool pool;
+  ByteVec foreign(512, Byte{0xAB});  // never came from the pool
+  pool.release(std::move(foreign));
+  const auto s = pool.stats();
+  EXPECT_EQ(s.free_count, 1u);
+  EXPECT_EQ(s.outstanding, 0u);  // saturating: never underflows
+
+  ByteVec buf = pool.acquire();
+  EXPECT_TRUE(buf.empty());  // adopted slabs come back cleared
+  EXPECT_GE(buf.capacity(), 512u);
+}
+
+TEST(BufferPool, OversizeSlabsAreDroppedNotPooled) {
+  BufferPool pool;
+  ByteVec huge(BufferPool::kMaxSlabBytes + 1);
+  pool.release(std::move(huge));
+  const auto s = pool.stats();
+  EXPECT_EQ(s.dropped_oversize, 1u);
+  EXPECT_EQ(s.free_count, 0u);
+
+  // Exactly at the bound is still pooled.
+  ByteVec edge(BufferPool::kMaxSlabBytes);
+  pool.release(std::move(edge));
+  EXPECT_EQ(pool.stats().free_count, 1u);
+}
+
+TEST(BufferPool, ExplicitTrimDropsEverything) {
+  BufferPool pool;
+  std::vector<ByteVec> held;
+  for (int i = 0; i < 8; ++i) {
+    ByteVec b = pool.acquire();
+    b.resize(256);  // capacity-0 buffers aren't worth pooling
+    held.push_back(std::move(b));
+  }
+  for (auto& b : held) pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().free_count, 8u);
+
+  pool.trim();
+  const auto s = pool.stats();
+  EXPECT_EQ(s.free_count, 0u);
+  EXPECT_EQ(s.outstanding_high_water, 0u);
+  EXPECT_EQ(s.dropped_trim, 8u);
+}
+
+// After a burst of 64 concurrently-outstanding buffers drains, the
+// periodic trim must shrink the free list toward the *current* working
+// set, not the historical peak: run single-buffer churn past the trim
+// interval and check the burst's slabs were let go.
+TEST(BufferPool, HighWaterTrimReleasesBurstFootprint) {
+  BufferPool pool;
+  std::vector<ByteVec> burst;
+  for (int i = 0; i < 64; ++i) {
+    ByteVec b = pool.acquire();
+    b.resize(1024);
+    burst.push_back(std::move(b));
+  }
+  EXPECT_EQ(pool.stats().outstanding_high_water, 64u);
+  for (auto& b : burst) pool.release(std::move(b));
+  EXPECT_EQ(pool.stats().free_count, 64u);
+
+  // One trim fires somewhere in this churn; after it, and the high-water
+  // decay to the now-small outstanding count, a second interval of churn
+  // trims down to 1 outstanding + slack.
+  for (std::uint64_t i = 0; i < 2 * BufferPool::kTrimInterval; ++i) {
+    ByteVec b = pool.acquire();
+    pool.release(std::move(b));
+  }
+  const auto s = pool.stats();
+  EXPECT_LE(s.free_count, 1u + BufferPool::kTrimSlack);
+  EXPECT_GT(s.dropped_trim, 0u);
+}
+
+// Concurrent acquire/release storm across threads; the tsan preset runs
+// this under ThreadSanitizer to prove the pool is race-free. Each thread
+// also writes into its buffers so TSan can see any slab handed to two
+// owners at once.
+TEST(BufferPool, ConcurrentChurnIsRaceFree) {
+  BufferPool pool;
+  constexpr int kThreads = 4;
+  constexpr int kLapsPerThread = 3000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool, t] {
+      Xoshiro256 rng(static_cast<std::uint64_t>(t) + 1);
+      std::vector<ByteVec> held;
+      for (int lap = 0; lap < kLapsPerThread; ++lap) {
+        ByteVec buf = pool.acquire();
+        buf.resize(64 + rng() % 4096);
+        buf[0] = static_cast<Byte>(lap);
+        buf.back() = static_cast<Byte>(t);
+        held.push_back(std::move(buf));
+        // Hold a few buffers to create real concurrency in `outstanding`.
+        if (held.size() > 4 || rng() % 2) {
+          pool.release(std::move(held.back()));
+          held.pop_back();
+        }
+      }
+      for (auto& b : held) pool.release(std::move(b));
+    });
+  }
+  for (auto& th : threads) th.join();
+
+  const auto s = pool.stats();
+  EXPECT_EQ(s.acquires,
+            static_cast<std::uint64_t>(kThreads) * kLapsPerThread);
+  EXPECT_EQ(s.outstanding, 0u);
+  EXPECT_EQ(s.acquires - s.reuses,
+            s.free_count + s.dropped_oversize + s.dropped_trim)
+      << "every allocated slab is pooled, dropped, or accounted";
+}
+
+TEST(BufferPool, GlobalPoolSingletonIsStable) {
+  BufferPool& a = chunk_buffer_pool();
+  BufferPool& b = chunk_buffer_pool();
+  EXPECT_EQ(&a, &b);
+}
+
+}  // namespace
+}  // namespace mhd

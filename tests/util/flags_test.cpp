@@ -69,6 +69,22 @@ TEST(Flags, ChoiceRejectsUnknownValue) {
       std::invalid_argument);
 }
 
+TEST(Flags, HashImplChoiceVocabulary) {
+  for (const char* v : {"auto", "shani", "simd", "portable"}) {
+    const auto f = make_flags({std::string("--hash-impl=") + v});
+    EXPECT_EQ(f.get_choice("hash-impl", {"auto", "shani", "simd", "portable"},
+                           "auto"),
+              v);
+  }
+  const auto bad = make_flags({"--hash-impl=sha256"});
+  EXPECT_THROW(
+      bad.get_choice("hash-impl", {"auto", "shani", "simd", "portable"},
+                     "auto"),
+      std::invalid_argument);
+  EXPECT_THROW(make_flags({"--hash-impl=shani", "--hash-impl=portable"}),
+               std::invalid_argument);
+}
+
 TEST(Flags, UintParsesAndDefaults) {
   const auto f = make_flags({"--ingest-threads=8"});
   EXPECT_EQ(f.get_uint("ingest-threads", 0), 8u);
