@@ -15,14 +15,22 @@
 // wrong never produces a number. Per-stage busy/idle/queue stats for the
 // largest pool are printed so a regression is attributable to a stage.
 //
+// A final serial run repeats the ingest through the CRC32C FramedBackend:
+// its dedup counters must match the bare serial reference bit for bit
+// (framing is invisible to the engine), and the physical − logical byte
+// delta is reported as the framing overhead — in the table and in the
+// JSON baseline.
+//
 // BENCH_pipeline.json at the repo root is the recorded baseline from this
 // harness (see --json).
 #include <cstdio>
+#include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "mhd/sim/runner.h"
+#include "mhd/store/framed_backend.h"
 #include "mhd/store/memory_backend.h"
 #include "mhd/util/flags.h"
 #include "mhd/util/table.h"
@@ -37,7 +45,9 @@ struct Row {
   std::uint32_t workers = 0;
   double mb_per_s = 0;
   EngineCounters counters;
-  std::uint64_t stored_bytes = 0;
+  std::uint64_t stored_bytes = 0;    // logical chunk payload bytes
+  std::uint64_t physical_bytes = 0;  // framed runs: bytes on the raw store
+  bool framed = false;
   PipelineStats stats;
 };
 
@@ -75,13 +85,18 @@ struct ResidentCorpus {
 };
 
 Row measure(const RunConfig& rc, const ResidentCorpus& corpus,
-            std::uint32_t workers) {
+            std::uint32_t workers, bool framed = false) {
   Row row;
   row.workers = workers;
+  row.framed = framed;
   double best = 0;
   for (int rep = 0; rep < rc.reps; ++rep) {
     MemoryBackend backend;
-    ObjectStore store(backend);
+    std::optional<FramedBackend> framing;
+    if (framed) framing.emplace(backend);
+    StorageBackend& active = framed ? static_cast<StorageBackend&>(*framing)
+                                    : backend;
+    ObjectStore store(active);
     EngineConfig cfg = rc.engine;
     cfg.ingest_threads = workers;
     auto engine = make_engine(rc.engine_name, store, cfg);
@@ -93,7 +108,9 @@ Row measure(const RunConfig& rc, const ResidentCorpus& corpus,
     const double secs = watch.seconds();
     best = std::max(best, corpus.total_bytes / 1048576.0 / secs);
     row.counters = engine->counters();
-    row.stored_bytes = backend.content_bytes(Ns::kDiskChunk);
+    row.stored_bytes = active.content_bytes(Ns::kDiskChunk);
+    row.physical_bytes =
+        framed ? framing->physical_bytes(Ns::kDiskChunk) : row.stored_bytes;
     row.stats = engine->pipeline_stats();
   }
   row.mb_per_s = best;
@@ -120,7 +137,7 @@ bool diverges(const Row& serial, const Row& row, std::string& why) {
 
 void write_json(const std::string& path, const RunConfig& rc,
                 const ResidentCorpus& corpus, const std::vector<Row>& rows,
-                double serial_mb_s) {
+                double serial_mb_s, const Row& framed) {
   std::FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
@@ -144,7 +161,21 @@ void write_json(const std::string& path, const RunConfig& rc,
                  r.workers, r.mb_per_s, r.mb_per_s / serial_mb_s,
                  i + 1 < rows.size() ? "," : "");
   }
-  std::fprintf(f, "  ]\n}\n");
+  const std::uint64_t overhead = framed.physical_bytes - framed.stored_bytes;
+  std::fprintf(f,
+               "  ],\n  \"framed\": {\n"
+               "    \"mb_per_s\": %.1f,\n    \"vs_serial\": %.2f,\n"
+               "    \"stored_data_bytes\": %llu,\n"
+               "    \"physical_data_bytes\": %llu,\n"
+               "    \"framing_overhead_bytes\": %llu,\n"
+               "    \"framing_overhead_pct\": %.3f\n  }\n}\n",
+               framed.mb_per_s, framed.mb_per_s / serial_mb_s,
+               static_cast<unsigned long long>(framed.stored_bytes),
+               static_cast<unsigned long long>(framed.physical_bytes),
+               static_cast<unsigned long long>(overhead),
+               framed.stored_bytes == 0
+                   ? 0.0
+                   : 100.0 * overhead / framed.stored_bytes);
   std::fclose(f);
   std::printf("\nbaseline written to %s\n", path.c_str());
 }
@@ -217,6 +248,29 @@ int main(int argc, char** argv) {
   }
   std::printf("%s", t.to_string().c_str());
 
+  // Framed reference run: the CRC32C framing must be invisible to the
+  // dedup engine (identical counters and logical bytes) and costs only
+  // the header/trailer bytes it adds on the raw store.
+  const Row framed = measure(rc, corpus, 0, /*framed=*/true);
+  {
+    std::string why;
+    if (diverges(rows.front(), framed, why)) {
+      std::fprintf(stderr,
+                   "FATAL: framed result diverges from bare serial — %s\n",
+                   why.c_str());
+      return 1;
+    }
+  }
+  const std::uint64_t overhead = framed.physical_bytes - framed.stored_bytes;
+  std::printf(
+      "\nCRC32C framing (serial): %.1f MB/s (%.2fx of bare), overhead "
+      "%llu bytes = %.3f%% of %.1f MB stored\n",
+      framed.mb_per_s, framed.mb_per_s / serial_mb_s,
+      static_cast<unsigned long long>(overhead),
+      framed.stored_bytes == 0 ? 0.0
+                               : 100.0 * overhead / framed.stored_bytes,
+      framed.stored_bytes / 1048576.0);
+
   const auto& widest = rows.back();
   if (!widest.stats.empty()) {
     std::printf("\nstage breakdown at %u workers:\n", widest.workers);
@@ -231,6 +285,8 @@ int main(int argc, char** argv) {
   }
 
   const std::string json = flags.get("json", "");
-  if (!json.empty()) write_json(json, rc, corpus, rows, serial_mb_s);
+  if (!json.empty()) {
+    write_json(json, rc, corpus, rows, serial_mb_s, framed);
+  }
   return 0;
 }

@@ -18,12 +18,24 @@
 //          --hash-impl=auto|shani|simd|portable   SHA-1 kernel selection
 //          --pipeline | --ingest-threads=N   staged concurrent ingest
 //          (N SHA-1 workers; 0 = serial; stored bytes are bit-identical)
+//          --framed    store with CRC32C self-verification framing.
+//          A framed repository is self-describing (a `framed` marker in
+//          the repo root): later commands detect it and read through the
+//          verifying layer without the flag — a framed repo can never be
+//          misread as raw bytes. examples/fsck_cli checks and repairs
+//          such repositories.
+//          --fault-plan=SPEC   inject deterministic storage faults below
+//          the framing, e.g. --fault-plan=torn@120:0.5,readerr@3x2,seed:7
+//          (see store/fault_backend.h for the mini-language)
 #include <cstdio>
 #include <fstream>
+#include <optional>
 
 #include "mhd/core/mhd_engine.h"
 #include "mhd/metrics/metrics.h"
+#include "mhd/store/fault_backend.h"
 #include "mhd/store/file_backend.h"
+#include "mhd/store/framed_backend.h"
 #include "mhd/store/maintenance.h"
 #include "mhd/store/restore_reader.h"
 #include "mhd/util/flags.h"
@@ -49,6 +61,50 @@ class FileSource final : public ByteSource {
   std::ifstream in_;
 };
 
+/// The durability stack every command talks to:
+///   FileBackend -> [FaultInjectingBackend] -> [FramedBackend]
+/// Faults are injected on the physical layer, below the framing that
+/// exists to detect them. `active()` is the top of whatever was enabled.
+class BackendStack {
+ public:
+  BackendStack(const std::string& root, const Flags& flags) : file_(root) {
+    StorageBackend* top = &file_;
+    const auto plan = flags.get("fault-plan", "");
+    if (!plan.empty()) {
+      faulty_.emplace(*top, FaultPlan::parse(plan));
+      top = &*faulty_;
+    }
+    // Framing is a property of the repository, not of the invocation:
+    // `store --framed` drops a marker file so every later command reads
+    // through the verifying layer without the flag. Otherwise a restore
+    // that forgot --framed would return the framed bytes as payload.
+    const std::string marker = root + "/framed";
+    bool framed = flags.get_bool("framed", false);
+    if (!framed) {
+      if (std::FILE* f = std::fopen(marker.c_str(), "rb")) {
+        framed = true;
+        std::fclose(f);
+      }
+    } else if (std::FILE* f = std::fopen(marker.c_str(), "wb")) {
+      std::fclose(f);
+    }
+    if (framed) {
+      framed_.emplace(*top);
+      top = &*framed_;
+    }
+    active_ = top;
+  }
+
+  StorageBackend& active() { return *active_; }
+  FileBackend& file() { return file_; }
+
+ private:
+  FileBackend file_;
+  std::optional<FaultInjectingBackend> faulty_;
+  std::optional<FramedBackend> framed_;
+  StorageBackend* active_ = nullptr;
+};
+
 EngineConfig config_from(const Flags& flags) {
   EngineConfig cfg;
   cfg.ecs = static_cast<std::uint32_t>(flags.get_int("ecs", 4096));
@@ -71,8 +127,8 @@ int cmd_store(const Flags& flags, bool verify_after) {
     std::fprintf(stderr, "usage: dedup_cli store <repo> <file...>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
-  ObjectStore store(backend);
+  BackendStack stack(args[1], flags);
+  ObjectStore store(stack.active());
   MhdEngine engine(store, config_from(flags));
 
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -128,9 +184,9 @@ int cmd_restore(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli restore <repo> <name> <out>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
+  BackendStack stack(args[1], flags);
   // Streaming restore: O(buffer) memory regardless of image size.
-  auto reader = RestoreReader::open(backend, args[2]);
+  auto reader = RestoreReader::open(stack.active(), args[2]);
   if (!reader) {
     std::fprintf(stderr, "no such file in repo: %s\n", args[2].c_str());
     return 1;
@@ -159,10 +215,10 @@ int cmd_delete(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli delete <repo> <name...>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
+  BackendStack stack(args[1], flags);
   int missing = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
-    if (delete_file(backend, args[i])) {
+    if (delete_file(stack.active(), args[i])) {
       std::printf("deleted %s (run 'gc' to reclaim space)\n", args[i].c_str());
     } else {
       std::fprintf(stderr, "not in repo: %s\n", args[i].c_str());
@@ -178,8 +234,8 @@ int cmd_gc(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli gc <repo>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
-  const auto r = collect_garbage(backend);
+  BackendStack stack(args[1], flags);
+  const auto r = collect_garbage(stack.active());
   std::printf("gc: %llu live chunks kept, %llu chunks deleted (%.2f MB "
               "reclaimed), %llu manifests and %llu hooks removed\n",
               static_cast<unsigned long long>(r.live_chunks),
@@ -196,8 +252,8 @@ int cmd_scrub(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli scrub <repo>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
-  const auto r = scrub_repository(backend);
+  BackendStack stack(args[1], flags);
+  const auto r = scrub_repository(stack.active());
   std::printf("scrub: %llu filemanifests, %llu manifests (%llu opaque), "
               "%llu chunks, %llu hooks\n",
               static_cast<unsigned long long>(r.file_manifests),
@@ -210,12 +266,14 @@ int cmd_scrub(const Flags& flags) {
     return 0;
   }
   std::printf("PROBLEMS: %llu broken file ranges, %llu hash mismatches, "
-              "%llu coverage errors, %llu dangling hooks, %llu unparseable\n",
+              "%llu coverage errors, %llu dangling hooks, %llu unparseable, "
+              "%llu corrupt\n",
               static_cast<unsigned long long>(r.broken_file_ranges),
               static_cast<unsigned long long>(r.manifest_hash_mismatches),
               static_cast<unsigned long long>(r.manifest_coverage_errors),
               static_cast<unsigned long long>(r.dangling_hooks),
-              static_cast<unsigned long long>(r.unparseable));
+              static_cast<unsigned long long>(r.unparseable),
+              static_cast<unsigned long long>(r.corrupt_objects));
   return 1;
 }
 
@@ -225,7 +283,8 @@ int cmd_stats(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli stats <repo>\n");
     return 2;
   }
-  FileBackend backend(args[1]);
+  BackendStack stack(args[1], flags);
+  StorageBackend& backend = stack.active();
   const auto m = MetadataBreakdown::from(backend);
   std::printf("repository %s\n", args[1].c_str());
   std::printf("  diskchunks    : %llu objects, %.2f MB\n",
@@ -256,13 +315,22 @@ int main(int argc, char** argv) {
                  "usage: dedup_cli <store|restore|verify|stats> ...\n");
     return 2;
   }
-  if (args[0] == "store") return cmd_store(flags, /*verify_after=*/false);
-  if (args[0] == "verify") return cmd_store(flags, /*verify_after=*/true);
-  if (args[0] == "restore") return cmd_restore(flags);
-  if (args[0] == "delete") return cmd_delete(flags);
-  if (args[0] == "gc") return cmd_gc(flags);
-  if (args[0] == "scrub") return cmd_scrub(flags);
-  if (args[0] == "stats") return cmd_stats(flags);
+  try {
+    if (args[0] == "store") return cmd_store(flags, /*verify_after=*/false);
+    if (args[0] == "verify") return cmd_store(flags, /*verify_after=*/true);
+    if (args[0] == "restore") return cmd_restore(flags);
+    if (args[0] == "delete") return cmd_delete(flags);
+    if (args[0] == "gc") return cmd_gc(flags);
+    if (args[0] == "scrub") return cmd_scrub(flags);
+    if (args[0] == "stats") return cmd_stats(flags);
+  } catch (const mhd::CorruptObjectError& e) {
+    std::fprintf(stderr, "%s\nrun 'fsck_cli repair <repo>' to recover\n",
+                 e.what());
+    return 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
   std::fprintf(stderr, "unknown command: %s\n", args[0].c_str());
   return 2;
 }

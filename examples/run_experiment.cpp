@@ -7,12 +7,18 @@
 //                    [--chunker-impl=auto|scalar|simd]
 //                    [--hash-impl=auto|shani|simd|portable] [--cache_kb=256]
 //                    [--pipeline] [--ingest-threads=N]
+//                    [--framed] [--fault-plan=SPEC]
 //                    [--verify] [--json]
 //
 // --pipeline enables the staged concurrent ingest (4 hash workers);
 // --ingest-threads=N picks the pool size explicitly (0 = serial). Results
 // are bit-identical either way; pipelined runs additionally report
 // per-stage busy/idle/queue-depth counters.
+// --framed stores every object with CRC32C self-verification framing
+// (dedup results stay bit-identical; the framing overhead is reported);
+// --fault-plan injects deterministic storage faults below the framing,
+// e.g. --fault-plan=torn@120:0.5,readerr@3x2,seed:7 (see
+// store/fault_backend.h for the mini-language).
 #include <cstdio>
 
 #include "mhd/metrics/json_export.h"
@@ -42,6 +48,8 @@ int main(int argc, char** argv) {
       "ingest-threads", flags.get_bool("pipeline", false) ? 4 : 0, 0, 256));
   spec.engine.pipeline_queue_depth = static_cast<std::uint32_t>(
       flags.get_uint("pipeline-queue-depth", 64, 1, 65536));
+  spec.engine.framed = flags.get_bool("framed", false);
+  spec.engine.fault_plan = flags.get("fault-plan", "");
   spec.verify = flags.get_bool("verify", false);
 
   const auto size_mb = static_cast<std::uint64_t>(flags.get_int("size_mb", 48));
@@ -82,6 +90,17 @@ int main(int argc, char** argv) {
   t.add_row({"manifest loads", TextTable::num(r.manifest_loads)});
   t.add_row({"disk accesses", TextTable::num(r.stats.total_accesses())});
   t.add_row({"index RAM KB", TextTable::num(r.index_ram_bytes / 1024)});
+  if (r.framed) {
+    t.add_row({"framing overhead KB",
+               TextTable::num(r.framing_overhead_bytes() / 1024.0, 1)});
+  }
+  if (r.stats.transient_retries != 0) {
+    t.add_row({"transient retries", TextTable::num(r.stats.transient_retries)});
+  }
+  if (r.counters.corruption_fallbacks != 0) {
+    t.add_row({"corruption fallbacks",
+               TextTable::num(r.counters.corruption_fallbacks)});
+  }
   std::printf("%s", t.to_string().c_str());
 
   if (!r.pipeline.empty()) {

@@ -39,13 +39,22 @@ std::size_t MatchExtender::splice(Manifest& m, const Digest& name,
   return replacement.size() - 1;
 }
 
+std::optional<ByteVec> MatchExtender::reload_chunk_range(
+    const Manifest& m, const ManifestEntry& e) {
+  try {
+    return store_.read_chunk_range(m.chunk_name().hex(), e.offset, e.size);
+  } catch (const CorruptObjectError&) {
+    ++counters_.corruption_fallbacks;
+    return std::nullopt;
+  }
+}
+
 bool MatchExtender::hhr_backward(Manifest& m, const Digest& name,
                                  std::size_t index,
                                  std::deque<StreamChunk>& pending,
                                  std::uint64_t frontier, Outcome& out) {
   const ManifestEntry e = m.entries()[index];  // copy: we may splice
-  const auto bytes =
-      store_.read_chunk_range(m.chunk_name().hex(), e.offset, e.size);
+  const auto bytes = reload_chunk_range(m, e);
   ++counters_.hhr_chunk_reloads;
   if (!bytes) return false;
 
@@ -117,8 +126,7 @@ bool MatchExtender::hhr_forward(Manifest& m, const Digest& name,
                                 std::size_t index,
                                 std::deque<StreamChunk>& look, Outcome& out) {
   const ManifestEntry e = m.entries()[index];
-  const auto bytes =
-      store_.read_chunk_range(m.chunk_name().hex(), e.offset, e.size);
+  const auto bytes = reload_chunk_range(m, e);
   ++counters_.hhr_chunk_reloads;
   if (!bytes) return false;
 

@@ -67,6 +67,13 @@ class MatchExtender {
                  std::deque<StreamChunk>& pending, const PullFn& pull);
 
  private:
+  /// HHR chunk-byte reload with graceful degradation: a stored region that
+  /// fails CRC verification reads as "no match" (the extension simply
+  /// stops, the data is re-stored as non-duplicate) and is counted under
+  /// corruption_fallbacks — ingest never aborts on a rotten old chunk.
+  std::optional<ByteVec> reload_chunk_range(const Manifest& m,
+                                            const ManifestEntry& e);
+
   /// Splices entries[index] -> replacement; returns entries added - 1.
   std::size_t splice(Manifest& m, const Digest& name, std::size_t index,
                      std::vector<ManifestEntry> replacement);

@@ -23,11 +23,15 @@ std::optional<ManifestCache::Located> MhdEngine::find_anchor(
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
   }
-  const auto hook = store_.get_hook(hash, AccessKind::kSmallChunkQuery);
+  const auto hook = degrade_on_corruption(
+      [&] { return store_.get_hook(hash, AccessKind::kSmallChunkQuery); });
   if (!hook || hook->size() != Digest::kSize) return std::nullopt;
   Digest manifest_name;
   std::copy(hook->begin(), hook->end(), manifest_name.bytes.begin());
-  if (cache_.load(manifest_name) == nullptr) return std::nullopt;
+  if (degrade_on_corruption([&] { return cache_.load(manifest_name); }) ==
+      nullptr) {
+    return std::nullopt;
+  }
   return cache_.lookup_hash(hash);
 }
 

@@ -56,22 +56,28 @@ void DedupEngine::add_file(const std::string& file_name, ByteSource& data) {
 
 std::optional<ByteVec> DedupEngine::reconstruct(
     const std::string& file_name) const {
-  const StorageBackend& backend = store_.backend();
-  const auto raw =
-      backend.get(Ns::kFileManifest, file_digest(file_name).hex());
-  if (!raw) return std::nullopt;
-  const auto fm = FileManifest::deserialize(*raw);
-  if (!fm) return std::nullopt;
+  // Restore never degrades: a corrupt object makes the restore fail
+  // (nullopt) instead of silently returning wrong bytes.
+  try {
+    const StorageBackend& backend = store_.backend();
+    const auto raw =
+        backend.get(Ns::kFileManifest, file_digest(file_name).hex());
+    if (!raw) return std::nullopt;
+    const auto fm = FileManifest::deserialize(*raw);
+    if (!fm) return std::nullopt;
 
-  ByteVec out;
-  out.reserve(static_cast<std::size_t>(fm->total_length()));
-  for (const auto& entry : fm->entries()) {
-    auto piece = backend.get_range(Ns::kDiskChunk, entry.chunk_name.hex(),
-                                   entry.offset, entry.length);
-    if (!piece) return std::nullopt;
-    append(out, *piece);
+    ByteVec out;
+    out.reserve(static_cast<std::size_t>(fm->total_length()));
+    for (const auto& entry : fm->entries()) {
+      auto piece = backend.get_range(Ns::kDiskChunk, entry.chunk_name.hex(),
+                                     entry.offset, entry.length);
+      if (!piece) return std::nullopt;
+      append(out, *piece);
+    }
+    return out;
+  } catch (const CorruptObjectError&) {
+    return std::nullopt;
   }
-  return out;
 }
 
 }  // namespace mhd

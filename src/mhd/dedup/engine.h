@@ -21,6 +21,7 @@
 #include "mhd/pipeline/hashed_chunk_stream.h"
 #include "mhd/pipeline/stage.h"
 #include "mhd/store/object_store.h"
+#include "mhd/store/store_errors.h"
 
 namespace mhd {
 
@@ -75,6 +76,15 @@ struct EngineConfig {
   bool enable_edge_hash = true;
   bool enable_backward_extension = true;
   bool enable_shm = true;
+
+  // Durability stack (DESIGN.md "Durability model"). With `framed` the
+  // simulation runner layers FramedBackend (CRC32C self-verifying objects,
+  // typed corrupt-vs-absent errors) over the repository; `fault_plan` adds
+  // a FaultInjectingBackend *below* the framing speaking the plan
+  // mini-language in store/fault_backend.h (--fault-plan). Dedup results
+  // are bit-identical with framing on; only physical bytes differ.
+  bool framed = false;
+  std::string fault_plan;
 };
 
 struct EngineCounters {
@@ -91,6 +101,12 @@ struct EngineCounters {
   std::uint64_t hhr_operations = 0;
   std::uint64_t hhr_chunk_reloads = 0;  ///< Fig. 10(b) "HHR Cost"
   std::uint64_t shm_merged_hashes = 0;
+
+  /// Graceful degradation: reads that failed CRC verification and were
+  /// treated as non-duplicate (hook/manifest lookups, HHR chunk reloads)
+  /// instead of aborting the ingest. Data is still stored correctly —
+  /// only the dedup ratio suffers. Always zero on a healthy store.
+  std::uint64_t corruption_fallbacks = 0;
 
   double cpu_seconds = 0;
 
@@ -174,6 +190,21 @@ class DedupEngine {
   /// duplicate drop, or match extension consuming the buffer — closing the
   /// acquire/release cycle that makes steady-state ingest allocation-free.
   static void recycle_chunk(ByteVec&& bytes);
+
+  /// Graceful degradation: runs a dedup-index lookup (hook/manifest read)
+  /// and maps CorruptObjectError to the lookup's "not found" value — the
+  /// region is simply treated as non-duplicate and stored fresh, which is
+  /// always correct, and the event is counted as a corruption_fallback.
+  /// Restore paths must NOT use this: there, corruption is a hard error.
+  template <typename Fn>
+  auto degrade_on_corruption(Fn&& fn) -> decltype(fn()) {
+    try {
+      return fn();
+    } catch (const CorruptObjectError&) {
+      ++counters_.corruption_fallbacks;
+      return decltype(fn()){};
+    }
+  }
 
   /// Tracks the L counter: call per chunk decision in stream order.
   void note_duplicate(std::uint64_t bytes) {

@@ -80,7 +80,8 @@ void ExtremeBinningEngine::process_file(const std::string& file_name,
   const auto idx = primary_index_.find(*representative);
   if (idx != primary_index_.end()) {
     bin_name = idx->second;
-    if (const auto raw = store_.get_manifest(bin_name.hex())) {
+    if (const auto raw = degrade_on_corruption(
+            [&] { return store_.get_manifest(bin_name.hex()); })) {
       if (auto parsed = deserialize_bin(*raw)) {
         bin = std::move(*parsed);
         ++bin_loads_;

@@ -25,11 +25,15 @@ std::optional<FbcEngine::DupRef> FbcEngine::find_duplicate(
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
   }
-  const auto hook = store_.get_hook(hash, query_kind);
+  const auto hook = degrade_on_corruption(
+      [&] { return store_.get_hook(hash, query_kind); });
   if (!hook || hook->size() != Digest::kSize) return std::nullopt;
   Digest manifest_name;
   std::copy(hook->begin(), hook->end(), manifest_name.bytes.begin());
-  if (cache_.load(manifest_name) == nullptr) return std::nullopt;
+  if (degrade_on_corruption([&] { return cache_.load(manifest_name); }) ==
+      nullptr) {
+    return std::nullopt;
+  }
   if (auto loc = cache_.lookup_hash(hash)) {
     const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
     return DupRef{loc->manifest->chunk_name(), e.offset, e.size};

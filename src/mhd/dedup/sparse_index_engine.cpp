@@ -113,7 +113,8 @@ void SparseIndexEngine::dedup_segment(std::vector<SegChunk>& segment,
     (void)hits;
     SegManifest* m = cache_.get(mname);
     if (m == nullptr) {
-      const auto raw = store_.get_manifest(mname.hex());
+      const auto raw = degrade_on_corruption(
+          [&] { return store_.get_manifest(mname.hex()); });
       if (!raw) continue;
       auto parsed = SegManifest::deserialize(*raw);
       if (!parsed) continue;

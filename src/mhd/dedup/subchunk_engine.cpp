@@ -152,12 +152,14 @@ bool SubChunkEngine::load_manifest_for(const Digest& hook_hash,
   if (cfg_.use_bloom && !bloom_.maybe_contains(hook_hash.prefix64())) {
     return false;
   }
-  const auto hook = store_.get_hook(hook_hash, query_kind);
+  const auto hook = degrade_on_corruption(
+      [&] { return store_.get_hook(hook_hash, query_kind); });
   if (!hook || hook->size() != Digest::kSize) return false;
   Digest manifest_name;
   std::copy(hook->begin(), hook->end(), manifest_name.bytes.begin());
   if (cache_.contains(manifest_name)) return true;
-  const auto raw = store_.get_manifest(manifest_name.hex());
+  const auto raw = degrade_on_corruption(
+      [&] { return store_.get_manifest(manifest_name.hex()); });
   if (!raw) return false;
   auto m = SubManifest::deserialize(*raw);
   if (!m) return false;

@@ -45,6 +45,9 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"hash_impl\":\"" << json_escape(r.hash_impl) << "\""
       << ",\"input_bytes\":" << r.input_bytes
       << ",\"stored_data_bytes\":" << r.stored_data_bytes
+      << ",\"framed\":" << (r.framed ? "true" : "false")
+      << ",\"physical_data_bytes\":" << r.physical_data_bytes
+      << ",\"framing_overhead_bytes\":" << r.framing_overhead_bytes()
       << ",\"metadata_bytes\":" << r.metadata.total_bytes()
       << ",\"hook_manifest_bytes\":" << r.metadata.hook_manifest_bytes()
       << ",\"filemanifest_bytes\":" << r.metadata.filemanifest_bytes
@@ -61,6 +64,8 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"files_with_data\":" << r.counters.files_with_data
       << ",\"hhr_operations\":" << r.counters.hhr_operations
       << ",\"hhr_chunk_reloads\":" << r.counters.hhr_chunk_reloads
+      << ",\"corruption_fallbacks\":" << r.counters.corruption_fallbacks
+      << ",\"transient_retries\":" << r.stats.transient_retries
       << ",\"manifest_loads\":" << r.manifest_loads
       << ",\"index_ram_bytes\":" << r.index_ram_bytes
       << ",\"total_disk_accesses\":" << r.stats.total_accesses()

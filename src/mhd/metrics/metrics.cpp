@@ -1,5 +1,7 @@
 #include "mhd/metrics/metrics.h"
 
+#include "mhd/store/framed_backend.h"
+
 namespace mhd {
 
 MetadataBreakdown MetadataBreakdown::from(const StorageBackend& backend) {
@@ -77,6 +79,11 @@ ExperimentResult summarize(const std::string& algorithm,
   r.stats = engine.store().stats();
   r.input_bytes = r.counters.input_bytes;
   r.stored_data_bytes = backend.content_bytes(Ns::kDiskChunk);
+  r.physical_data_bytes = r.stored_data_bytes;
+  if (const auto* fb = dynamic_cast<const FramedBackend*>(&backend)) {
+    r.framed = true;
+    r.physical_data_bytes = fb->physical_bytes(Ns::kDiskChunk);
+  }
   r.metadata = MetadataBreakdown::from(backend);
   r.manifest_loads = engine.manifest_loads();
   r.index_ram_bytes = engine.index_ram_bytes();

@@ -57,7 +57,11 @@ struct ExperimentResult {
   std::string hash_impl = "portable";   ///< resolved SHA-1 kernel
 
   std::uint64_t input_bytes = 0;
-  std::uint64_t stored_data_bytes = 0;  ///< DiskChunk content
+  std::uint64_t stored_data_bytes = 0;  ///< DiskChunk content (logical)
+  /// Physical DiskChunk bytes including self-verification framing; equals
+  /// stored_data_bytes on an unframed store.
+  std::uint64_t physical_data_bytes = 0;
+  bool framed = false;
   MetadataBreakdown metadata;
   EngineCounters counters;
   StorageStats stats;
@@ -80,6 +84,10 @@ struct ExperimentResult {
   double manifest_hook_metadata_ratio() const; ///< Fig. 7(b)
   double filemanifest_metadata_ratio() const;  ///< Fig. 7(c)
   double dad_bytes() const;                    ///< Fig. 10(a)
+  /// CRC framing cost on the data path (0 on unframed stores).
+  std::uint64_t framing_overhead_bytes() const {
+    return physical_data_bytes - stored_data_bytes;
+  }
 };
 
 /// Fills the derived/metadata parts of a result from a finished engine.

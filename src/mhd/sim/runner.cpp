@@ -1,8 +1,11 @@
 #include "mhd/sim/runner.h"
 
+#include <optional>
 #include <stdexcept>
 
 #include "mhd/core/mhd_engine.h"
+#include "mhd/store/fault_backend.h"
+#include "mhd/store/framed_backend.h"
 #include "mhd/dedup/bimodal_engine.h"
 #include "mhd/dedup/cdc_engine.h"
 #include "mhd/dedup/extreme_binning_engine.h"
@@ -73,7 +76,20 @@ ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
 
 ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus) {
   MemoryBackend backend;
-  return run_experiment(spec, corpus, backend);
+  if (!spec.engine.framed && spec.engine.fault_plan.empty()) {
+    return run_experiment(spec, corpus, backend);
+  }
+  // Durability stack: faults are injected on the *physical* layer, below
+  // the framing that exists to detect them.
+  std::optional<FaultInjectingBackend> faulty;
+  StorageBackend* lower = &backend;
+  if (!spec.engine.fault_plan.empty()) {
+    faulty.emplace(backend, FaultPlan::parse(spec.engine.fault_plan));
+    lower = &*faulty;
+  }
+  if (!spec.engine.framed) return run_experiment(spec, corpus, *lower);
+  FramedBackend framed(*lower);
+  return run_experiment(spec, corpus, framed);
 }
 
 }  // namespace mhd

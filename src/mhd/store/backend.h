@@ -48,6 +48,12 @@ class StorageBackend {
   virtual bool exists(Ns ns, const std::string& name) const = 0;
   virtual bool remove(Ns ns, const std::string& name) = 0;
 
+  /// Marks the end of an append stream. Raw backends need no terminator
+  /// (no-op); durability decorators write an end-of-stream seal record so
+  /// a truncation at a record boundary is distinguishable from a clean
+  /// close. ChunkWriter::close() calls this once per finished DiskChunk.
+  virtual void seal(Ns /*ns*/, const std::string& /*name*/) {}
+
   /// Number of objects (== inodes) in a namespace.
   virtual std::uint64_t object_count(Ns ns) const = 0;
   /// Total content bytes in a namespace.

@@ -1,0 +1,224 @@
+#include "mhd/store/fault_backend.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+#include <string>
+
+#include "mhd/store/store_errors.h"
+#include "mhd/util/random.h"
+
+namespace mhd {
+
+namespace {
+
+std::uint64_t parse_u64(const std::string& atom, const std::string& s) {
+  std::size_t used = 0;
+  const unsigned long long v = std::stoull(s, &used);
+  if (used != s.size()) {
+    throw std::invalid_argument("fault plan: bad number in '" + atom + "'");
+  }
+  return v;
+}
+
+double parse_fraction(const std::string& atom, const std::string& s) {
+  std::size_t used = 0;
+  const double f = std::stod(s, &used);
+  if (used != s.size() || f < 0.0 || f > 1.0) {
+    throw std::invalid_argument("fault plan: fraction outside [0,1] in '" +
+                                atom + "'");
+  }
+  return f;
+}
+
+}  // namespace
+
+FaultPlan FaultPlan::parse(const std::string& spec) {
+  FaultPlan plan;
+  std::size_t start = 0;
+  while (start <= spec.size()) {
+    std::size_t end = spec.find(',', start);
+    if (end == std::string::npos) end = spec.size();
+    std::string atom = spec.substr(start, end - start);
+    start = end + 1;
+    // Trim surrounding whitespace.
+    while (!atom.empty() && std::isspace(static_cast<unsigned char>(atom.front()))) atom.erase(atom.begin());
+    while (!atom.empty() && std::isspace(static_cast<unsigned char>(atom.back()))) atom.pop_back();
+    if (atom.empty()) continue;
+
+    try {
+      if (atom.rfind("seed:", 0) == 0) {
+        plan.seed = parse_u64(atom, atom.substr(5));
+      } else if (atom.rfind("fail@", 0) == 0) {
+        plan.fail_ops.push_back(parse_u64(atom, atom.substr(5)));
+      } else if (atom.rfind("torn@", 0) == 0) {
+        const std::string rest = atom.substr(5);
+        const std::size_t colon = rest.find(':');
+        Tear tear;
+        tear.op = parse_u64(atom, rest.substr(0, colon));
+        if (colon != std::string::npos) {
+          tear.fraction = parse_fraction(atom, rest.substr(colon + 1));
+        }
+        plan.torn_ops.push_back(tear);
+      } else if (atom.rfind("crash@", 0) == 0) {
+        if (plan.crash) {
+          throw std::invalid_argument("fault plan: multiple crash@ atoms");
+        }
+        const std::string rest = atom.substr(6);
+        const std::size_t colon = rest.find(':');
+        Tear tear;
+        tear.op = parse_u64(atom, rest.substr(0, colon));
+        if (colon != std::string::npos) {
+          tear.fraction = parse_fraction(atom, rest.substr(colon + 1));
+        }
+        plan.crash = tear;
+      } else if (atom.rfind("readerr@", 0) == 0) {
+        const std::string rest = atom.substr(8);
+        const std::size_t x = rest.find('x');
+        ReadErr re;
+        re.first = parse_u64(atom, rest.substr(0, x));
+        if (x != std::string::npos) {
+          re.count = parse_u64(atom, rest.substr(x + 1));
+        }
+        plan.read_errors.push_back(re);
+      } else {
+        throw std::invalid_argument("fault plan: unknown atom '" + atom + "'");
+      }
+    } catch (const std::invalid_argument&) {
+      throw;
+    } catch (const std::exception&) {
+      throw std::invalid_argument("fault plan: malformed atom '" + atom + "'");
+    }
+    if (end == spec.size()) break;
+  }
+  return plan;
+}
+
+FaultInjectingBackend::FaultInjectingBackend(StorageBackend& inner,
+                                             FaultPlan plan)
+    : inner_(inner), plan_(std::move(plan)) {}
+
+void FaultInjectingBackend::check_crashed() const {
+  if (crashed_) {
+    throw CrashStopError("fault backend: crash-stopped");
+  }
+}
+
+double FaultInjectingBackend::tear_fraction(
+    const FaultPlan::Tear& tear) const {
+  if (tear.fraction >= 0.0) return tear.fraction;
+  // Drawn fraction: deterministic in (plan seed, op index) alone.
+  Xoshiro256 rng(plan_.seed ^ (tear.op * 0x9E3779B97F4A7C15ull));
+  return static_cast<double>(rng() >> 11) * 0x1.0p-53;
+}
+
+double FaultInjectingBackend::on_mutation() {
+  check_crashed();
+  const std::uint64_t op = ++mutations_;
+  if (plan_.crash && plan_.crash->op == op) {
+    const double frac = plan_.crash->fraction >= 0.0
+                            ? tear_fraction(*plan_.crash)
+                            : 0.0;  // crash@N alone: nothing persists
+    crashed_ = true;
+    if (frac > 0.0) return frac;  // caller persists the torn prefix first
+    throw CrashStopError("fault backend: crash at op " + std::to_string(op));
+  }
+  for (const std::uint64_t f : plan_.fail_ops) {
+    if (f == op) {
+      throw BackendIoError("fault backend: injected failure at op " +
+                           std::to_string(op));
+    }
+  }
+  for (const auto& tear : plan_.torn_ops) {
+    if (tear.op == op) return tear_fraction(tear);
+  }
+  return 1.0;
+}
+
+void FaultInjectingBackend::on_read() const {
+  check_crashed();
+  const std::uint64_t op = ++reads_;
+  for (const auto& re : plan_.read_errors) {
+    if (op >= re.first && op < re.first + re.count) {
+      throw TransientReadError("fault backend: injected read error at read " +
+                               std::to_string(op));
+    }
+  }
+}
+
+void FaultInjectingBackend::put(Ns ns, const std::string& name,
+                                ByteSpan data) {
+  const double frac = on_mutation();
+  if (frac >= 1.0) {
+    inner_.put(ns, name, data);
+  } else {
+    const auto keep = static_cast<std::size_t>(
+        std::floor(frac * static_cast<double>(data.size())));
+    inner_.put(ns, name, data.first(keep));
+  }
+  if (crashed_) {
+    throw CrashStopError("fault backend: crash tore put to " +
+                         std::to_string(frac));
+  }
+}
+
+void FaultInjectingBackend::append(Ns ns, const std::string& name,
+                                   ByteSpan data) {
+  const double frac = on_mutation();
+  if (frac >= 1.0) {
+    inner_.append(ns, name, data);
+  } else {
+    const auto keep = static_cast<std::size_t>(
+        std::floor(frac * static_cast<double>(data.size())));
+    inner_.append(ns, name, data.first(keep));
+  }
+  if (crashed_) {
+    throw CrashStopError("fault backend: crash tore append to " +
+                         std::to_string(frac));
+  }
+}
+
+bool FaultInjectingBackend::remove(Ns ns, const std::string& name) {
+  const double frac = on_mutation();
+  if (frac < 1.0) return false;  // a "torn" remove simply doesn't happen
+  return inner_.remove(ns, name);
+}
+
+std::optional<ByteVec> FaultInjectingBackend::get(
+    Ns ns, const std::string& name) const {
+  on_read();
+  return inner_.get(ns, name);
+}
+
+std::optional<ByteVec> FaultInjectingBackend::get_range(
+    Ns ns, const std::string& name, std::uint64_t offset,
+    std::uint64_t length) const {
+  on_read();
+  return inner_.get_range(ns, name, offset, length);
+}
+
+bool FaultInjectingBackend::exists(Ns ns, const std::string& name) const {
+  check_crashed();
+  return inner_.exists(ns, name);
+}
+
+std::uint64_t FaultInjectingBackend::object_count(Ns ns) const {
+  return inner_.object_count(ns);
+}
+
+std::uint64_t FaultInjectingBackend::content_bytes(Ns ns) const {
+  return inner_.content_bytes(ns);
+}
+
+std::vector<std::string> FaultInjectingBackend::list(Ns ns) const {
+  return inner_.list(ns);
+}
+
+void FaultInjectingBackend::seal(Ns ns, const std::string& name) {
+  // Not counted as a mutation: raw seal is a no-op, and in the framed
+  // stack the seal arrives here as an append (already counted).
+  check_crashed();
+  inner_.seal(ns, name);
+}
+
+}  // namespace mhd

@@ -2,22 +2,57 @@
 
 #include <algorithm>
 #include <fstream>
-#include <stdexcept>
+
+#include "mhd/store/store_errors.h"
 
 namespace mhd {
 
 namespace fs = std::filesystem;
+
+namespace {
+
+/// Temp files from interrupted atomic puts carry this suffix; object names
+/// are hex digests and can never collide with it.
+constexpr const char* kTmpSuffix = ".tmp";
+
+bool is_tmp(const fs::path& p) { return p.extension() == kTmpSuffix; }
+
+/// Writes `data` and verifies both the write and the close took: a short
+/// write (ENOSPC, quota) must surface as an error, never as a silently
+/// truncated object.
+void write_all_or_throw(const fs::path& p, ByteSpan data,
+                        std::ios::openmode mode) {
+  std::ofstream out(p, std::ios::binary | mode);
+  if (!out) throw BackendIoError("FileBackend: cannot open " + p.string());
+  out.write(reinterpret_cast<const char*>(data.data()),
+            static_cast<std::streamsize>(data.size()));
+  if (!out) throw BackendIoError("FileBackend: short write to " + p.string());
+  out.close();
+  if (out.fail()) {
+    throw BackendIoError("FileBackend: close failed for " + p.string());
+  }
+}
+
+}  // namespace
 
 FileBackend::FileBackend(fs::path root) : root_(std::move(root)) {
   for (int i = 0; i < static_cast<int>(Ns::kCount); ++i) {
     const Ns ns = static_cast<Ns>(i);
     fs::create_directories(root_ / ns_name(ns));
     // Adopt pre-existing content (e.g. resuming a backup repository).
+    // Orphaned temp files are debris from an interrupted atomic put: the
+    // rename never happened, so the old object (if any) is still intact.
+    std::vector<fs::path> stale_tmps;
     for (const auto& entry : fs::directory_iterator(root_ / ns_name(ns))) {
       if (!entry.is_regular_file()) continue;
+      if (is_tmp(entry.path())) {
+        stale_tmps.push_back(entry.path());
+        continue;
+      }
       ++counts_[i];
       bytes_[i] += entry.file_size();
     }
+    for (const auto& tmp : stale_tmps) fs::remove(tmp);
   }
 }
 
@@ -27,13 +62,25 @@ fs::path FileBackend::path_for(Ns ns, const std::string& name) const {
 
 void FileBackend::put(Ns ns, const std::string& name, ByteSpan data) {
   const fs::path p = path_for(ns, name);
+  const fs::path tmp = p.string() + kTmpSuffix;
   const bool existed = fs::exists(p);
   const std::uint64_t old_size = existed ? fs::file_size(p) : 0;
-  std::ofstream out(p, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("FileBackend: cannot write " + p.string());
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  out.close();
+  // Atomic replace: write the new bytes beside the object, then rename
+  // over it. A crash mid-put leaves either the old object or the new one,
+  // never a half-written mix; the stale .tmp is swept on reopen.
+  try {
+    write_all_or_throw(tmp, data, std::ios::trunc);
+  } catch (...) {
+    std::error_code ec;
+    fs::remove(tmp, ec);
+    throw;
+  }
+  std::error_code ec;
+  fs::rename(tmp, p, ec);
+  if (ec) {
+    fs::remove(tmp, ec);
+    throw BackendIoError("FileBackend: rename failed for " + p.string());
+  }
   const int i = static_cast<int>(ns);
   if (!existed) ++counts_[i];
   bytes_[i] += data.size();
@@ -43,11 +90,22 @@ void FileBackend::put(Ns ns, const std::string& name, ByteSpan data) {
 void FileBackend::append(Ns ns, const std::string& name, ByteSpan data) {
   const fs::path p = path_for(ns, name);
   const bool existed = fs::exists(p);
-  std::ofstream out(p, std::ios::binary | std::ios::app);
-  if (!out) throw std::runtime_error("FileBackend: cannot append " + p.string());
-  out.write(reinterpret_cast<const char*>(data.data()),
-            static_cast<std::streamsize>(data.size()));
-  out.close();
+  const std::uint64_t old_size = existed ? fs::file_size(p) : 0;
+  try {
+    write_all_or_throw(p, data, std::ios::app);
+  } catch (...) {
+    // A failed append may have landed a prefix; resync the counters from
+    // the filesystem so accounting stays truthful, then surface the error
+    // (the framing layer makes the partial tail detectable).
+    const int i = static_cast<int>(ns);
+    std::error_code ec;
+    const bool exists_now = fs::exists(p, ec) && !ec;
+    const std::uint64_t new_size = exists_now ? fs::file_size(p, ec) : 0;
+    if (!existed && exists_now) ++counts_[i];
+    bytes_[i] += new_size;
+    bytes_[i] -= old_size;
+    throw;
+  }
   const int i = static_cast<int>(ns);
   if (!existed) ++counts_[i];
   bytes_[i] += data.size();
@@ -72,7 +130,8 @@ std::optional<ByteVec> FileBackend::get_range(Ns ns, const std::string& name,
   std::ifstream in(p, std::ios::binary | std::ios::ate);
   if (!in) return std::nullopt;
   const std::uint64_t size = static_cast<std::uint64_t>(in.tellg());
-  if (offset + length > size) return std::nullopt;
+  // Checked as two comparisons: `offset + length` can wrap u64.
+  if (offset > size || length > size - offset) return std::nullopt;
   in.seekg(static_cast<std::streamoff>(offset));
   ByteVec out(static_cast<std::size_t>(length));
   in.read(reinterpret_cast<char*>(out.data()),
@@ -107,7 +166,8 @@ std::uint64_t FileBackend::content_bytes(Ns ns) const {
 std::vector<std::string> FileBackend::list(Ns ns) const {
   std::vector<std::string> names;
   for (const auto& entry : fs::directory_iterator(root_ / ns_name(ns))) {
-    if (entry.is_regular_file()) names.push_back(entry.path().filename().string());
+    if (!entry.is_regular_file() || is_tmp(entry.path())) continue;
+    names.push_back(entry.path().filename().string());
   }
   std::sort(names.begin(), names.end());
   return names;

@@ -5,6 +5,7 @@
 #include "mhd/format/file_manifest.h"
 #include "mhd/format/manifest.h"
 #include "mhd/hash/sha1.h"
+#include "mhd/store/store_errors.h"
 #include "mhd/util/hex.h"
 
 namespace mhd {
@@ -37,19 +38,39 @@ bool is_self_contained_manifest(const std::string& name, const ByteVec& raw,
 ScrubReport scrub_repository(const StorageBackend& backend) {
   ScrubReport report;
 
+  // On a framed backend a CRC-failing object throws; scrub keeps going —
+  // one rotten object must not hide damage elsewhere in the repository.
+  const auto safe_get = [&](Ns ns,
+                            const std::string& name) -> std::optional<ByteVec> {
+    try {
+      return backend.get(ns, name);
+    } catch (const CorruptObjectError&) {
+      ++report.corrupt_objects;
+      return std::nullopt;
+    }
+  };
+  const auto safe_get_range =
+      [&](const std::string& name, std::uint64_t offset,
+          std::uint64_t length) -> std::optional<ByteVec> {
+    try {
+      return backend.get_range(Ns::kDiskChunk, name, offset, length);
+    } catch (const CorruptObjectError&) {
+      ++report.corrupt_objects;
+      return std::nullopt;
+    }
+  };
+
   // FileManifests: every range must resolve to stored bytes.
   for (const auto& name : backend.list(Ns::kFileManifest)) {
     ++report.file_manifests;
-    const auto raw = backend.get(Ns::kFileManifest, name);
+    const auto raw = safe_get(Ns::kFileManifest, name);
     const auto fm = raw ? FileManifest::deserialize(*raw) : std::nullopt;
     if (!fm) {
       ++report.unparseable;
       continue;
     }
     for (const auto& e : fm->entries()) {
-      if (!backend
-               .get_range(Ns::kDiskChunk, e.chunk_name.hex(), e.offset,
-                          e.length)
+      if (!safe_get_range(e.chunk_name.hex(), e.offset, e.length)
                .has_value()) {
         ++report.broken_file_ranges;
       }
@@ -59,7 +80,7 @@ ScrubReport scrub_repository(const StorageBackend& backend) {
   // Manifests: standard-format ones must hash-match and tile their chunk.
   for (const auto& name : backend.list(Ns::kManifest)) {
     ++report.manifests;
-    const auto raw = backend.get(Ns::kManifest, name);
+    const auto raw = safe_get(Ns::kManifest, name);
     if (!raw) {
       ++report.unparseable;
       continue;
@@ -71,7 +92,7 @@ ScrubReport scrub_repository(const StorageBackend& backend) {
       ++report.opaque_manifests;
       continue;
     }
-    const auto chunk = backend.get(Ns::kDiskChunk, name);
+    const auto chunk = safe_get(Ns::kDiskChunk, name);
     if (!chunk) {
       // A manifest for a missing chunk is an error (GC removes them).
       ++report.manifest_coverage_errors;
@@ -94,7 +115,7 @@ ScrubReport scrub_repository(const StorageBackend& backend) {
   // Hooks: must point at an existing manifest.
   for (const auto& name : backend.list(Ns::kHook)) {
     ++report.hooks;
-    const auto payload = backend.get(Ns::kHook, name);
+    const auto payload = safe_get(Ns::kHook, name);
     const auto target = payload ? hook_target(*payload) : std::nullopt;
     if (!target || !backend.exists(Ns::kManifest, *target)) {
       ++report.dangling_hooks;

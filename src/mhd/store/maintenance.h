@@ -33,11 +33,12 @@ struct ScrubReport {
   std::uint64_t manifest_coverage_errors = 0;  ///< entries don't tile chunk
   std::uint64_t dangling_hooks = 0;            ///< hook -> missing manifest
   std::uint64_t unparseable = 0;
+  std::uint64_t corrupt_objects = 0;  ///< CRC-failing reads (framed stores)
 
   bool clean() const {
     return broken_file_ranges == 0 && manifest_hash_mismatches == 0 &&
            manifest_coverage_errors == 0 && dangling_hooks == 0 &&
-           unparseable == 0;
+           unparseable == 0 && corrupt_objects == 0;
   }
 };
 
@@ -58,7 +59,9 @@ struct GcReport {
 
 /// Mark-and-sweep garbage collection (see file comment). Safe to run at
 /// any time between backups; never touches objects reachable from a
-/// FileManifest.
+/// FileManifest. On a framed store a CorruptObjectError propagates: a
+/// FileManifest that cannot be read could reference any chunk, so sweeping
+/// past it would risk deleting live data — run fsck_repository() first.
 GcReport collect_garbage(StorageBackend& backend);
 
 }  // namespace mhd

@@ -68,7 +68,8 @@ std::optional<ByteVec> MemoryBackend::get_range(Ns ns, const std::string& name,
   const auto it = map.find(name);
   if (it == map.end()) return std::nullopt;
   const ByteVec& obj = it->second;
-  if (offset + length > obj.size()) return std::nullopt;
+  // Checked as two comparisons: `offset + length` can wrap u64.
+  if (offset > obj.size() || length > obj.size() - offset) return std::nullopt;
   return ByteVec(obj.begin() + static_cast<std::ptrdiff_t>(offset),
                  obj.begin() + static_cast<std::ptrdiff_t>(offset + length));
 }

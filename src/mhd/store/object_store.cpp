@@ -1,11 +1,45 @@
 #include "mhd/store/object_store.h"
 
+#include <chrono>
+#include <thread>
+
+#include "mhd/store/store_errors.h"
+
 namespace mhd {
+
+namespace {
+
+/// Transient reads are retried with bounded exponential backoff; the cap
+/// keeps a persistently failing device from hanging an ingest.
+constexpr int kReadAttempts = 4;
+
+template <typename Fn>
+auto with_read_retry(StorageStats& stats, Fn&& fn) {
+  for (int attempt = 1;; ++attempt) {
+    try {
+      return fn();
+    } catch (const TransientReadError&) {
+      if (attempt >= kReadAttempts) throw;
+      ++stats.transient_retries;
+      std::this_thread::sleep_for(std::chrono::microseconds(50) * (1 << attempt));
+    }
+  }
+}
+
+}  // namespace
 
 ChunkWriter::ChunkWriter(ObjectStore* store, std::string name)
     : store_(store), name_(std::move(name)) {}
 
-ChunkWriter::~ChunkWriter() { close(); }
+ChunkWriter::~ChunkWriter() {
+  // close() touches the backend (seal record) and may throw; a destructor
+  // running during unwind must not double-throw. Engines that care about
+  // the error call close() explicitly.
+  try {
+    close();
+  } catch (...) {
+  }
+}
 
 void ChunkWriter::write(ByteSpan data) {
   store_->backend_.append(Ns::kDiskChunk, name_, data);
@@ -15,6 +49,7 @@ void ChunkWriter::write(ByteSpan data) {
 void ChunkWriter::close() {
   if (closed_) return;
   closed_ = true;
+  if (bytes_ > 0) store_->backend_.seal(Ns::kDiskChunk, name_);
   store_->stats_.record(AccessKind::kChunkOut);
   store_->stats_.bytes_written += bytes_;
 }
@@ -26,14 +61,17 @@ ChunkWriter ObjectStore::open_chunk(const std::string& name) {
 std::optional<ByteVec> ObjectStore::read_chunk_range(const std::string& name,
                                                      std::uint64_t offset,
                                                      std::uint64_t length) {
-  auto data = backend_.get_range(Ns::kDiskChunk, name, offset, length);
+  auto data = with_read_retry(stats_, [&] {
+    return backend_.get_range(Ns::kDiskChunk, name, offset, length);
+  });
   stats_.record(AccessKind::kChunkIn);
   if (data) stats_.bytes_read += data->size();
   return data;
 }
 
 std::optional<ByteVec> ObjectStore::read_chunk(const std::string& name) {
-  auto data = backend_.get(Ns::kDiskChunk, name);
+  auto data =
+      with_read_retry(stats_, [&] { return backend_.get(Ns::kDiskChunk, name); });
   stats_.record(AccessKind::kChunkIn);
   if (data) stats_.bytes_read += data->size();
   return data;
@@ -47,7 +85,8 @@ void ObjectStore::put_hook(const Digest& hook_hash, ByteSpan payload) {
 
 std::optional<ByteVec> ObjectStore::get_hook(const Digest& hook_hash,
                                              AccessKind query_kind) {
-  auto data = backend_.get(Ns::kHook, hook_hash.hex());
+  auto data = with_read_retry(
+      stats_, [&] { return backend_.get(Ns::kHook, hook_hash.hex()); });
   if (data) {
     stats_.record(AccessKind::kHookIn);
     stats_.bytes_read += data->size();
@@ -69,7 +108,8 @@ void ObjectStore::put_manifest(const std::string& name, ByteSpan data) {
 }
 
 std::optional<ByteVec> ObjectStore::get_manifest(const std::string& name) {
-  auto data = backend_.get(Ns::kManifest, name);
+  auto data = with_read_retry(
+      stats_, [&] { return backend_.get(Ns::kManifest, name); });
   stats_.record(AccessKind::kManifestIn);
   if (data) stats_.bytes_read += data->size();
   return data;
@@ -82,7 +122,8 @@ void ObjectStore::put_file_manifest(const std::string& name, ByteSpan data) {
 }
 
 std::optional<ByteVec> ObjectStore::get_file_manifest(const std::string& name) {
-  auto data = backend_.get(Ns::kFileManifest, name);
+  auto data = with_read_retry(
+      stats_, [&] { return backend_.get(Ns::kFileManifest, name); });
   stats_.record(AccessKind::kFileManifestIn);
   if (data) stats_.bytes_read += data->size();
   return data;

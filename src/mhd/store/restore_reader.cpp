@@ -4,6 +4,7 @@
 #include <cstring>
 
 #include "mhd/hash/sha1.h"
+#include "mhd/store/store_errors.h"
 
 namespace mhd {
 
@@ -12,8 +13,12 @@ RestoreReader::RestoreReader(const StorageBackend& backend, FileManifest fm)
 
 std::optional<RestoreReader> RestoreReader::open(
     const StorageBackend& backend, const std::string& file_name) {
-  const auto raw = backend.get(Ns::kFileManifest,
-                               Sha1::hash(as_bytes(file_name)).hex());
+  std::optional<ByteVec> raw;
+  try {
+    raw = backend.get(Ns::kFileManifest, Sha1::hash(as_bytes(file_name)).hex());
+  } catch (const CorruptObjectError&) {
+    return std::nullopt;  // corrupt manifest: restore fails, never lies
+  }
   if (!raw) return std::nullopt;
   auto fm = FileManifest::deserialize(*raw);
   if (!fm) return std::nullopt;
@@ -28,8 +33,13 @@ std::size_t RestoreReader::read(MutByteSpan out) {
     const std::uint64_t remaining = e.length - entry_pos_;
     const std::size_t take = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, out.size() - written));
-    const auto piece = backend_->get_range(
-        Ns::kDiskChunk, e.chunk_name.hex(), e.offset + entry_pos_, take);
+    std::optional<ByteVec> piece;
+    try {
+      piece = backend_->get_range(Ns::kDiskChunk, e.chunk_name.hex(),
+                                  e.offset + entry_pos_, take);
+    } catch (const CorruptObjectError&) {
+      piece.reset();  // checksum failure poisons the stream like a miss
+    }
     if (!piece) {
       ok_ = false;  // damaged repository: stop, never emit wrong bytes
       break;

@@ -1,0 +1,235 @@
+#include "mhd/store/scrub.h"
+
+#include <array>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "mhd/format/file_manifest.h"
+#include "mhd/format/manifest.h"
+#include "mhd/hash/digest.h"
+#include "mhd/store/file_backend.h"
+#include "mhd/store/framing.h"
+#include "mhd/util/hex.h"
+
+namespace mhd {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+/// Removes the object from its namespace; on a FileBackend the bytes are
+/// preserved under <root>/quarantine/<namespace>/ first. Removal goes
+/// through the backend so its accounting stays exact.
+void quarantine(StorageBackend& raw, Ns ns, const std::string& name,
+                const ByteVec& bytes) {
+  if (auto* file = dynamic_cast<FileBackend*>(&raw)) {
+    const fs::path dir = file->root() / "quarantine" / ns_name(ns);
+    fs::create_directories(dir);
+    std::ofstream out(dir / name, std::ios::binary | std::ios::trunc);
+    out.write(reinterpret_cast<const char*>(bytes.data()),
+              static_cast<std::streamsize>(bytes.size()));
+  }
+  raw.remove(ns, name);
+}
+
+std::optional<std::string> hook_target(const ByteVec& payload) {
+  if (payload.size() != Digest::kSize) return std::nullopt;
+  return hex_encode({payload.data(), payload.size()});
+}
+
+}  // namespace
+
+const char* fsck_kind_name(FsckIssue::Kind kind) {
+  switch (kind) {
+    case FsckIssue::Kind::kTornTail: return "torn-tail";
+    case FsckIssue::Kind::kCorrupt: return "corrupt";
+    case FsckIssue::Kind::kDanglingHook: return "dangling-hook";
+    case FsckIssue::Kind::kBrokenRef: return "broken-ref";
+    case FsckIssue::Kind::kOrphan: return "orphan";
+  }
+  return "?";
+}
+
+const char* fsck_action_name(FsckIssue::Action action) {
+  switch (action) {
+    case FsckIssue::Action::kNone: return "reported";
+    case FsckIssue::Action::kTruncatedSealed: return "truncated+sealed";
+    case FsckIssue::Action::kQuarantined: return "quarantined";
+    case FsckIssue::Action::kRemoved: return "removed";
+  }
+  return "?";
+}
+
+std::string FsckReport::to_string() const {
+  std::ostringstream out;
+  out << "fsck: " << objects << " objects, " << clean_objects << " clean";
+  if (torn != 0) out << ", " << torn << " torn";
+  if (corrupt != 0) out << ", " << corrupt << " corrupt";
+  if (dangling_hooks != 0) out << ", " << dangling_hooks << " dangling hooks";
+  if (broken_refs != 0) out << ", " << broken_refs << " broken refs";
+  if (orphans != 0) out << ", " << orphans << " orphans";
+  if (repaired != 0) {
+    out << "; repaired " << repaired << " (" << salvaged_bytes
+        << " bytes salvaged)";
+  }
+  out << '\n';
+  for (const auto& issue : issues) {
+    out << "  [" << fsck_kind_name(issue.kind) << "] " << ns_name(issue.ns)
+        << '/' << issue.name << ": " << issue.detail << " ("
+        << fsck_action_name(issue.action) << ")\n";
+  }
+  return out.str();
+}
+
+FsckReport fsck_repository(StorageBackend& raw, bool repair) {
+  FsckReport rep;
+
+  // --- Pass 1a: DiskChunk record streams --------------------------------
+  std::unordered_map<std::string, std::uint64_t> chunk_logical;
+  for (const auto& name : raw.list(Ns::kDiskChunk)) {
+    ++rep.objects;
+    const auto bytes = raw.get(Ns::kDiskChunk, name);
+    if (!bytes) continue;
+    const auto scan = framing::scan_records(*bytes);
+    if (scan.sealed && !scan.corrupt && !scan.torn) {
+      ++rep.clean_objects;
+      chunk_logical.emplace(name, scan.logical_bytes);
+      continue;
+    }
+    FsckIssue issue{Ns::kDiskChunk, name, FsckIssue::Kind::kCorrupt, "", {}};
+    if (scan.corrupt) {
+      ++rep.corrupt;
+      issue.detail = "record CRC/structure mismatch after " +
+                     std::to_string(scan.logical_bytes) + " good bytes";
+      if (repair) {
+        quarantine(raw, Ns::kDiskChunk, name, *bytes);
+        issue.action = FsckIssue::Action::kQuarantined;
+        ++rep.repaired;
+      }
+    } else {
+      // Torn: every record before the tear is intact; cut and re-seal.
+      ++rep.torn;
+      issue.kind = FsckIssue::Kind::kTornTail;
+      issue.detail = "stream ends unsealed at byte " +
+                     std::to_string(scan.valid_prefix) + " of " +
+                     std::to_string(bytes->size());
+      if (repair) {
+        ByteVec fixed(bytes->begin(),
+                      bytes->begin() +
+                          static_cast<std::ptrdiff_t>(scan.valid_prefix));
+        append(fixed, framing::seal_record(scan.logical_bytes));
+        raw.put(Ns::kDiskChunk, name, fixed);
+        chunk_logical.emplace(name, scan.logical_bytes);
+        rep.salvaged_bytes += scan.logical_bytes;
+        issue.action = FsckIssue::Action::kTruncatedSealed;
+        ++rep.repaired;
+      }
+    }
+    rep.issues.push_back(std::move(issue));
+  }
+
+  // --- Pass 1b: sealed-object namespaces --------------------------------
+  std::array<std::unordered_map<std::string, ByteVec>, 3> payloads;
+  const std::array<Ns, 3> sealed_ns = {Ns::kHook, Ns::kManifest,
+                                       Ns::kFileManifest};
+  for (std::size_t s = 0; s < sealed_ns.size(); ++s) {
+    const Ns ns = sealed_ns[s];
+    for (const auto& name : raw.list(ns)) {
+      ++rep.objects;
+      const auto bytes = raw.get(ns, name);
+      if (!bytes) continue;
+      if (auto payload = framing::unseal_object(*bytes)) {
+        ++rep.clean_objects;
+        payloads[s].emplace(name, std::move(*payload));
+        continue;
+      }
+      ++rep.corrupt;
+      FsckIssue issue{ns, name, FsckIssue::Kind::kCorrupt,
+                      "trailer CRC/structure mismatch", {}};
+      if (repair) {
+        quarantine(raw, ns, name, *bytes);
+        issue.action = FsckIssue::Action::kQuarantined;
+        ++rep.repaired;
+      }
+      rep.issues.push_back(std::move(issue));
+    }
+  }
+  const auto& hooks = payloads[0];
+  const auto& manifests = payloads[1];
+  const auto& file_manifests = payloads[2];
+
+  // --- Pass 2: cross-references (over clean/repaired objects only) ------
+  std::unordered_set<std::string> referenced;
+  for (const auto& [name, payload] : file_manifests) {
+    const auto fm = FileManifest::deserialize(payload);
+    if (!fm) {
+      ++rep.broken_refs;
+      rep.issues.push_back({Ns::kFileManifest, name,
+                            FsckIssue::Kind::kBrokenRef,
+                            "CRC-clean but unparseable", {}});
+      continue;
+    }
+    for (const auto& e : fm->entries()) {
+      const std::string chunk = e.chunk_name.hex();
+      referenced.insert(chunk);
+      const auto it = chunk_logical.find(chunk);
+      const bool resolvable =
+          it != chunk_logical.end() && e.offset <= it->second &&
+          e.length <= it->second - e.offset;
+      if (!resolvable) {
+        ++rep.broken_refs;
+        rep.issues.push_back(
+            {Ns::kFileManifest, name, FsckIssue::Kind::kBrokenRef,
+             "range [" + std::to_string(e.offset) + "," +
+                 std::to_string(e.offset + e.length) +
+                 ") unresolvable in chunk " + chunk,
+             {}});
+      }
+    }
+  }
+
+  for (const auto& [name, payload] : manifests) {
+    const auto m = Manifest::deserialize(payload);
+    if (!m || m->chunk_name().hex() != name) continue;  // engine-specific
+    const auto it = chunk_logical.find(name);
+    if (it == chunk_logical.end()) {
+      ++rep.broken_refs;
+      rep.issues.push_back({Ns::kManifest, name, FsckIssue::Kind::kBrokenRef,
+                            "manifest for missing chunk", {}});
+    }
+  }
+
+  for (const auto& [name, payload] : hooks) {
+    const auto target = hook_target(payload);
+    if (target && manifests.count(*target) > 0) continue;
+    ++rep.dangling_hooks;
+    FsckIssue issue{Ns::kHook, name, FsckIssue::Kind::kDanglingHook,
+                    target ? "target manifest " + *target + " missing"
+                           : "malformed hook payload",
+                    {}};
+    if (repair) {
+      // Hooks are a rebuildable similarity index, never user data.
+      raw.remove(Ns::kHook, name);
+      issue.action = FsckIssue::Action::kRemoved;
+      ++rep.repaired;
+    }
+    rep.issues.push_back(std::move(issue));
+  }
+
+  for (const auto& [name, logical] : chunk_logical) {
+    if (referenced.count(name) > 0) continue;
+    ++rep.orphans;
+    rep.issues.push_back({Ns::kDiskChunk, name, FsckIssue::Kind::kOrphan,
+                          std::to_string(logical) +
+                              " logical bytes unreachable from any "
+                              "FileManifest (collect_garbage reclaims)",
+                          {}});
+  }
+
+  return rep;
+}
+
+}  // namespace mhd

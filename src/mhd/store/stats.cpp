@@ -36,6 +36,7 @@ StorageStats& StorageStats::operator+=(const StorageStats& other) {
   for (int i = 0; i < kKinds; ++i) accesses[i] += other.accesses[i];
   bytes_written += other.bytes_written;
   bytes_read += other.bytes_read;
+  transient_retries += other.transient_retries;
   return *this;
 }
 
@@ -49,6 +50,9 @@ std::string StorageStats::to_string() const {
   }
   out << "Bytes written: " << bytes_written << '\n';
   out << "Bytes read: " << bytes_read << '\n';
+  if (transient_retries != 0) {
+    out << "Transient read retries: " << transient_retries << '\n';
+  }
   out << "Total accesses: " << total_accesses() << '\n';
   return out.str();
 }

@@ -35,6 +35,8 @@ struct StorageStats {
   std::array<std::uint64_t, kKinds> accesses{};
   std::uint64_t bytes_written = 0;
   std::uint64_t bytes_read = 0;
+  /// Reads that hit a TransientReadError and were retried by ObjectStore.
+  std::uint64_t transient_retries = 0;
 
   void record(AccessKind kind, std::uint64_t count = 1) {
     accesses[static_cast<int>(kind)] += count;

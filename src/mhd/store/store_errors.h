@@ -1,0 +1,63 @@
+// Typed storage errors — the durability layer's failure vocabulary.
+//
+// The base StorageBackend contract distinguishes only present/absent
+// (optional returns). The durability layer needs a richer taxonomy, and it
+// matters who gets to see which error:
+//
+//  * CorruptObjectError  — the object exists but fails its CRC32C framing
+//    (bit rot, torn write, truncation). Never retryable; engines degrade
+//    gracefully (treat the region as non-duplicate), restore paths stop
+//    rather than emit wrong bytes, and fsck quarantines.
+//  * TransientReadError  — the read may succeed if retried (the fault
+//    injector's transient mode; a real system's EINTR/EIO-with-retry
+//    class). ObjectStore retries these with bounded backoff.
+//  * BackendIoError      — a permanent I/O failure of one operation
+//    (ENOSPC short write, failed close). The op did not take effect
+//    logically; on-disk garbage, if any, is detectable via framing.
+//  * CrashStopError      — the injected crash-stop: the backend is dead
+//    and every subsequent operation fails. The crash-recovery harness
+//    catches this, reopens, and runs fsck.
+//
+// All derive from StoreError so call sites can catch the family.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+#include "mhd/store/backend.h"
+
+namespace mhd {
+
+struct StoreError : std::runtime_error {
+  using std::runtime_error::runtime_error;
+};
+
+class CorruptObjectError : public StoreError {
+ public:
+  CorruptObjectError(Ns ns, std::string name, const std::string& detail)
+      : StoreError("corrupt object " + std::string(ns_name(ns)) + "/" + name +
+                   ": " + detail),
+        ns_(ns),
+        name_(std::move(name)) {}
+
+  Ns ns() const { return ns_; }
+  const std::string& object_name() const { return name_; }
+
+ private:
+  Ns ns_;
+  std::string name_;
+};
+
+struct TransientReadError : StoreError {
+  using StoreError::StoreError;
+};
+
+struct BackendIoError : StoreError {
+  using StoreError::StoreError;
+};
+
+struct CrashStopError : StoreError {
+  using StoreError::StoreError;
+};
+
+}  // namespace mhd

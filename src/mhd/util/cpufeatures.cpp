@@ -28,6 +28,7 @@ CpuFeatures detect_x86() {
   f.sse2 = (edx & (1u << 26)) != 0;
   f.ssse3 = (ecx & (1u << 9)) != 0;
   f.sse41 = (ecx & (1u << 19)) != 0;
+  f.sse42 = (ecx & (1u << 20)) != 0;
 
   if (__get_cpuid_max(0, nullptr) >= 7) {
     unsigned eax7 = 0, ebx7 = 0, ecx7 = 0, edx7 = 0;

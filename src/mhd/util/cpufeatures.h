@@ -14,6 +14,7 @@ struct CpuFeatures {
   bool sse2 = false;
   bool ssse3 = false;
   bool sse41 = false;
+  bool sse42 = false;  ///< hardware CRC32C (the crc32 instruction family)
   bool avx2 = false;    ///< implies OS support for YMM state (XGETBV checked)
   bool sha_ni = false;  ///< SHA New Instructions (CPUID leaf 7 EBX bit 29)
 };

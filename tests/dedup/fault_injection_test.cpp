@@ -8,6 +8,8 @@
 #include "mhd/core/mhd_engine.h"
 #include "mhd/dedup/cdc_engine.h"
 #include "mhd/sim/runner.h"
+#include "mhd/store/framed_backend.h"
+#include "mhd/store/framing.h"
 #include "mhd/store/memory_backend.h"
 #include "mhd/workload/presets.h"
 
@@ -115,6 +117,74 @@ TEST(FaultInjection, SparseIndexSingleManifestPerHook) {
   const Corpus corpus(test_preset(63));
   const auto r = run_experiment(spec, corpus);
   EXPECT_GT(r.counters.dup_bytes, 0u);
+}
+
+/// Flips one payload bit in every object of `ns` on the raw (framed-bytes)
+/// backend, so the CRC32C trailer no longer matches.
+void flip_bit_in_every(StorageBackend& raw, Ns ns) {
+  for (const auto& name : raw.list(ns)) {
+    auto bytes = *raw.get(ns, name);
+    ASSERT_GT(bytes.size(), framing::kTrailerBytes);
+    bytes[(bytes.size() - framing::kTrailerBytes) / 2] ^= 0x01;
+    raw.put(ns, name, bytes);
+  }
+}
+
+/// A corrupt hook on a framed store must read as a typed checksum failure
+/// that the engine degrades to "no hook hit": ingest proceeds, the chunk
+/// is stored as a non-duplicate, and the corruption_fallbacks metric
+/// records every swallowed error. The restore path stays byte-exact.
+TEST(FaultInjection, CorruptFramedHookDegradesToNonDuplicate) {
+  MemoryBackend raw;
+  const ByteVec data = random_bytes(120000, 3);
+  {
+    FramedBackend framed(raw);
+    ObjectStore store(framed);
+    MhdEngine engine(store, small_config());
+    MemorySource src(data);
+    engine.add_file("a", src);
+    engine.finish();
+  }
+  flip_bit_in_every(raw, Ns::kHook);
+
+  FramedBackend framed(raw);  // reopen: adoption scan tolerates the damage
+  ObjectStore store(framed);
+  MhdEngine engine(store, small_config());
+  MemorySource src(data);
+  engine.add_file("b", src);
+  engine.finish();
+  EXPECT_GT(engine.counters().corruption_fallbacks, 0u);
+  const auto rb = engine.reconstruct("b");
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_TRUE(equal(*rb, data));
+}
+
+/// Same contract one layer deeper: hooks are intact but every manifest
+/// they point at is corrupt — the manifest load degrades instead of
+/// killing the ingest, and the new file's own (fresh) metadata restores.
+TEST(FaultInjection, CorruptFramedManifestDegradesToNonDuplicate) {
+  MemoryBackend raw;
+  const ByteVec data = random_bytes(120000, 4);
+  {
+    FramedBackend framed(raw);
+    ObjectStore store(framed);
+    CdcEngine engine(store, small_config());
+    MemorySource src(data);
+    engine.add_file("a", src);
+    engine.finish();
+  }
+  flip_bit_in_every(raw, Ns::kManifest);
+
+  FramedBackend framed(raw);
+  ObjectStore store(framed);
+  CdcEngine engine(store, small_config());
+  MemorySource src(data);
+  engine.add_file("b", src);
+  engine.finish();
+  EXPECT_GT(engine.counters().corruption_fallbacks, 0u);
+  const auto rb = engine.reconstruct("b");
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_TRUE(equal(*rb, data));
 }
 
 TEST(FaultInjection, ZeroByteAndOneByteFiles) {

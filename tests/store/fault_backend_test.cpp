@@ -1,0 +1,142 @@
+// Deterministic fault injection: plan parsing, each fault kind's
+// semantics, replay determinism, and the ObjectStore bounded-retry policy
+// for transient read errors.
+#include "mhd/store/fault_backend.h"
+
+#include <gtest/gtest.h>
+
+#include "mhd/store/memory_backend.h"
+#include "mhd/store/object_store.h"
+#include "mhd/store/store_errors.h"
+
+namespace mhd {
+namespace {
+
+ByteVec bytes_of(const std::string& s) { return to_vec(as_bytes(s)); }
+
+TEST(FaultPlan, ParsesFullMiniLanguage) {
+  const FaultPlan plan =
+      FaultPlan::parse("fail@3, torn@5:0.25, crash@9:0.5, readerr@2x4, "
+                       "torn@7, readerr@11, seed:99");
+  ASSERT_EQ(plan.fail_ops.size(), 1u);
+  EXPECT_EQ(plan.fail_ops[0], 3u);
+  ASSERT_EQ(plan.torn_ops.size(), 2u);
+  EXPECT_EQ(plan.torn_ops[0].op, 5u);
+  EXPECT_DOUBLE_EQ(plan.torn_ops[0].fraction, 0.25);
+  EXPECT_EQ(plan.torn_ops[1].op, 7u);
+  EXPECT_LT(plan.torn_ops[1].fraction, 0.0);  // drawn from seed
+  ASSERT_TRUE(plan.crash.has_value());
+  EXPECT_EQ(plan.crash->op, 9u);
+  EXPECT_DOUBLE_EQ(plan.crash->fraction, 0.5);
+  ASSERT_EQ(plan.read_errors.size(), 2u);
+  EXPECT_EQ(plan.read_errors[0].first, 2u);
+  EXPECT_EQ(plan.read_errors[0].count, 4u);
+  EXPECT_EQ(plan.read_errors[1].count, 1u);
+  EXPECT_EQ(plan.seed, 99u);
+  EXPECT_FALSE(plan.empty());
+  EXPECT_TRUE(FaultPlan::parse("").empty());
+  EXPECT_TRUE(FaultPlan::parse("seed:7").empty());
+}
+
+TEST(FaultPlan, RejectsMalformedAtoms) {
+  EXPECT_THROW(FaultPlan::parse("explode@4"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("fail@abc"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("torn@2:1.5"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("crash@1,crash@2"), std::invalid_argument);
+  EXPECT_THROW(FaultPlan::parse("readerr@"), std::invalid_argument);
+}
+
+TEST(FaultBackend, FailOpThrowsAndPersistsNothing) {
+  MemoryBackend raw;
+  FaultInjectingBackend faulty(raw, FaultPlan::parse("fail@2"));
+  faulty.put(Ns::kHook, "h0", bytes_of("first"));
+  EXPECT_THROW(faulty.put(Ns::kHook, "h1", bytes_of("second")),
+               BackendIoError);
+  EXPECT_TRUE(raw.exists(Ns::kHook, "h0"));
+  EXPECT_FALSE(raw.exists(Ns::kHook, "h1"));
+  // Life goes on after a clean failure.
+  faulty.put(Ns::kHook, "h2", bytes_of("third"));
+  EXPECT_TRUE(raw.exists(Ns::kHook, "h2"));
+  EXPECT_EQ(faulty.mutation_ops(), 3u);
+}
+
+TEST(FaultBackend, TornWritePersistsExactPrefixSilently) {
+  MemoryBackend raw;
+  FaultInjectingBackend faulty(raw, FaultPlan::parse("torn@1:0.5"));
+  faulty.put(Ns::kDiskChunk, "c0", bytes_of("0123456789"));  // no throw
+  EXPECT_EQ(raw.get(Ns::kDiskChunk, "c0"), bytes_of("01234"));
+}
+
+TEST(FaultBackend, DrawnTearFractionIsDeterministic) {
+  std::uint64_t first_size = 0;
+  for (int round = 0; round < 2; ++round) {
+    MemoryBackend raw;
+    FaultInjectingBackend faulty(raw, FaultPlan::parse("torn@1,seed:5"));
+    faulty.append(Ns::kDiskChunk, "c0", ByteVec(1000, 0x42));
+    const auto stored = raw.get(Ns::kDiskChunk, "c0");
+    ASSERT_TRUE(stored.has_value());
+    EXPECT_LT(stored->size(), 1000u);
+    if (round == 0) {
+      first_size = stored->size();
+    } else {
+      EXPECT_EQ(stored->size(), first_size);
+    }
+  }
+}
+
+TEST(FaultBackend, CrashStopKillsTheBackend) {
+  MemoryBackend raw;
+  FaultInjectingBackend faulty(raw, FaultPlan::parse("crash@2"));
+  faulty.put(Ns::kHook, "h0", bytes_of("ok"));
+  EXPECT_THROW(faulty.put(Ns::kHook, "h1", bytes_of("dead")), CrashStopError);
+  EXPECT_TRUE(faulty.crashed());
+  EXPECT_FALSE(raw.exists(Ns::kHook, "h1"));  // crash@N alone: no prefix
+  EXPECT_THROW(faulty.put(Ns::kHook, "h2", bytes_of("x")), CrashStopError);
+  EXPECT_THROW(faulty.get(Ns::kHook, "h0"), CrashStopError);
+  EXPECT_THROW(faulty.exists(Ns::kHook, "h0"), CrashStopError);
+}
+
+TEST(FaultBackend, CrashWithTearPersistsPrefixThenDies) {
+  MemoryBackend raw;
+  FaultInjectingBackend faulty(raw, FaultPlan::parse("crash@1:0.3"));
+  EXPECT_THROW(faulty.append(Ns::kDiskChunk, "c0", bytes_of("0123456789")),
+               CrashStopError);
+  EXPECT_EQ(raw.get(Ns::kDiskChunk, "c0"), bytes_of("012"));
+  EXPECT_TRUE(faulty.crashed());
+}
+
+TEST(FaultBackend, ReadErrorsAreTransientAndPositional) {
+  MemoryBackend raw;
+  raw.put(Ns::kHook, "h0", bytes_of("payload"));
+  FaultInjectingBackend faulty(raw, FaultPlan::parse("readerr@2x2"));
+  EXPECT_TRUE(faulty.get(Ns::kHook, "h0").has_value());        // read 1
+  EXPECT_THROW(faulty.get(Ns::kHook, "h0"), TransientReadError);  // read 2
+  EXPECT_THROW(faulty.get_range(Ns::kHook, "h0", 0, 2),
+               TransientReadError);                            // read 3
+  EXPECT_TRUE(faulty.get(Ns::kHook, "h0").has_value());        // read 4
+  EXPECT_EQ(faulty.read_ops(), 4u);
+}
+
+TEST(ObjectStoreRetry, TransientReadsAreRetriedWithBoundedAttempts) {
+  MemoryBackend raw;
+  raw.put(Ns::kManifest, "m0", bytes_of("manifest"));
+  {
+    // Two consecutive failures: the third attempt succeeds.
+    FaultInjectingBackend faulty(raw, FaultPlan::parse("readerr@1x2"));
+    ObjectStore store(faulty);
+    const auto data = store.get_manifest("m0");
+    ASSERT_TRUE(data.has_value());
+    EXPECT_EQ(*data, bytes_of("manifest"));
+    EXPECT_EQ(store.stats().transient_retries, 2u);
+  }
+  {
+    // More failures than the retry budget: the typed error surfaces.
+    FaultInjectingBackend faulty(raw, FaultPlan::parse("readerr@1x16"));
+    ObjectStore store(faulty);
+    EXPECT_THROW(store.get_manifest("m0"), TransientReadError);
+    EXPECT_EQ(faulty.read_ops(), 4u);  // bounded: exactly kReadAttempts
+  }
+}
+
+}  // namespace
+}  // namespace mhd
