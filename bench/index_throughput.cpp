@@ -1,0 +1,209 @@
+// index_throughput — fingerprint-index op throughput, mem vs. disk:
+//
+//   ./index_throughput [--keys=200000] [--index-cache-mb=8]
+//                      [--shards=256] [--reps=3]
+//                      [--json=BENCH_index.json]
+//
+// Measures, best-of-reps, millions of ops/s for the three access patterns
+// a dedup ingest generates — insert (new fingerprint), lookup-hit (a
+// duplicate), lookup-miss (unique data, the common case the bloom front
+// exists for) — against:
+//
+//   mem         MemIndex, the historical always-resident map
+//   disk-cold   PersistentIndex populated in this process (delta + pages)
+//   disk-warm   the same backend reopened: bloom snapshot loaded, pages
+//               faulted through the bounded cache (the warm-restart path)
+//
+// RAM accounting is printed alongside: the disk index's high-water must
+// sit near its configured page-cache budget + bloom, not near the
+// MemIndex's O(keys) footprint — that bounded-RAM-at-speed trade is the
+// whole point of --index-impl=disk.
+//
+// BENCH_index.json at the repo root is the recorded baseline (see --json).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "mhd/hash/sha1.h"
+#include "mhd/index/mem_index.h"
+#include "mhd/index/persistent_index.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/util/flags.h"
+#include "mhd/util/random.h"
+#include "mhd/util/table.h"
+#include "mhd/util/timer.h"
+
+namespace {
+
+using namespace mhd;
+
+Digest digest_of(std::uint64_t n) {
+  ByteVec v;
+  append_le<std::uint64_t>(v, n);
+  return Sha1::hash(v);
+}
+
+struct Row {
+  std::string impl;
+  std::string phase;
+  std::uint64_t ops = 0;
+  double seconds = 0;
+
+  double mops() const { return ops / seconds / 1e6; }
+};
+
+/// Best-of-reps timing of `fn` over `ops` operations.
+template <typename Fn>
+Row time_phase(const std::string& impl, const std::string& phase,
+               std::uint64_t ops, int reps, Fn&& fn) {
+  Row row{impl, phase, ops, 0};
+  for (int r = 0; r < reps; ++r) {
+    const Stopwatch watch;
+    fn();
+    const double s = watch.seconds();
+    if (row.seconds == 0 || s < row.seconds) row.seconds = s;
+  }
+  return row;
+}
+
+void run_lookups(FingerprintIndex& index, const std::vector<Digest>& keys,
+                 bool expect_hit) {
+  std::uint64_t hits = 0;
+  for (const Digest& fp : keys) hits += index.lookup(fp).has_value() ? 1 : 0;
+  if (expect_hit ? hits != keys.size() : hits != 0) {
+    std::fprintf(stderr, "FATAL: %llu/%zu unexpected lookup results — the "
+                         "index under benchmark is wrong, numbers void\n",
+                 static_cast<unsigned long long>(expect_hit
+                                                     ? keys.size() - hits
+                                                     : hits),
+                 keys.size());
+    std::exit(1);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto keys_n = flags.get_uint("keys", 200000, 1000, 50u << 20);
+  const auto cache_bytes = flags.get_size("index-cache-mb", 8ull << 20,
+                                          64u << 10, 1ull << 40, 1ull << 20);
+  const auto shards =
+      static_cast<std::uint32_t>(flags.get_uint("shards", 256, 1, 4096));
+  const int reps = static_cast<int>(flags.get_uint("reps", 3, 1, 100));
+
+  std::vector<Digest> present, absent;
+  present.reserve(keys_n);
+  absent.reserve(keys_n);
+  for (std::uint64_t i = 0; i < keys_n; ++i) {
+    present.push_back(digest_of(i));
+    absent.push_back(digest_of(i + (1ull << 40)));
+  }
+  // Lookups in an order unrelated to insertion: no accidental locality.
+  Xoshiro256 rng(11);
+  std::shuffle(present.begin(), present.end(), rng);
+
+  const auto entry_for = [](const Digest& fp) {
+    return IndexEntry{Sha1::hash(fp.span()), fp.prefix64() % 4096};
+  };
+
+  std::vector<Row> rows;
+
+  // --- mem --------------------------------------------------------------
+  MemIndex mem;
+  rows.push_back(time_phase("mem", "insert", keys_n, 1, [&] {
+    for (const Digest& fp : present) mem.put(fp, entry_for(fp));
+  }));
+  rows.push_back(time_phase("mem", "lookup-hit", keys_n, reps,
+                            [&] { run_lookups(mem, present, true); }));
+  rows.push_back(time_phase("mem", "lookup-miss", keys_n, reps,
+                            [&] { run_lookups(mem, absent, false); }));
+  const std::uint64_t mem_ram = mem.ram_high_water();
+
+  // --- disk, cold (populate + compact in-process) -----------------------
+  PersistentIndexConfig cfg;
+  cfg.shards = shards;
+  cfg.cache_bytes = cache_bytes;
+  cfg.expected_keys = keys_n;
+  MemoryBackend backend;
+  std::uint64_t cold_ram = 0, cold_page_ram = 0;
+  {
+    PersistentIndex disk(backend, cfg);
+    rows.push_back(time_phase("disk-cold", "insert", keys_n, 1, [&] {
+      for (const Digest& fp : present) disk.put(fp, entry_for(fp));
+    }));
+    disk.compact();
+    disk.flush();
+    rows.push_back(time_phase("disk-cold", "lookup-hit", keys_n, reps,
+                              [&] { run_lookups(disk, present, true); }));
+    rows.push_back(time_phase("disk-cold", "lookup-miss", keys_n, reps,
+                              [&] { run_lookups(disk, absent, false); }));
+    cold_ram = disk.ram_high_water();
+    cold_page_ram = disk.page_cache_ram_high_water();
+  }
+
+  // --- disk, warm reopen (the restart path) -----------------------------
+  PersistentIndex warm(backend, cfg);
+  if (warm.entry_count() != keys_n) {
+    std::fprintf(stderr, "FATAL: reopen lost entries (%llu != %llu)\n",
+                 static_cast<unsigned long long>(warm.entry_count()),
+                 static_cast<unsigned long long>(keys_n));
+    return 1;
+  }
+  rows.push_back(time_phase("disk-warm", "lookup-hit", keys_n, reps,
+                            [&] { run_lookups(warm, present, true); }));
+  rows.push_back(time_phase("disk-warm", "lookup-miss", keys_n, reps,
+                            [&] { run_lookups(warm, absent, false); }));
+  const std::uint64_t warm_ram = warm.ram_high_water();
+  const std::uint64_t warm_page_ram = warm.page_cache_ram_high_water();
+
+  std::printf("fingerprint index throughput, %llu keys (shards=%u, "
+              "cache=%0.1f MB)\n\n",
+              static_cast<unsigned long long>(keys_n), shards,
+              cache_bytes / 1048576.0);
+  TextTable t({"Impl", "Phase", "Mops/s"});
+  for (const auto& r : rows) {
+    t.add_row({r.impl, r.phase, TextTable::num(r.mops(), 2)});
+  }
+  std::printf("%s\n", t.to_string().c_str());
+  TextTable m({"Impl", "RAM high-water KB", "page cache KB", "budget KB"});
+  m.add_row({"mem", TextTable::num(mem_ram / 1024), "-", "-"});
+  m.add_row({"disk-cold", TextTable::num(cold_ram / 1024),
+             TextTable::num(cold_page_ram / 1024),
+             TextTable::num(cache_bytes / 1024)});
+  m.add_row({"disk-warm", TextTable::num(warm_ram / 1024),
+             TextTable::num(warm_page_ram / 1024),
+             TextTable::num(cache_bytes / 1024)});
+  std::printf("%s", m.to_string().c_str());
+
+  if (cold_page_ram > cache_bytes || warm_page_ram > cache_bytes) {
+    std::fprintf(stderr, "FATAL: page cache exceeded its budget\n");
+    return 1;
+  }
+
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    out << "{\n  \"bench\": \"index_throughput\",\n"
+        << "  \"keys\": " << keys_n << ",\n"
+        << "  \"shards\": " << shards << ",\n"
+        << "  \"cache_bytes\": " << cache_bytes << ",\n  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      char buf[160];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"impl\": \"%s\", \"phase\": \"%s\", "
+                    "\"mops_per_s\": %.2f}%s\n",
+                    rows[i].impl.c_str(), rows[i].phase.c_str(),
+                    rows[i].mops(), i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ],\n  \"ram_high_water_bytes\": {\"mem\": " << mem_ram
+        << ", \"disk_cold\": " << cold_ram
+        << ", \"disk_warm\": " << warm_ram
+        << ", \"disk_page_cache_budget\": " << cache_bytes << "}\n}\n";
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

@@ -16,6 +16,15 @@
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
 //          --chunker-impl=auto|scalar|simd
 //          --hash-impl=auto|shani|simd|portable   SHA-1 kernel selection
+//          --index-impl=mem|disk   fingerprint-index routing. `disk`
+//          persists the index under the repo's index/ namespace with a
+//          bounded page cache, so a reopened repo deduplicates against
+//          its history without rebuilding an in-RAM map. Like --framed,
+//          the choice is sticky: later commands detect an existing
+//          on-disk index and keep using it without the flag.
+//          --index-cache-mb=8   hot bucket-page cache budget (K/M/G
+//          suffixes accepted; bare number means MB)
+//          --index-bloom-bits-per-key=10   negative-lookup bloom sizing
 //          --pipeline | --ingest-threads=N   staged concurrent ingest
 //          (N SHA-1 workers; 0 = serial; stored bytes are bit-identical)
 //          --framed    store with CRC32C self-verification framing.
@@ -32,6 +41,7 @@
 #include <optional>
 
 #include "mhd/core/mhd_engine.h"
+#include "mhd/index/persistent_index.h"
 #include "mhd/metrics/metrics.h"
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/file_backend.h"
@@ -105,8 +115,21 @@ class BackendStack {
   StorageBackend* active_ = nullptr;
 };
 
-EngineConfig config_from(const Flags& flags) {
+EngineConfig config_from(const Flags& flags, const StorageBackend& backend) {
   EngineConfig cfg;
+  // The index implementation is a property of the repository: once a
+  // persistent index exists, keep maintaining it even without the flag
+  // (an ignored on-disk index would silently go stale).
+  const bool disk_index =
+      flags.has("index-impl")
+          ? flags.get_choice("index-impl", {"mem", "disk"}, "mem") == "disk"
+          : index_present(backend);
+  cfg.index_impl = disk_index ? IndexImpl::kDisk : IndexImpl::kMem;
+  cfg.index_cache_bytes =
+      flags.get_size("index-cache-mb", cfg.index_cache_bytes, 64ull << 10,
+                     1ull << 40, /*unit=*/1ull << 20);
+  cfg.index_bloom_bits_per_key = static_cast<std::uint32_t>(
+      flags.get_uint("index-bloom-bits-per-key", 10, 1, 64));
   cfg.ecs = static_cast<std::uint32_t>(flags.get_int("ecs", 4096));
   cfg.sd = static_cast<std::uint32_t>(flags.get_int("sd", 64));
   cfg.chunker = chunker_kind_from_string(flags.get("chunker", "rabin"));
@@ -129,7 +152,7 @@ int cmd_store(const Flags& flags, bool verify_after) {
   }
   BackendStack stack(args[1], flags);
   ObjectStore store(stack.active());
-  MhdEngine engine(store, config_from(flags));
+  MhdEngine engine(store, config_from(flags, stack.active()));
 
   for (std::size_t i = 2; i < args.size(); ++i) {
     FileSource src(args[i]);
@@ -150,6 +173,12 @@ int cmd_store(const Flags& flags, bool verify_after) {
               c.dup_bytes / 1048576.0,
               static_cast<unsigned long long>(c.dup_slices),
               static_cast<unsigned long long>(c.hhr_operations));
+  if (const FingerprintIndex* fp = engine.fingerprint_index()) {
+    std::printf("index: %s, %llu entries, RAM high-water %.1f KB\n",
+                engine.index_impl_name(),
+                static_cast<unsigned long long>(fp->entry_count()),
+                engine.index_ram_bytes() / 1024.0);
+  }
   for (const auto& s : engine.pipeline_stats().stages) {
     std::printf("  stage %-5s: %2u thread(s), %8llu items, %8.2f MB, "
                 "busy %.3fs, idle %.3fs, queue max %llu\n",
@@ -243,6 +272,12 @@ int cmd_gc(const Flags& flags) {
               r.reclaimed_bytes / 1048576.0,
               static_cast<unsigned long long>(r.deleted_manifests),
               static_cast<unsigned long long>(r.deleted_hooks));
+  if (r.index_rebuilt) {
+    std::printf("gc: fingerprint index rebuilt, %llu entries kept, %llu "
+                "dropped\n",
+                static_cast<unsigned long long>(r.index_entries),
+                static_cast<unsigned long long>(r.dropped_index_entries));
+  }
   return 0;
 }
 
@@ -261,6 +296,13 @@ int cmd_scrub(const Flags& flags) {
               static_cast<unsigned long long>(r.opaque_manifests),
               static_cast<unsigned long long>(r.chunks),
               static_cast<unsigned long long>(r.hooks));
+  if (r.index_entries != 0 || r.stale_index_entries != 0) {
+    std::printf("scrub: fingerprint index has %llu entries (%llu stale, "
+                "%llu hooks unindexed)\n",
+                static_cast<unsigned long long>(r.index_entries),
+                static_cast<unsigned long long>(r.stale_index_entries),
+                static_cast<unsigned long long>(r.unindexed_hooks));
+  }
   if (r.clean()) {
     std::printf("repository is CLEAN\n");
     return 0;
@@ -274,6 +316,11 @@ int cmd_scrub(const Flags& flags) {
               static_cast<unsigned long long>(r.dangling_hooks),
               static_cast<unsigned long long>(r.unparseable),
               static_cast<unsigned long long>(r.corrupt_objects));
+  if (r.stale_index_entries != 0) {
+    std::printf("PROBLEMS: %llu stale index entries (run 'fsck_cli repair' "
+                "or 'gc' to rebuild the index)\n",
+                static_cast<unsigned long long>(r.stale_index_entries));
+  }
   return 1;
 }
 

@@ -72,7 +72,7 @@ std::optional<std::filesystem::path> target_object(const Flags& flags,
   const auto ns = ns_from_string(flags.get("ns", def_ns));
   if (!ns) {
     std::fprintf(stderr, "unknown --ns (want diskchunks|hooks|manifests|"
-                         "filemanifests)\n");
+                         "filemanifests|index)\n");
     return std::nullopt;
   }
   const auto names = backend.list(*ns);

@@ -6,6 +6,8 @@
 //                    [--chunker=rabin|tttd|gear]
 //                    [--chunker-impl=auto|scalar|simd]
 //                    [--hash-impl=auto|shani|simd|portable] [--cache_kb=256]
+//                    [--index-impl=mem|disk] [--index-cache-mb=8]
+//                    [--index-bloom-bits-per-key=10]
 //                    [--pipeline] [--ingest-threads=N]
 //                    [--framed] [--fault-plan=SPEC]
 //                    [--verify] [--json]
@@ -14,6 +16,10 @@
 // --ingest-threads=N picks the pool size explicitly (0 = serial). Results
 // are bit-identical either way; pipelined runs additionally report
 // per-stage busy/idle/queue-depth counters.
+// --index-impl=disk routes the fingerprint index through the persistent
+// sharded on-disk index (bounded RAM, warm restart); --index-cache-mb
+// bounds its hot bucket-page cache (accepts K/M/G suffixes, bare number =
+// MB) and --index-bloom-bits-per-key sizes its negative-lookup bloom.
 // --framed stores every object with CRC32C self-verification framing
 // (dedup results stay bit-identical; the framing overhead is reported);
 // --fault-plan injects deterministic storage faults below the framing,
@@ -44,6 +50,15 @@ int main(int argc, char** argv) {
   spec.engine.manifest_cache_bytes =
       static_cast<std::uint64_t>(flags.get_int("cache_kb", 256)) << 10;
   spec.engine.manifest_cache_capacity = 4096;
+  spec.engine.index_impl =
+      flags.get_choice("index-impl", {"mem", "disk"}, "mem") == "disk"
+          ? IndexImpl::kDisk
+          : IndexImpl::kMem;
+  spec.engine.index_cache_bytes =
+      flags.get_size("index-cache-mb", spec.engine.index_cache_bytes,
+                     64ull << 10, 1ull << 40, /*unit=*/1ull << 20);
+  spec.engine.index_bloom_bits_per_key = static_cast<std::uint32_t>(
+      flags.get_uint("index-bloom-bits-per-key", 10, 1, 64));
   spec.engine.ingest_threads = static_cast<std::uint32_t>(flags.get_uint(
       "ingest-threads", flags.get_bool("pipeline", false) ? 4 : 0, 0, 256));
   spec.engine.pipeline_queue_depth = static_cast<std::uint32_t>(
@@ -90,6 +105,8 @@ int main(int argc, char** argv) {
   t.add_row({"manifest loads", TextTable::num(r.manifest_loads)});
   t.add_row({"disk accesses", TextTable::num(r.stats.total_accesses())});
   t.add_row({"index RAM KB", TextTable::num(r.index_ram_bytes / 1024)});
+  t.add_row({"index impl", r.index_impl});
+  t.add_row({"index entries", TextTable::num(r.index_entries)});
   if (r.framed) {
     t.add_row({"framing overhead KB",
                TextTable::num(r.framing_overhead_bytes() / 1024.0, 1)});

@@ -6,6 +6,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "mhd/util/bytes.h"
@@ -34,6 +35,19 @@ class BloomFilter {
 
   /// Predicted false-positive rate for the current load.
   double estimated_fp_rate() const;
+
+  /// Versioned, CRC32C-framed snapshot:
+  ///   [magic "MBF1"][version u32][k u32][inserted u64][words u64]
+  ///   [bit words...][crc32c u32 over everything before]
+  /// Lets the persistent fingerprint index rehydrate its filter on reopen
+  /// instead of rescanning every bucket page.
+  ByteVec serialize() const;
+
+  /// Rebuilds a filter from serialize() output. nullopt on wrong magic or
+  /// version, truncation, length mismatch, or CRC mismatch — a damaged
+  /// snapshot must be rejected, never half-loaded (a bloom with missing
+  /// bits would return false negatives, which breaks its contract).
+  static std::optional<BloomFilter> deserialize(ByteSpan data);
 
  private:
   std::vector<std::uint64_t> bits_;

@@ -1,18 +1,24 @@
 #include "mhd/core/manifest_cache.h"
 
+#include "mhd/index/mem_index.h"
+#include "mhd/store/store_errors.h"
+
 namespace mhd {
 
 ManifestCache::ManifestCache(ObjectStore& store, std::size_t capacity,
-                             bool hook_flags, std::uint64_t max_bytes)
+                             bool hook_flags, std::uint64_t max_bytes,
+                             FingerprintIndex* index)
     : store_(store),
       hook_flags_(hook_flags),
       lru_(
           capacity,
           [this](const Digest& name, Slot& slot) {
             write_back(name, slot);
-            drop_from_global(name, slot);
+            drop_from_index(name, slot);
           },
-          max_bytes, [](const Slot& slot) { return slot.weight; }) {}
+          max_bytes, [](const Slot& slot) { return slot.weight; }),
+      owned_index_(index == nullptr ? std::make_unique<MemIndex>() : nullptr),
+      index_(index == nullptr ? owned_index_.get() : index) {}
 
 ManifestCache::~ManifestCache() = default;
 
@@ -22,46 +28,58 @@ void ManifestCache::write_back(const Digest& name, Slot& slot) {
   slot.manifest.set_dirty(false);
 }
 
-void ManifestCache::drop_from_global(const Digest& name, const Slot& slot) {
+void ManifestCache::drop_from_index(const Digest& name, const Slot& slot) {
   for (const auto& entry : slot.manifest.entries()) {
-    auto it = global_.find(entry.hash);
-    if (it != global_.end() && it->second == name) global_.erase(it);
+    const auto hit = index_->lookup(entry.hash);
+    if (hit && hit->manifest == name) index_->erase(entry.hash);
   }
-  // Hashes that were replaced by HHR may linger in global_; they self-heal
-  // in lookup_hash when the confirmation probe fails.
+  // Hashes HHR removed from this manifest were already erased by
+  // ensure_index's removed-hash pass, so nothing can linger.
 }
 
 void ManifestCache::ensure_index(const Digest& name, Slot& slot) {
   if (!slot.index_stale) return;
+  // Hashes present in the previous build of this manifest's table but not
+  // in the current entries were rewritten by HHR: erase their index
+  // entries eagerly instead of leaving them to linger until eviction
+  // (the historical unbounded-growth leak of the global map).
+  std::vector<Digest> previous;
+  previous.reserve(slot.by_hash.size());
+  for (const auto& [hash, idx] : slot.by_hash) previous.push_back(hash);
   slot.by_hash.clear();
   const auto& entries = slot.manifest.entries();
   slot.by_hash.reserve(entries.size());
   for (std::size_t i = 0; i < entries.size(); ++i) {
     slot.by_hash.emplace(entries[i].hash, i);
-    global_.insert_or_assign(entries[i].hash, name);
+    index_->put(entries[i].hash, IndexEntry{name, entries[i].offset});
+  }
+  for (const auto& hash : previous) {
+    if (slot.by_hash.count(hash) > 0) continue;
+    const auto hit = index_->lookup(hash);
+    if (hit && hit->manifest == name) index_->erase(hash);
   }
   slot.index_stale = false;
 }
 
 std::optional<ManifestCache::Located> ManifestCache::lookup_hash(
     const Digest& chunk_hash) {
-  const auto it = global_.find(chunk_hash);
-  if (it == global_.end()) return std::nullopt;
-  const Digest owner = it->second;
+  const auto hit = index_->lookup(chunk_hash);
+  if (!hit) return std::nullopt;
+  const Digest owner = hit->manifest;
   Slot* slot = lru_.get(owner);
   if (slot == nullptr) {
-    // Owner was evicted and the global entry is stale.
-    global_.erase(it);
+    // Owner was evicted and the index entry is stale.
+    index_->erase(chunk_hash);
     return std::nullopt;
   }
   ensure_index(owner, *slot);
-  const auto hit = slot->by_hash.find(chunk_hash);
-  if (hit == slot->by_hash.end()) {
+  const auto found = slot->by_hash.find(chunk_hash);
+  if (found == slot->by_hash.end()) {
     // Hash disappeared from the manifest (HHR rewrote it): self-heal.
-    global_.erase(chunk_hash);
+    index_->erase(chunk_hash);
     return std::nullopt;
   }
-  return Located{owner, &slot->manifest, hit->second};
+  return Located{owner, &slot->manifest, found->second};
 }
 
 Manifest* ManifestCache::load(const Digest& name) {
@@ -118,6 +136,35 @@ void ManifestCache::flush() {
   lru_.for_each([this](const Digest& name, Slot& slot) {
     write_back(name, slot);
   });
+}
+
+std::vector<Digest> ManifestCache::resident_names() {
+  std::vector<Digest> names;
+  names.reserve(lru_.size());
+  lru_.for_each([&](const Digest& name, Slot&) { names.push_back(name); });
+  return names;
+}
+
+void ManifestCache::warm_load(const std::vector<Digest>& names) {
+  // Insert least-recently-used first so put() recreates the recency order
+  // the snapshot was taken with.
+  for (auto it = names.rbegin(); it != names.rend(); ++it) {
+    if (lru_.contains(*it)) continue;
+    std::optional<ByteVec> raw;
+    try {
+      raw = store_.backend().get(Ns::kManifest, it->hex());
+    } catch (const CorruptObjectError&) {
+      continue;  // skipped: the warm set is advisory
+    }
+    if (!raw) continue;
+    auto manifest = Manifest::deserialize(*raw);
+    if (!manifest) continue;
+    Slot slot;
+    slot.manifest = std::move(*manifest);
+    slot.weight = 64 + slot.manifest.entries().size() * 37;
+    Slot& placed = lru_.put(*it, std::move(slot));
+    ensure_index(*it, placed);
+  }
 }
 
 }  // namespace mhd

@@ -7,17 +7,28 @@
 // has been set dirty is written back to the disk before it is freed."
 //
 // This class implements exactly that: per-manifest hash tables plus a
-// global chunk-hash -> manifest-name index for O(1) duplicate detection
-// across the whole cached set, LRU eviction with dirty write-back through
-// the ObjectStore (counting kManifestOut), and lazy index rebuilds after
-// HHR mutates a manifest's entries.
+// chunk-hash -> owning-manifest index (a FingerprintIndex — in-RAM by
+// default, or the persistent disk index when the engine injects one) for
+// O(1) duplicate detection across the whole cached set, LRU eviction with
+// dirty write-back through the ObjectStore (counting kManifestOut), and
+// lazy index rebuilds after HHR mutates a manifest's entries.
+//
+// Invariant: the fingerprint index mirrors exactly the entries of the
+// cache-resident manifests — entries are added when a manifest's hash
+// table is built and erased on eviction or when HHR removes the hash.
+// That mirror is what makes the mem and disk index implementations
+// behaviorally identical, and (with the warm list) what lets a reopened
+// process resume with the same cache/index state it closed with.
 #pragma once
 
+#include <memory>
 #include <optional>
 #include <unordered_map>
+#include <vector>
 
 #include "mhd/container/lru_cache.h"
 #include "mhd/format/manifest.h"
+#include "mhd/index/fingerprint_index.h"
 #include "mhd/store/object_store.h"
 
 namespace mhd {
@@ -27,8 +38,12 @@ class ManifestCache {
   /// `hook_flags` selects the serialized entry format (MHD's 37-byte
   /// entries vs the baselines' 36-byte entries). `max_bytes` caps the
   /// total serialized size of cached manifests (0 = count-limited only).
+  /// `index` routes duplicate detection through a caller-owned
+  /// FingerprintIndex; nullptr keeps a private MemIndex (the historical
+  /// behavior, bit-identical).
   ManifestCache(ObjectStore& store, std::size_t capacity, bool hook_flags,
-                std::uint64_t max_bytes = 0);
+                std::uint64_t max_bytes = 0,
+                FingerprintIndex* index = nullptr);
   ~ManifestCache();
 
   ManifestCache(const ManifestCache&) = delete;
@@ -64,6 +79,19 @@ class ManifestCache {
   /// Writes every dirty manifest back to the store (end of run).
   void flush();
 
+  /// Cached manifest names, most-recently-used first (the persistent
+  /// index's warm-restart list).
+  std::vector<Digest> resident_names();
+
+  /// Reloads `names` (an earlier resident_names() snapshot) from the
+  /// store, preserving recency. Reads bypass access accounting and the
+  /// manifest_loads counter: a warm reload restores state the
+  /// uninterrupted run never lost, so it must not show up in the paper's
+  /// TABLE V. Missing or corrupt manifests are skipped.
+  void warm_load(const std::vector<Digest>& names);
+
+  FingerprintIndex& index() { return *index_; }
+
   /// Number of manifests loaded from disk (the paper's TABLE V).
   std::uint64_t manifest_loads() const { return loads_; }
   std::uint64_t evictions() const { return lru_.eviction_count(); }
@@ -81,14 +109,13 @@ class ManifestCache {
 
   void write_back(const Digest& name, Slot& slot);
   void ensure_index(const Digest& name, Slot& slot);
-  void drop_from_global(const Digest& name, const Slot& slot);
+  void drop_from_index(const Digest& name, const Slot& slot);
 
   ObjectStore& store_;
   bool hook_flags_;
   LruCache<Digest, Slot, DigestHasher> lru_;
-  /// chunk hash -> owning manifest name; entries may be stale after HHR
-  /// and are self-healed on lookup.
-  std::unordered_map<Digest, Digest, DigestHasher> global_;
+  std::unique_ptr<FingerprintIndex> owned_index_;  ///< when none injected
+  FingerprintIndex* index_;
   std::uint64_t loads_ = 0;
 };
 

@@ -11,10 +11,11 @@ namespace mhd {
 MhdEngine::MhdEngine(ObjectStore& store, const EngineConfig& config)
     : DedupEngine(store, config),
       cache_(store, config.manifest_cache_capacity, /*hook_flags=*/true,
-             config.manifest_cache_bytes),
+             config.manifest_cache_bytes, &fp_index()),
       bloom_(config.bloom_bytes),
       extender_(store, cache_, cfg_, counters_) {
   if (cfg_.use_bloom) seed_bloom_from_hooks(bloom_, store.backend());
+  restore_warm_state(cache_);
 }
 
 std::optional<ManifestCache::Located> MhdEngine::find_anchor(
@@ -237,6 +238,9 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
   store_.put_file_manifest(file_digest(file_name).hex(), fm.serialize());
 }
 
-void MhdEngine::finish() { cache_.flush(); }
+void MhdEngine::finish() {
+  cache_.flush();
+  persist_index_state(cache_);
+}
 
 }  // namespace mhd

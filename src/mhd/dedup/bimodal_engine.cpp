@@ -8,9 +8,10 @@ namespace mhd {
 BimodalEngine::BimodalEngine(ObjectStore& store, const EngineConfig& config)
     : DedupEngine(store, config),
       cache_(store, config.manifest_cache_capacity, /*hook_flags=*/false,
-             config.manifest_cache_bytes),
+             config.manifest_cache_bytes, &fp_index()),
       bloom_(config.bloom_bytes) {
   if (cfg_.use_bloom) seed_bloom_from_hooks(bloom_, store.backend());
+  restore_warm_state(cache_);
 }
 
 std::optional<BimodalEngine::DupRef> BimodalEngine::find_duplicate(
@@ -139,6 +140,9 @@ void BimodalEngine::process_file(const std::string& file_name,
   store_.put_file_manifest(file_digest(file_name).hex(), ctx.fm.serialize());
 }
 
-void BimodalEngine::finish() { cache_.flush(); }
+void BimodalEngine::finish() {
+  cache_.flush();
+  persist_index_state(cache_);
+}
 
 }  // namespace mhd

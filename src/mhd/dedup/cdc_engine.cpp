@@ -9,9 +9,10 @@ namespace mhd {
 CdcEngine::CdcEngine(ObjectStore& store, const EngineConfig& config)
     : DedupEngine(store, config),
       cache_(store, config.manifest_cache_capacity, /*hook_flags=*/false,
-             config.manifest_cache_bytes),
+             config.manifest_cache_bytes, &fp_index()),
       bloom_(config.bloom_bytes) {
   if (cfg_.use_bloom) seed_bloom_from_hooks(bloom_, store.backend());
+  restore_warm_state(cache_);
 }
 
 std::optional<CdcEngine::DupRef> CdcEngine::find_duplicate(const Digest& hash) {
@@ -87,6 +88,9 @@ void CdcEngine::process_file(const std::string& file_name, ByteSource& data) {
   current_file_.clear();
 }
 
-void CdcEngine::finish() { cache_.flush(); }
+void CdcEngine::finish() {
+  cache_.flush();
+  persist_index_state(cache_);
+}
 
 }  // namespace mhd

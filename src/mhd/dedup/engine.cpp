@@ -2,7 +2,10 @@
 
 #include <algorithm>
 
+#include "mhd/core/manifest_cache.h"
 #include "mhd/format/file_manifest.h"
+#include "mhd/index/mem_index.h"
+#include "mhd/index/persistent_index.h"
 #include "mhd/pipeline/ingest_pipeline.h"
 #include "mhd/util/buffer_pool.h"
 #include "mhd/util/hex.h"
@@ -23,6 +26,39 @@ void DedupEngine::seed_bloom_from_hooks(BloomFilter& bloom,
     std::copy(bytes->begin(), bytes->end(), d.bytes.begin());
     bloom.insert(d.prefix64());
   }
+}
+
+FingerprintIndex& DedupEngine::fp_index() {
+  if (!fp_index_) {
+    if (cfg_.index_impl == IndexImpl::kDisk) {
+      index_was_present_ = PersistentIndex::present(store_.backend());
+      PersistentIndexConfig pc;
+      pc.shards = cfg_.index_shards;
+      pc.cache_bytes = cfg_.index_cache_bytes;
+      pc.bloom_bits_per_key = cfg_.index_bloom_bits_per_key;
+      pc.journal_batch = cfg_.index_journal_batch;
+      pc.compact_threshold = cfg_.index_compact_threshold;
+      fp_index_ = std::make_unique<PersistentIndex>(store_.backend(), pc);
+    } else {
+      fp_index_ = std::make_unique<MemIndex>();
+    }
+  }
+  return *fp_index_;
+}
+
+void DedupEngine::restore_warm_state(ManifestCache& cache) {
+  if (!index_was_present_) return;
+  auto* disk = dynamic_cast<PersistentIndex*>(fp_index_.get());
+  if (disk == nullptr) return;
+  cache.warm_load(disk->load_warm_list());
+}
+
+void DedupEngine::persist_index_state(ManifestCache& cache) {
+  if (!fp_index_) return;
+  if (auto* disk = dynamic_cast<PersistentIndex*>(fp_index_.get())) {
+    disk->save_warm_list(cache.resident_names());
+  }
+  fp_index_->flush();
 }
 
 Digest DedupEngine::unique_store_digest(const Digest& base) const {

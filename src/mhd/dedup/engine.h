@@ -18,12 +18,15 @@
 #include "mhd/chunk/make_chunker.h"
 #include "mhd/container/bloom_filter.h"
 #include "mhd/hash/sha1.h"
+#include "mhd/index/fingerprint_index.h"
 #include "mhd/pipeline/hashed_chunk_stream.h"
 #include "mhd/pipeline/stage.h"
 #include "mhd/store/object_store.h"
 #include "mhd/store/store_errors.h"
 
 namespace mhd {
+
+class ManifestCache;
 
 struct EngineConfig {
   std::uint32_t ecs = 4096;  ///< expected (small) chunk size, bytes
@@ -76,6 +79,24 @@ struct EngineConfig {
   bool enable_edge_hash = true;
   bool enable_backward_extension = true;
   bool enable_shm = true;
+
+  // Fingerprint-index routing (DESIGN.md "Fingerprint index"). kMem keeps
+  // the historical always-resident map; kDisk stores the index under
+  // Ns::kIndex with bounded RAM and warm restart (--index-impl). The two
+  // make bit-identical dedup decisions — kDisk additionally survives
+  // process restarts.
+  IndexImpl index_impl = IndexImpl::kMem;
+  /// Weight budget of the disk index's hot bucket-page cache
+  /// (--index-cache-mb).
+  std::uint64_t index_cache_bytes = 8ull << 20;
+  /// Bloom sizing for the disk index's negative-lookup front
+  /// (--index-bloom-bits-per-key).
+  std::uint32_t index_bloom_bits_per_key = 10;
+  // Disk-index geometry knobs (programmatic; tests shrink them to force
+  // many journal segments and compactions on tiny corpora).
+  std::uint32_t index_shards = 64;
+  std::uint32_t index_journal_batch = 64;
+  std::uint64_t index_compact_threshold = 4096;
 
   // Durability stack (DESIGN.md "Durability model"). With `framed` the
   // simulation runner layers FramedBackend (CRC32C self-verifying objects,
@@ -150,8 +171,20 @@ class DedupEngine {
   virtual std::uint64_t manifest_loads() const { return 0; }
 
   /// Bytes of auxiliary in-RAM index structures beyond the manifest cache
-  /// (SparseIndexing's sparse index; the paper's TABLE III).
-  virtual std::uint64_t index_ram_bytes() const { return 0; }
+  /// (the fingerprint index's RAM high-water; SparseIndexing's sparse
+  /// index; the paper's TABLE III).
+  virtual std::uint64_t index_ram_bytes() const {
+    return fp_index_ ? fp_index_->ram_high_water() : 0;
+  }
+
+  /// The engine's fingerprint index, if it routes through one (nullptr
+  /// for engines with private similarity indexes, e.g. SparseIndexing).
+  const FingerprintIndex* fingerprint_index() const { return fp_index_.get(); }
+  /// Resolved index implementation name for reports ("mem" | "disk").
+  const char* index_impl_name() const {
+    if (fp_index_) return fp_index_->impl_name();
+    return cfg_.index_impl == IndexImpl::kDisk ? "disk" : "mem";
+  }
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
 
@@ -177,6 +210,24 @@ class DedupEngine {
   /// so engines use this without caring which path runs underneath.
   std::unique_ptr<HashedChunkStream> open_ingest(
       ByteSource& data, std::uint64_t expected_chunk_bytes);
+
+  /// Lazily creates the configured FingerprintIndex (MemIndex or
+  /// PersistentIndex over the store's backend). Callable from derived
+  /// constructors' member-init lists so the index can be handed to a
+  /// ManifestCache. Whether an on-disk index already existed (a reopen)
+  /// is captured at creation for restore_warm_state().
+  FingerprintIndex& fp_index();
+
+  /// Warm restart: when the disk index was reopened, reload the manifest
+  /// cache's previous residency (saved by persist_index_state) so the
+  /// reopened engine resumes with the exact working set it closed with.
+  /// No-op for MemIndex or a freshly created disk index.
+  void restore_warm_state(ManifestCache& cache);
+
+  /// End-of-run persistence: saves the cache residency list into the disk
+  /// index and flushes it (journal tail, bloom snapshot, meta). Call from
+  /// finish() after the cache flush. No-op for MemIndex.
+  void persist_index_state(ManifestCache& cache);
 
   /// Returns `base`, salted until no DiskChunk/Manifest with that name
   /// exists. DiskChunks are immutable and may be referenced by other
@@ -225,6 +276,8 @@ class DedupEngine {
  private:
   bool in_dup_run_ = false;
   PipelineStats pipeline_stats_;
+  std::unique_ptr<FingerprintIndex> fp_index_;
+  bool index_was_present_ = false;  ///< disk index existed before open
 };
 
 }  // namespace mhd

@@ -1,5 +1,7 @@
 #include "mhd/dedup/fbc_engine.h"
 
+#include "mhd/index/persistent_index.h"
+
 #include "mhd/chunk/chunk_stream.h"
 #include "mhd/chunk/rabin_chunker.h"
 
@@ -8,9 +10,11 @@ namespace mhd {
 FbcEngine::FbcEngine(ObjectStore& store, const EngineConfig& config)
     : DedupEngine(store, config),
       cache_(store, config.manifest_cache_capacity, /*hook_flags=*/false,
-             config.manifest_cache_bytes),
+             config.manifest_cache_bytes, &fp_index()),
       bloom_(config.bloom_bytes) {
   if (cfg_.use_bloom) seed_bloom_from_hooks(bloom_, store.backend());
+  restore_warm_state(cache_);
+  load_frequency_sketch();
 }
 
 std::optional<FbcEngine::DupRef> FbcEngine::find_duplicate(
@@ -133,6 +137,42 @@ void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
   store_.put_file_manifest(file_digest(file_name).hex(), ctx.fm.serialize());
 }
 
-void FbcEngine::finish() { cache_.flush(); }
+void FbcEngine::finish() {
+  cache_.flush();
+  save_frequency_sketch();
+  persist_index_state(cache_);
+}
+
+// The frequency sketch is FBC's second piece of cross-restart state: the
+// re-chunking decision depends on how often sampled fingerprints were seen
+// in *prior* data, so a warm-restarted run must resume with the sketch the
+// uninterrupted run would have. Persisted as an aux blob of the disk index
+// (count-prefixed u64 key / u32 count pairs); mem runs keep it in RAM only.
+void FbcEngine::save_frequency_sketch() {
+  auto* disk = dynamic_cast<PersistentIndex*>(&fp_index());
+  if (disk == nullptr) return;
+  ByteVec payload;
+  payload.reserve(8 + frequency_.size() * 12);
+  append_le(payload, static_cast<std::uint64_t>(frequency_.size()));
+  for (const auto& [key, seen] : frequency_) {
+    append_le(payload, key);
+    append_le(payload, seen);
+  }
+  disk->save_aux(kSketchAuxName, payload);
+}
+
+void FbcEngine::load_frequency_sketch() {
+  auto* disk = dynamic_cast<PersistentIndex*>(&fp_index());
+  if (disk == nullptr) return;
+  const auto payload = disk->load_aux(kSketchAuxName);
+  if (!payload || payload->size() < 8) return;
+  const auto count = load_le<std::uint64_t>(payload->data());
+  if (payload->size() != 8 + count * 12) return;
+  frequency_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    const Byte* p = payload->data() + 8 + i * 12;
+    frequency_[load_le<std::uint64_t>(p)] = load_le<std::uint32_t>(p + 8);
+  }
+}
 
 }  // namespace mhd

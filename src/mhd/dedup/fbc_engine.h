@@ -30,13 +30,15 @@ class FbcEngine final : public DedupEngine {
     return cache_.manifest_loads();
   }
   std::uint64_t index_ram_bytes() const override {
-    return frequency_.size() * 16;
+    return frequency_.size() * 16 + DedupEngine::index_ram_bytes();
   }
 
   /// Frequency threshold for re-chunking (>= this many prior sightings).
   static constexpr std::uint32_t kFrequencyThreshold = 2;
   /// Sample 1-in-kSampleMod small fingerprints into the sketch.
   static constexpr std::uint64_t kSampleMod = 4;
+  /// Aux-blob name the sketch persists under in the disk index.
+  static constexpr const char* kSketchAuxName = "fbc-frequency";
 
  private:
   struct DupRef {
@@ -63,6 +65,8 @@ class FbcEngine final : public DedupEngine {
   /// sampled fingerprint was already frequent.
   bool looks_frequent(ByteSpan big_bytes,
                       std::vector<std::pair<Digest, ByteVec>>& smalls);
+  void save_frequency_sketch();
+  void load_frequency_sketch();
 
   ManifestCache cache_;
   BloomFilter bloom_;

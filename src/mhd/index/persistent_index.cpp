@@ -1,0 +1,793 @@
+#include "mhd/index/persistent_index.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "mhd/store/framing.h"
+#include "mhd/store/store_errors.h"
+#include "mhd/util/hex.h"
+
+namespace mhd {
+
+namespace {
+
+constexpr std::uint32_t kMetaMagic = 0x314D494Du;   // "MIM1"
+constexpr std::uint32_t kPageMagic = 0x3150494Du;   // "MIP1"
+constexpr std::uint32_t kJournalMagic = 0x314A494Du;  // "MIJ1"
+constexpr std::uint32_t kWarmMagic = 0x3157494Du;   // "MIW1"
+constexpr std::uint32_t kFormatVersion = 1;
+
+constexpr char kMetaName[] = "meta";
+constexpr char kBloomName[] = "bloom";
+constexpr char kWarmName[] = "warm";
+
+/// Serialized record size in pages (fp + manifest + offset).
+constexpr std::size_t kRecBytes = Digest::kSize * 2 + 8;
+/// Journal records carry a leading op byte (1 = put, 0 = erase).
+constexpr std::size_t kJournalRecBytes = 1 + kRecBytes;
+
+/// Estimated resident bytes per delta entry (node + key/value + bucket).
+constexpr std::uint64_t kDeltaEntryRamBytes = 96;
+
+std::string shard_object_name(std::uint32_t shard, std::uint32_t gen) {
+  return "shard-" + std::to_string(shard) + "-g" + std::to_string(gen);
+}
+
+std::string journal_object_name(std::uint64_t seq) {
+  return "journal-" + std::to_string(seq);
+}
+
+void append_digest(ByteVec& out, const Digest& d) { append(out, d.span()); }
+
+Digest read_digest(const Byte* p) {
+  Digest d;
+  std::copy(p, p + Digest::kSize, d.bytes.begin());
+  return d;
+}
+
+void append_rec(ByteVec& out, const index_detail::Rec& rec) {
+  append_digest(out, rec.fp);
+  append_digest(out, rec.manifest);
+  append_le(out, rec.offset);
+}
+
+index_detail::Rec read_rec(const Byte* p) {
+  index_detail::Rec rec;
+  rec.fp = read_digest(p);
+  rec.manifest = read_digest(p + Digest::kSize);
+  rec.offset = load_le<std::uint64_t>(p + 2 * Digest::kSize);
+  return rec;
+}
+
+bool rec_less(const index_detail::Rec& a, const index_detail::Rec& b) {
+  return a.fp < b.fp;
+}
+
+/// Reads and unseals one index object, tolerating *double* framing: the
+/// index seals its own payloads, and under FramedBackend the physical
+/// bytes carry a second outer frame. Peeling frames until the payload no
+/// longer unseals makes the same reader work on the raw backend (fsck) and
+/// on the logical view (engines, GC) alike. A bare payload can't unseal by
+/// accident: its tail would have to be a valid MTR1 trailer with a
+/// matching CRC.
+std::optional<ByteVec> get_unsealed(const StorageBackend& backend,
+                                    const std::string& name) {
+  std::optional<ByteVec> framed;
+  try {
+    framed = backend.get(Ns::kIndex, name);
+  } catch (const StoreError&) {
+    return std::nullopt;
+  }
+  if (!framed) return std::nullopt;
+  auto payload = framing::unseal_object(*framed);
+  if (!payload) return std::nullopt;
+  while (auto inner = framing::unseal_object(*payload)) payload = inner;
+  return payload;
+}
+
+struct MetaView {
+  std::uint32_t shards = 0;
+  std::uint64_t page_count = 0;
+  std::uint64_t first_seq = 0;
+  std::uint64_t next_seq = 0;
+  std::vector<std::uint32_t> gens;
+};
+
+ByteVec serialize_meta(const MetaView& m) {
+  ByteVec out;
+  append_le(out, kMetaMagic);
+  append_le(out, kFormatVersion);
+  append_le(out, m.shards);
+  append_le(out, m.page_count);
+  append_le(out, m.first_seq);
+  append_le(out, m.next_seq);
+  for (const std::uint32_t g : m.gens) append_le(out, g);
+  return out;
+}
+
+std::optional<MetaView> parse_meta(ByteSpan payload) {
+  constexpr std::size_t kFixed = 4 + 4 + 4 + 8 + 8 + 8;
+  if (payload.size() < kFixed) return std::nullopt;
+  if (load_le<std::uint32_t>(payload.data()) != kMetaMagic) return std::nullopt;
+  if (load_le<std::uint32_t>(payload.data() + 4) != kFormatVersion) {
+    return std::nullopt;
+  }
+  MetaView m;
+  m.shards = load_le<std::uint32_t>(payload.data() + 8);
+  m.page_count = load_le<std::uint64_t>(payload.data() + 12);
+  m.first_seq = load_le<std::uint64_t>(payload.data() + 20);
+  m.next_seq = load_le<std::uint64_t>(payload.data() + 28);
+  if (m.shards == 0 || m.shards > 4096) return std::nullopt;
+  if (payload.size() != kFixed + m.shards * 4ull) return std::nullopt;
+  m.gens.resize(m.shards);
+  for (std::uint32_t s = 0; s < m.shards; ++s) {
+    m.gens[s] = load_le<std::uint32_t>(payload.data() + kFixed + s * 4ull);
+  }
+  return m;
+}
+
+std::optional<std::vector<index_detail::Rec>> parse_page(
+    ByteSpan payload, std::uint32_t expected_shard) {
+  constexpr std::size_t kHeader = 4 + 4 + 4 + 8;
+  if (payload.size() < kHeader) return std::nullopt;
+  if (load_le<std::uint32_t>(payload.data()) != kPageMagic) return std::nullopt;
+  if (load_le<std::uint32_t>(payload.data() + 4) != kFormatVersion) {
+    return std::nullopt;
+  }
+  if (load_le<std::uint32_t>(payload.data() + 8) != expected_shard) {
+    return std::nullopt;
+  }
+  const auto count = load_le<std::uint64_t>(payload.data() + 12);
+  if (payload.size() != kHeader + count * kRecBytes) return std::nullopt;
+  std::vector<index_detail::Rec> recs;
+  recs.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    recs.push_back(read_rec(payload.data() + kHeader + i * kRecBytes));
+  }
+  if (!std::is_sorted(recs.begin(), recs.end(), rec_less)) return std::nullopt;
+  return recs;
+}
+
+ByteVec serialize_page(std::uint32_t shard,
+                       const std::vector<index_detail::Rec>& recs) {
+  ByteVec out;
+  out.reserve(20 + recs.size() * kRecBytes);
+  append_le(out, kPageMagic);
+  append_le(out, kFormatVersion);
+  append_le(out, shard);
+  append_le(out, static_cast<std::uint64_t>(recs.size()));
+  for (const auto& rec : recs) append_rec(out, rec);
+  return out;
+}
+
+struct JournalRec {
+  Byte op = Byte{0};
+  index_detail::Rec rec;
+};
+
+std::optional<std::vector<JournalRec>> parse_journal(ByteSpan payload) {
+  constexpr std::size_t kHeader = 4 + 4 + 4;
+  if (payload.size() < kHeader) return std::nullopt;
+  if (load_le<std::uint32_t>(payload.data()) != kJournalMagic) {
+    return std::nullopt;
+  }
+  if (load_le<std::uint32_t>(payload.data() + 4) != kFormatVersion) {
+    return std::nullopt;
+  }
+  const auto count = load_le<std::uint32_t>(payload.data() + 8);
+  if (payload.size() != kHeader + count * static_cast<std::uint64_t>(
+                                              kJournalRecBytes)) {
+    return std::nullopt;
+  }
+  std::vector<JournalRec> recs;
+  recs.reserve(count);
+  for (std::uint32_t i = 0; i < count; ++i) {
+    const Byte* p = payload.data() + kHeader + i * kJournalRecBytes;
+    JournalRec jr;
+    jr.op = *p;
+    jr.rec = read_rec(p + 1);
+    recs.push_back(jr);
+  }
+  return recs;
+}
+
+int bloom_probes(std::uint32_t bits_per_key) {
+  // k = ln2 * bits/key, the textbook optimum, at least one probe.
+  return std::max(1, static_cast<int>(bits_per_key * 693 / 1000));
+}
+
+BloomFilter make_bloom(const PersistentIndexConfig& cfg) {
+  const std::uint64_t bytes =
+      std::max<std::uint64_t>(cfg.expected_keys * cfg.bloom_bits_per_key / 8,
+                              1024);
+  return BloomFilter(static_cast<std::size_t>(bytes),
+                     bloom_probes(cfg.bloom_bits_per_key));
+}
+
+std::uint32_t normalize_shards(std::uint32_t shards) {
+  shards = std::clamp<std::uint32_t>(shards, 1, 4096);
+  std::uint32_t pow2 = 1;
+  while (pow2 < shards) pow2 <<= 1;
+  return pow2;
+}
+
+}  // namespace
+
+PersistentIndex::PersistentIndex(StorageBackend& backend,
+                                 PersistentIndexConfig config)
+    : backend_(backend),
+      cfg_([&config] {
+        config.shards = normalize_shards(config.shards);
+        config.journal_batch = std::max<std::uint32_t>(config.journal_batch, 1);
+        config.compact_threshold =
+            std::max<std::uint64_t>(config.compact_threshold, 1);
+        return config;
+      }()),
+      bloom_(make_bloom(cfg_)),
+      cache_(
+          /*capacity=*/cfg_.shards,
+          [this](const std::uint32_t& shard, Page& page) {
+            // Pages are written synchronously during compaction, so a
+            // dirty page reaching eviction means the shadow write was
+            // interrupted; flushing it here keeps write-back semantics.
+            if (page.dirty) write_page_at(shard, page.pending_gen, page);
+          },
+          cfg_.cache_bytes, [](const Page& page) { return page.weight(); }) {
+  const auto meta_payload = get_unsealed(backend_, kMetaName);
+  const auto meta = meta_payload ? parse_meta(*meta_payload) : std::nullopt;
+  if (meta) {
+    cfg_.shards = meta->shards;  // geometry is owned by the repository
+    gens_ = meta->gens;
+    first_seq_ = meta->first_seq;
+    next_seq_ = meta->first_seq;  // re-discovered by the forward scan
+    page_count_ = meta->page_count;
+    count_ = meta->page_count;
+    bool bloom_loaded = false;
+    if (const auto bloom_payload = get_unsealed(backend_, kBloomName)) {
+      if (auto filter = BloomFilter::deserialize(*bloom_payload)) {
+        bloom_ = std::move(*filter);
+        bloom_loaded = true;
+      }
+    }
+    if (!bloom_loaded) rebuild_bloom_from_pages();
+    replay_journal();
+    sweep_stale_objects();
+  } else if (backend_.object_count(Ns::kIndex) > 0) {
+    // Objects without a readable meta: the commit point was torn. The
+    // hooks namespace is authoritative, so rebuild from it.
+    rebuild_from_hooks();
+  } else {
+    gens_.assign(cfg_.shards, 0);
+    write_meta();
+  }
+  if (gens_.size() != cfg_.shards) gens_.assign(cfg_.shards, 0);
+  note_ram();
+}
+
+bool PersistentIndex::present(const StorageBackend& backend) {
+  return backend.exists(Ns::kIndex, kMetaName);
+}
+
+std::uint32_t PersistentIndex::shard_of(const Digest& fp) const {
+  return static_cast<std::uint32_t>(fp.prefix64() & (cfg_.shards - 1));
+}
+
+PersistentIndex::Page& PersistentIndex::load_page(std::uint32_t shard) {
+  if (Page* hit = cache_.get(shard)) return *hit;
+  Page page;
+  const std::string name = shard_object_name(shard, gens_[shard]);
+  bool exists = false;
+  try {
+    exists = backend_.exists(Ns::kIndex, name);
+  } catch (const StoreError&) {
+    exists = false;
+  }
+  if (exists) {
+    const auto payload = get_unsealed(backend_, name);
+    auto recs = payload ? parse_page(*payload, shard) : std::nullopt;
+    if (recs) {
+      page.recs = std::move(*recs);
+    } else {
+      // Damaged page: treat as empty — its entries degrade to missed
+      // duplicates, which is always safe.
+      ++corrupt_pages_;
+    }
+  }
+  Page& placed = cache_.put(shard, std::move(page));
+  note_ram();
+  return placed;
+}
+
+void PersistentIndex::write_page_at(std::uint32_t shard, std::uint32_t gen,
+                                    const Page& page) {
+  backend_.put(Ns::kIndex, shard_object_name(shard, gen),
+               framing::seal_object(serialize_page(shard, page.recs)));
+}
+
+std::optional<IndexEntry> PersistentIndex::lookup_quiet(const Digest& fp) {
+  const auto dit = delta_.find(fp);
+  if (dit != delta_.end()) {
+    if (!dit->second) return std::nullopt;  // tombstone
+    return *dit->second;
+  }
+  const Page& page = load_page(shard_of(fp));
+  index_detail::Rec probe;
+  probe.fp = fp;
+  const auto it = std::lower_bound(page.recs.begin(), page.recs.end(), probe,
+                                   rec_less);
+  if (it == page.recs.end() || !(it->fp == fp)) return std::nullopt;
+  return IndexEntry{it->manifest, it->offset};
+}
+
+std::optional<IndexEntry> PersistentIndex::lookup_locked(const Digest& fp) {
+  const auto dit = delta_.find(fp);
+  if (dit != delta_.end()) {
+    if (!dit->second) return std::nullopt;
+    return *dit->second;
+  }
+  if (!bloom_.maybe_contains(fp.prefix64())) return std::nullopt;
+  return lookup_quiet(fp);
+}
+
+std::optional<IndexEntry> PersistentIndex::lookup(const Digest& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return lookup_locked(fp);
+}
+
+void PersistentIndex::append_journal_record(Byte op, const Digest& fp,
+                                            const IndexEntry& e) {
+  pending_.push_back(op);
+  append_digest(pending_, fp);
+  append_digest(pending_, e.manifest);
+  append_le(pending_, e.offset);
+  ++pending_count_;
+  if (pending_count_ >= cfg_.journal_batch) write_pending_segment();
+}
+
+void PersistentIndex::write_pending_segment() {
+  if (pending_count_ == 0) return;
+  ByteVec payload;
+  payload.reserve(12 + pending_.size());
+  append_le(payload, kJournalMagic);
+  append_le(payload, kFormatVersion);
+  append_le(payload, pending_count_);
+  append(payload, pending_);
+  backend_.put(Ns::kIndex, journal_object_name(next_seq_),
+               framing::seal_object(payload));
+  ++next_seq_;
+  pending_.clear();
+  pending_count_ = 0;
+}
+
+void PersistentIndex::put(const Digest& fp, const IndexEntry& entry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto prev = lookup_locked(fp);
+  if (prev && prev->manifest == entry.manifest && prev->offset == entry.offset) {
+    return;  // no-op put: don't journal warm-restart re-learns
+  }
+  delta_[fp] = entry;
+  bloom_.insert(fp.prefix64());
+  if (!prev) ++count_;
+  append_journal_record(Byte{1}, fp, entry);
+  if (delta_.size() >= cfg_.compact_threshold) compact_locked();
+  note_ram();
+}
+
+bool PersistentIndex::erase(const Digest& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto prev = lookup_locked(fp);
+  if (!prev) return false;
+  delta_[fp] = std::nullopt;
+  --count_;
+  append_journal_record(Byte{0}, fp, IndexEntry{});
+  if (delta_.size() >= cfg_.compact_threshold) compact_locked();
+  note_ram();
+  return true;
+}
+
+bool PersistentIndex::maybe_contains(const Digest& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto dit = delta_.find(fp);
+  if (dit != delta_.end()) return dit->second.has_value();
+  return bloom_.maybe_contains(fp.prefix64());
+}
+
+void PersistentIndex::flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  write_pending_segment();
+  write_bloom();
+  write_meta();
+}
+
+std::uint64_t PersistentIndex::entry_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return count_;
+}
+
+std::uint64_t PersistentIndex::ram_bytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ram_bytes_locked();
+}
+
+std::uint64_t PersistentIndex::ram_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ram_high_water_;
+}
+
+void PersistentIndex::compact() {
+  std::lock_guard<std::mutex> lock(mu_);
+  compact_locked();
+  note_ram();
+}
+
+std::uint64_t PersistentIndex::journal_segment_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_seq_ - first_seq_;
+}
+
+std::uint64_t PersistentIndex::compaction_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return compactions_;
+}
+
+std::uint64_t PersistentIndex::page_cache_ram_high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return page_cache_high_water_;
+}
+
+std::uint64_t PersistentIndex::corrupt_page_reads() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return corrupt_pages_;
+}
+
+void PersistentIndex::compact_locked() {
+  if (delta_.empty()) return;
+  // The pending batch becomes a segment first so the journal covers every
+  // acknowledged op in the pre-commit crash window.
+  write_pending_segment();
+
+  std::unordered_map<std::uint32_t, std::vector<
+      std::pair<Digest, DeltaValue>>> by_shard;
+  for (const auto& [fp, value] : delta_) {
+    by_shard[shard_of(fp)].emplace_back(fp, value);
+  }
+
+  const std::uint64_t old_first = first_seq_;
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> replaced;  // shard,gen
+  for (auto& [shard, ops] : by_shard) {
+    Page& page = load_page(shard);
+    std::vector<index_detail::Rec> merged = page.recs;
+    for (const auto& [fp, value] : ops) {
+      index_detail::Rec probe;
+      probe.fp = fp;
+      const auto it = std::lower_bound(merged.begin(), merged.end(), probe,
+                                       rec_less);
+      const bool found = it != merged.end() && it->fp == fp;
+      if (value) {
+        index_detail::Rec rec{fp, value->manifest, value->offset};
+        if (found) {
+          *it = rec;
+        } else {
+          merged.insert(it, rec);
+        }
+      } else if (found) {
+        merged.erase(it);
+      }
+    }
+    const std::uint32_t new_gen = gens_[shard] + 1;
+    const std::uint64_t old_weight = page.weight();
+    page.recs = std::move(merged);
+    page.dirty = false;
+    page.pending_gen = new_gen;
+    write_page_at(shard, new_gen, page);
+    cache_.reweigh(shard, old_weight);
+    replaced.emplace_back(shard, gens_[shard]);
+  }
+
+  // COMMIT: the meta names the new generations and discards the journal.
+  for (const auto& [shard, old_gen] : replaced) gens_[shard] = old_gen + 1;
+  first_seq_ = next_seq_;
+  page_count_ = count_;
+  write_meta();
+
+  // Post-commit cleanup; a crash here only leaves sweepable garbage.
+  for (const auto& [shard, old_gen] : replaced) {
+    backend_.remove(Ns::kIndex, shard_object_name(shard, old_gen));
+  }
+  for (std::uint64_t seq = old_first; seq < first_seq_; ++seq) {
+    backend_.remove(Ns::kIndex, journal_object_name(seq));
+  }
+  delta_.clear();
+  ++compactions_;
+  note_ram();
+}
+
+void PersistentIndex::write_meta() {
+  MetaView m;
+  m.shards = cfg_.shards;
+  m.page_count = page_count_;
+  m.first_seq = first_seq_;
+  m.next_seq = next_seq_;
+  m.gens = gens_;
+  backend_.put(Ns::kIndex, kMetaName,
+               framing::seal_object(serialize_meta(m)));
+}
+
+void PersistentIndex::write_bloom() {
+  backend_.put(Ns::kIndex, kBloomName,
+               framing::seal_object(bloom_.serialize()));
+}
+
+void PersistentIndex::rebuild_bloom_from_pages() {
+  bloom_ = make_bloom(cfg_);
+  for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
+    const auto payload =
+        get_unsealed(backend_, shard_object_name(shard, gens_[shard]));
+    if (!payload) continue;
+    const auto recs = parse_page(*payload, shard);
+    if (!recs) continue;
+    for (const auto& rec : *recs) bloom_.insert(rec.fp.prefix64());
+  }
+}
+
+void PersistentIndex::replay_journal() {
+  for (std::uint64_t seq = first_seq_;; ++seq) {
+    bool exists = false;
+    try {
+      exists = backend_.exists(Ns::kIndex, journal_object_name(seq));
+    } catch (const StoreError&) {
+      exists = false;
+    }
+    if (!exists) {
+      next_seq_ = seq;
+      break;
+    }
+    const auto payload = get_unsealed(backend_, journal_object_name(seq));
+    const auto recs = payload ? parse_journal(*payload) : std::nullopt;
+    if (!recs) {
+      // Torn tail: truncate here. Anything after the tear is unordered
+      // relative to the lost segment and must go too.
+      next_seq_ = seq;
+      std::uint64_t later = seq;
+      while (true) {
+        bool more = false;
+        try {
+          more = backend_.remove(Ns::kIndex, journal_object_name(later));
+        } catch (const StoreError&) {
+          more = false;
+        }
+        if (!more) break;
+        ++later;
+      }
+      break;
+    }
+    for (const auto& jr : *recs) {
+      const auto prev = lookup_quiet(jr.rec.fp);
+      if (jr.op == Byte{1}) {
+        if (!prev) ++count_;
+        delta_[jr.rec.fp] = IndexEntry{jr.rec.manifest, jr.rec.offset};
+        bloom_.insert(jr.rec.fp.prefix64());
+      } else {
+        if (prev) --count_;
+        delta_[jr.rec.fp] = std::nullopt;
+      }
+    }
+  }
+}
+
+void PersistentIndex::sweep_stale_objects() {
+  // Remove generations not named by meta and journal segments outside the
+  // live window — leftovers of a crash between commit and cleanup.
+  std::vector<std::string> stale;
+  for (const auto& name : backend_.list(Ns::kIndex)) {
+    if (name.rfind("shard-", 0) == 0) {
+      const auto dash = name.find("-g");
+      if (dash == std::string::npos) continue;
+      const std::uint32_t shard = static_cast<std::uint32_t>(
+          std::strtoul(name.c_str() + 6, nullptr, 10));
+      const std::uint32_t gen = static_cast<std::uint32_t>(
+          std::strtoul(name.c_str() + dash + 2, nullptr, 10));
+      if (shard >= cfg_.shards || gen != gens_[shard]) stale.push_back(name);
+    } else if (name.rfind("journal-", 0) == 0) {
+      const std::uint64_t seq = std::strtoull(name.c_str() + 8, nullptr, 10);
+      if (seq < first_seq_ || seq >= next_seq_) stale.push_back(name);
+    }
+  }
+  for (const auto& name : stale) backend_.remove(Ns::kIndex, name);
+}
+
+void PersistentIndex::rebuild_from_hooks() {
+  for (const auto& name : backend_.list(Ns::kIndex)) {
+    backend_.remove(Ns::kIndex, name);
+  }
+  gens_.assign(cfg_.shards, 0);
+  first_seq_ = next_seq_ = 0;
+  delta_.clear();
+  pending_.clear();
+  pending_count_ = 0;
+  count_ = 0;
+  bloom_ = make_bloom(cfg_);
+
+  std::vector<std::vector<index_detail::Rec>> pages(cfg_.shards);
+  for (const auto& name : backend_.list(Ns::kHook)) {
+    const auto bytes = hex_decode(name);
+    if (!bytes || bytes->size() != Digest::kSize) continue;
+    const Digest fp = read_digest(bytes->data());
+    std::optional<ByteVec> target;
+    try {
+      target = backend_.get(Ns::kHook, name);
+    } catch (const StoreError&) {
+      continue;  // damaged hook: the entry degrades to a missed duplicate
+    }
+    if (!target || target->size() != Digest::kSize) continue;
+    index_detail::Rec rec;
+    rec.fp = fp;
+    rec.manifest = read_digest(target->data());
+    rec.offset = 0;  // unknown after rebuild; engines confirm via manifest
+    pages[shard_of(fp)].push_back(rec);
+  }
+  for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
+    auto& recs = pages[shard];
+    std::sort(recs.begin(), recs.end(), rec_less);
+    recs.erase(std::unique(recs.begin(), recs.end(),
+                           [](const index_detail::Rec& a,
+                              const index_detail::Rec& b) {
+                             return a.fp == b.fp;
+                           }),
+               recs.end());
+    count_ += recs.size();
+    for (const auto& rec : recs) bloom_.insert(rec.fp.prefix64());
+    if (!recs.empty()) {
+      Page page;
+      page.recs = std::move(recs);
+      write_page_at(shard, 0, page);
+    }
+  }
+  page_count_ = count_;
+  write_meta();
+  write_bloom();
+}
+
+std::uint64_t PersistentIndex::ram_bytes_locked() const {
+  return bloom_.size_bytes() + cache_.total_weight() +
+         delta_.size() * kDeltaEntryRamBytes + pending_.capacity();
+}
+
+void PersistentIndex::note_ram() {
+  ram_high_water_ = std::max(ram_high_water_, ram_bytes_locked());
+  page_cache_high_water_ =
+      std::max(page_cache_high_water_, cache_.total_weight());
+}
+
+void PersistentIndex::save_warm_list(const std::vector<Digest>& names) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ByteVec payload;
+  payload.reserve(16 + names.size() * Digest::kSize);
+  append_le(payload, kWarmMagic);
+  append_le(payload, kFormatVersion);
+  append_le(payload, static_cast<std::uint64_t>(names.size()));
+  for (const auto& name : names) append_digest(payload, name);
+  backend_.put(Ns::kIndex, kWarmName, framing::seal_object(payload));
+}
+
+std::vector<Digest> PersistentIndex::load_warm_list() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  const auto payload = get_unsealed(backend_, kWarmName);
+  if (!payload) return {};
+  constexpr std::size_t kHeader = 4 + 4 + 8;
+  if (payload->size() < kHeader) return {};
+  if (load_le<std::uint32_t>(payload->data()) != kWarmMagic) return {};
+  if (load_le<std::uint32_t>(payload->data() + 4) != kFormatVersion) return {};
+  const auto count = load_le<std::uint64_t>(payload->data() + 8);
+  if (payload->size() != kHeader + count * Digest::kSize) return {};
+  std::vector<Digest> names;
+  names.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i) {
+    names.push_back(read_digest(payload->data() + kHeader + i * Digest::kSize));
+  }
+  return names;
+}
+
+void PersistentIndex::save_aux(const std::string& name, ByteSpan payload) {
+  std::lock_guard<std::mutex> lock(mu_);
+  backend_.put(Ns::kIndex, "aux-" + name, framing::seal_object(payload));
+}
+
+std::optional<ByteVec> PersistentIndex::load_aux(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return get_unsealed(backend_, "aux-" + name);
+}
+
+bool index_present(const StorageBackend& backend) {
+  return PersistentIndex::present(backend);
+}
+
+IndexCheckReport check_index(const StorageBackend& backend) {
+  IndexCheckReport report;
+  const auto meta_payload = get_unsealed(backend, kMetaName);
+  const auto meta = meta_payload ? parse_meta(*meta_payload) : std::nullopt;
+  if (!meta) {
+    if (backend.exists(Ns::kIndex, kMetaName)) ++report.corrupt_objects;
+    return report;
+  }
+  report.meta_ok = true;
+
+  std::unordered_map<Digest, Digest, DigestHasher> live;
+  for (std::uint32_t shard = 0; shard < meta->shards; ++shard) {
+    const std::string name = shard_object_name(shard, meta->gens[shard]);
+    if (!backend.exists(Ns::kIndex, name)) continue;
+    const auto payload = get_unsealed(backend, name);
+    const auto recs = payload ? parse_page(*payload, shard) : std::nullopt;
+    if (!recs) {
+      ++report.corrupt_objects;
+      continue;
+    }
+    for (const auto& rec : *recs) live.insert_or_assign(rec.fp, rec.manifest);
+  }
+  for (std::uint64_t seq = meta->first_seq;; ++seq) {
+    if (!backend.exists(Ns::kIndex, journal_object_name(seq))) break;
+    const auto payload = get_unsealed(backend, journal_object_name(seq));
+    const auto recs = payload ? parse_journal(*payload) : std::nullopt;
+    if (!recs) {
+      ++report.corrupt_objects;
+      break;
+    }
+    for (const auto& jr : *recs) {
+      if (jr.op == Byte{1}) {
+        live.insert_or_assign(jr.rec.fp, jr.rec.manifest);
+      } else {
+        live.erase(jr.rec.fp);
+      }
+    }
+  }
+
+  report.entries = live.size();
+  for (const auto& [fp, manifest] : live) {
+    if (!backend.exists(Ns::kManifest, manifest.hex())) ++report.stale_entries;
+  }
+  for (const auto& name : backend.list(Ns::kHook)) {
+    const auto bytes = hex_decode(name);
+    if (!bytes || bytes->size() != Digest::kSize) continue;
+    if (live.find(read_digest(bytes->data())) == live.end()) {
+      ++report.unindexed_hooks;
+    }
+  }
+  return report;
+}
+
+void rebuild_index(StorageBackend& backend, PersistentIndexConfig config) {
+  // Preserve the persisted geometry when the old meta is readable.
+  if (const auto meta_payload = get_unsealed(backend, kMetaName)) {
+    if (const auto meta = parse_meta(*meta_payload)) {
+      config.shards = meta->shards;
+    }
+  }
+  for (const auto& name : backend.list(Ns::kIndex)) {
+    backend.remove(Ns::kIndex, name);
+  }
+  // A fresh PersistentIndex over the cleared namespace, re-fed from the
+  // hooks (the authoritative fingerprint source), then compacted so the
+  // result is pure bucket pages with an empty journal.
+  PersistentIndex index(backend, config);
+  for (const auto& name : backend.list(Ns::kHook)) {
+    const auto bytes = hex_decode(name);
+    if (!bytes || bytes->size() != Digest::kSize) continue;
+    Digest fp;
+    std::copy(bytes->begin(), bytes->end(), fp.bytes.begin());
+    std::optional<ByteVec> target;
+    try {
+      target = backend.get(Ns::kHook, name);
+    } catch (const StoreError&) {
+      continue;
+    }
+    if (!target || target->size() != Digest::kSize) continue;
+    Digest manifest;
+    std::copy(target->begin(), target->end(), manifest.bytes.begin());
+    index.put(fp, IndexEntry{manifest, 0});
+  }
+  index.compact();
+  index.flush();
+}
+
+}  // namespace mhd

@@ -68,6 +68,8 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"transient_retries\":" << r.stats.transient_retries
       << ",\"manifest_loads\":" << r.manifest_loads
       << ",\"index_ram_bytes\":" << r.index_ram_bytes
+      << ",\"index_impl\":\"" << json_escape(r.index_impl) << "\""
+      << ",\"index_entries\":" << r.index_entries
       << ",\"total_disk_accesses\":" << r.stats.total_accesses()
       << ",\"dedup_seconds\":" << num(r.dedup_seconds)
       << ",\"copy_seconds\":" << num(r.copy_seconds)

@@ -87,6 +87,10 @@ ExperimentResult summarize(const std::string& algorithm,
   r.metadata = MetadataBreakdown::from(backend);
   r.manifest_loads = engine.manifest_loads();
   r.index_ram_bytes = engine.index_ram_bytes();
+  r.index_impl = engine.index_impl_name();
+  if (const FingerprintIndex* fp = engine.fingerprint_index()) {
+    r.index_entries = fp->entry_count();
+  }
   r.ingest_threads = engine.config().ingest_threads;
   r.pipeline = engine.pipeline_stats();
 

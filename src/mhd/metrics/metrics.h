@@ -66,7 +66,9 @@ struct ExperimentResult {
   EngineCounters counters;
   StorageStats stats;
   std::uint64_t manifest_loads = 0;   ///< TABLE V
-  std::uint64_t index_ram_bytes = 0;  ///< TABLE III
+  std::uint64_t index_ram_bytes = 0;  ///< TABLE III (RAM high-water)
+  std::string index_impl = "mem";     ///< fingerprint index: "mem" | "disk"
+  std::uint64_t index_entries = 0;    ///< fingerprints the index knows
 
   /// Staged-ingest configuration and per-stage observability (empty when
   /// the run ingested serially, i.e. ingest_threads == 0).

@@ -22,6 +22,10 @@ enum class Ns : int {
   kHook,
   kManifest,
   kFileManifest,
+  /// Persistent fingerprint-index objects (bucket pages, journal, bloom
+  /// snapshot, meta — see index/persistent_index.h). Advisory: never
+  /// needed to restore data, rebuildable from the hooks namespace.
+  kIndex,
   kCount,
 };
 

@@ -3,6 +3,7 @@
 #include <unordered_set>
 
 #include "mhd/format/file_manifest.h"
+#include "mhd/index/persistent_index.h"
 #include "mhd/format/manifest.h"
 #include "mhd/hash/sha1.h"
 #include "mhd/store/store_errors.h"
@@ -122,6 +123,19 @@ ScrubReport scrub_repository(const StorageBackend& backend) {
     }
   }
 
+  // Persistent fingerprint index (when present): every entry must point
+  // at an existing manifest — a stale entry means a future backup could
+  // anchor on deleted data. Unindexed hooks are informational (a lost
+  // journal tail; the duplicates are re-learned through the hooks).
+  if (index_present(backend)) {
+    const IndexCheckReport index = check_index(backend);
+    report.index_entries = index.entries;
+    report.stale_index_entries = index.stale_entries;
+    report.unindexed_hooks = index.unindexed_hooks;
+    report.corrupt_objects += index.corrupt_objects;
+    if (!index.meta_ok) ++report.corrupt_objects;
+  }
+
   report.chunks = backend.object_count(Ns::kDiskChunk);
   return report;
 }
@@ -183,6 +197,18 @@ GcReport collect_garbage(StorageBackend& backend) {
       backend.remove(Ns::kHook, name);
       ++report.deleted_hooks;
     }
+  }
+
+  // The persistent fingerprint index (when present) may still map the
+  // swept manifests' fingerprints; rebuild it from the surviving hooks so
+  // no stale entry can ever resurrect a deleted chunk.
+  if (index_present(backend)) {
+    const std::uint64_t before = check_index(backend).entries;
+    rebuild_index(backend);
+    report.index_rebuilt = true;
+    report.index_entries = check_index(backend).entries;
+    report.dropped_index_entries =
+        before > report.index_entries ? before - report.index_entries : 0;
   }
   return report;
 }

@@ -35,10 +35,16 @@ struct ScrubReport {
   std::uint64_t unparseable = 0;
   std::uint64_t corrupt_objects = 0;  ///< CRC-failing reads (framed stores)
 
+  // Persistent fingerprint index (zero when no index is present).
+  std::uint64_t index_entries = 0;
+  std::uint64_t stale_index_entries = 0;  ///< entry -> missing manifest
+  std::uint64_t unindexed_hooks = 0;      ///< informational (lost journal)
+
   bool clean() const {
     return broken_file_ranges == 0 && manifest_hash_mismatches == 0 &&
            manifest_coverage_errors == 0 && dangling_hooks == 0 &&
-           unparseable == 0 && corrupt_objects == 0;
+           unparseable == 0 && corrupt_objects == 0 &&
+           stale_index_entries == 0;
   }
 };
 
@@ -55,6 +61,11 @@ struct GcReport {
   std::uint64_t deleted_manifests = 0;
   std::uint64_t deleted_hooks = 0;
   std::uint64_t reclaimed_bytes = 0;
+  /// Persistent fingerprint index, when one exists: GC rebuilds it from
+  /// the surviving hooks so swept manifests leave no stale entries.
+  bool index_rebuilt = false;
+  std::uint64_t index_entries = 0;
+  std::uint64_t dropped_index_entries = 0;
 };
 
 /// Mark-and-sweep garbage collection (see file comment). Safe to run at

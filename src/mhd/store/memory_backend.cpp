@@ -10,6 +10,7 @@ const char* ns_name(Ns ns) {
     case Ns::kHook: return "hooks";
     case Ns::kManifest: return "manifests";
     case Ns::kFileManifest: return "filemanifests";
+    case Ns::kIndex: return "index";
     case Ns::kCount: break;
   }
   return "?";

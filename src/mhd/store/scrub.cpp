@@ -10,6 +10,7 @@
 #include "mhd/format/file_manifest.h"
 #include "mhd/format/manifest.h"
 #include "mhd/hash/digest.h"
+#include "mhd/index/persistent_index.h"
 #include "mhd/store/file_backend.h"
 #include "mhd/store/framing.h"
 #include "mhd/util/hex.h"
@@ -49,6 +50,7 @@ const char* fsck_kind_name(FsckIssue::Kind kind) {
     case FsckIssue::Kind::kDanglingHook: return "dangling-hook";
     case FsckIssue::Kind::kBrokenRef: return "broken-ref";
     case FsckIssue::Kind::kOrphan: return "orphan";
+    case FsckIssue::Kind::kIndexInconsistent: return "index-inconsistent";
   }
   return "?";
 }
@@ -59,6 +61,7 @@ const char* fsck_action_name(FsckIssue::Action action) {
     case FsckIssue::Action::kTruncatedSealed: return "truncated+sealed";
     case FsckIssue::Action::kQuarantined: return "quarantined";
     case FsckIssue::Action::kRemoved: return "removed";
+    case FsckIssue::Action::kRebuilt: return "rebuilt";
   }
   return "?";
 }
@@ -70,6 +73,7 @@ std::string FsckReport::to_string() const {
   if (corrupt != 0) out << ", " << corrupt << " corrupt";
   if (dangling_hooks != 0) out << ", " << dangling_hooks << " dangling hooks";
   if (broken_refs != 0) out << ", " << broken_refs << " broken refs";
+  if (index_issues != 0) out << ", " << index_issues << " index issues";
   if (orphans != 0) out << ", " << orphans << " orphans";
   if (repaired != 0) {
     out << "; repaired " << repaired << " (" << salvaged_bytes
@@ -157,6 +161,28 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
       rep.issues.push_back(std::move(issue));
     }
   }
+  // --- Pass 1c: index objects (sealed; advisory, rebuildable) -----------
+  bool index_damaged = false;
+  for (const auto& name : raw.list(Ns::kIndex)) {
+    ++rep.objects;
+    const auto bytes = raw.get(Ns::kIndex, name);
+    if (!bytes) continue;
+    if (framing::unseal_object(*bytes)) {
+      ++rep.clean_objects;
+      continue;
+    }
+    ++rep.corrupt;
+    index_damaged = true;
+    FsckIssue issue{Ns::kIndex, name, FsckIssue::Kind::kCorrupt,
+                    "trailer CRC/structure mismatch", {}};
+    if (repair) {
+      quarantine(raw, Ns::kIndex, name, *bytes);
+      issue.action = FsckIssue::Action::kQuarantined;
+      ++rep.repaired;
+    }
+    rep.issues.push_back(std::move(issue));
+  }
+
   const auto& hooks = payloads[0];
   const auto& manifests = payloads[1];
   const auto& file_manifests = payloads[2];
@@ -217,6 +243,37 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
       ++rep.repaired;
     }
     rep.issues.push_back(std::move(issue));
+  }
+
+  // --- Pass 3: fingerprint index vs live hooks/manifests ----------------
+  // The index is advisory: any inconsistency (torn objects, a missing
+  // commit point, entries naming removed manifests) is repaired by
+  // rebuilding from the hooks, never by touching user data.
+  if (raw.object_count(Ns::kIndex) > 0 || index_damaged) {
+    const IndexCheckReport index = check_index(raw);
+    rep.index_entries = index.entries;
+    rep.stale_index_entries = index.stale_entries;
+    if (!index.meta_ok || index.stale_entries > 0 ||
+        index.corrupt_objects > 0 || index_damaged) {
+      ++rep.index_issues;
+      FsckIssue issue{
+          Ns::kIndex, "meta", FsckIssue::Kind::kIndexInconsistent,
+          !index.meta_ok
+              ? "index objects present but meta unreadable"
+              : std::to_string(index.stale_entries) + " stale entries, " +
+                    std::to_string(index.corrupt_objects) +
+                    " corrupt objects",
+          {}};
+      if (repair) {
+        rebuild_index(raw);
+        const IndexCheckReport after = check_index(raw);
+        rep.index_entries = after.entries;
+        rep.stale_index_entries = after.stale_entries;
+        issue.action = FsckIssue::Action::kRebuilt;
+        ++rep.repaired;
+      }
+      rep.issues.push_back(std::move(issue));
+    }
   }
 
   for (const auto& [name, logical] : chunk_logical) {

@@ -20,7 +20,10 @@
 //     when the backend is a FileBackend the bytes are preserved under
 //     <root>/quarantine/<namespace>/ for offline forensics;
 //   * dangling hooks are dropped (they are a rebuildable similarity
-//     index, never user data).
+//     index, never user data);
+//   * a persistent fingerprint index that is torn, stale (entries naming
+//     quarantined manifests), or missing its meta is rebuilt from the
+//     hooks namespace — the index is advisory and never user data.
 // Broken references and orphans are reported, never auto-deleted.
 //
 // Used by examples/fsck_cli.cpp and the crash-recovery harness: crash at
@@ -42,12 +45,14 @@ struct FsckIssue {
     kDanglingHook,  ///< hook -> missing manifest
     kBrokenRef,     ///< FileManifest/Manifest -> missing or short chunk
     kOrphan,        ///< clean chunk unreachable from any FileManifest
+    kIndexInconsistent,  ///< fingerprint index stale/torn vs live objects
   };
   enum class Action {
     kNone,             ///< reported only
     kTruncatedSealed,  ///< torn tail cut at last intact record + resealed
     kQuarantined,      ///< removed; bytes preserved under quarantine/
     kRemoved,          ///< dropped (dangling hooks)
+    kRebuilt,          ///< fingerprint index rebuilt from the hooks
   };
 
   Ns ns;
@@ -70,12 +75,16 @@ struct FsckReport {
   std::uint64_t orphans = 0;
   std::uint64_t repaired = 0;
   std::uint64_t salvaged_bytes = 0;  ///< logical bytes kept from torn tails
+  /// Persistent fingerprint index (zero when no index is present).
+  std::uint64_t index_entries = 0;
+  std::uint64_t stale_index_entries = 0;  ///< entry -> missing manifest
+  std::uint64_t index_issues = 0;  ///< inconsistent index structures found
   std::vector<FsckIssue> issues;
 
   /// Orphans are informational; everything else dirties the repository.
   bool clean() const {
     return torn == 0 && corrupt == 0 && dangling_hooks == 0 &&
-           broken_refs == 0;
+           broken_refs == 0 && index_issues == 0;
   }
 
   std::string to_string() const;

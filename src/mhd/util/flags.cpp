@@ -79,6 +79,54 @@ std::uint64_t Flags::get_uint(const std::string& key, std::uint64_t def,
   return value;
 }
 
+std::uint64_t Flags::get_size(const std::string& key, std::uint64_t def,
+                              std::uint64_t min_value,
+                              std::uint64_t max_value,
+                              std::uint64_t unit) const {
+  const auto it = values_.find(key);
+  if (it == values_.end()) {
+    return def;
+  }
+  std::string digits = it->second;
+  std::uint64_t multiplier = unit == 0 ? 1 : unit;
+  if (!digits.empty()) {
+    switch (digits.back()) {
+      case 'k': case 'K': multiplier = 1ull << 10; digits.pop_back(); break;
+      case 'm': case 'M': multiplier = 1ull << 20; digits.pop_back(); break;
+      case 'g': case 'G': multiplier = 1ull << 30; digits.pop_back(); break;
+      default: break;
+    }
+  }
+  std::uint64_t value = 0;
+  bool ok = !digits.empty();
+  for (const char c : digits) {
+    if (c < '0' || c > '9') {
+      ok = false;
+      break;
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {  // overflow
+      ok = false;
+      break;
+    }
+    value = value * 10 + digit;
+  }
+  if (ok && value != 0 && multiplier > UINT64_MAX / value) ok = false;
+  if (!ok) {
+    throw std::invalid_argument(
+        "--" + key + "=" + it->second +
+        " (expected a non-negative size, optionally suffixed K/M/G)");
+  }
+  value *= multiplier;
+  if (value < min_value || value > max_value) {
+    throw std::invalid_argument(
+        "--" + key + "=" + it->second + " (allowed range: " +
+        std::to_string(min_value) + ".." + std::to_string(max_value) +
+        " bytes)");
+  }
+  return value;
+}
+
 std::string Flags::get_choice(const std::string& key,
                               const std::vector<std::string>& allowed,
                               const std::string& def) const {

@@ -33,6 +33,17 @@ class Flags {
                          std::uint64_t min_value = 0,
                          std::uint64_t max_value = UINT64_MAX) const;
 
+  /// Byte-size flag accepting K/M/G suffixes (powers of 1024): "--x=4M",
+  /// "--x=128K", "--x=1G". A plain number is multiplied by `unit` (1 for
+  /// flags taking bytes; 1<<20 for flags whose bare number means MB, like
+  /// --index-cache-mb). Returns `def` (already in bytes) when absent;
+  /// throws std::invalid_argument — get_uint conventions — on malformed
+  /// values, overflow, or a scaled result outside [min_value, max_value].
+  std::uint64_t get_size(const std::string& key, std::uint64_t def,
+                         std::uint64_t min_value = 0,
+                         std::uint64_t max_value = UINT64_MAX,
+                         std::uint64_t unit = 1) const;
+
   /// Value of an enumerated flag, e.g. --chunker-impl={auto,scalar,simd}:
   /// returns `def` when absent, and throws std::invalid_argument naming the
   /// allowed values when the given value is not one of `allowed`.

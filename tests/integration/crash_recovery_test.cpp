@@ -119,6 +119,171 @@ TEST_P(CrashRecoveryTest, CrashAtEveryPhaseThenFsckThenResumeRestoresExactly) {
   }
 }
 
+// --- Persistent-index crash windows ---------------------------------------
+//
+// The generic sweep above crashes at evenly spaced ops; these two tests aim
+// the crash directly at the index's own durability machinery: mid
+// journal-segment append and mid compaction (shard page / meta writes).
+// Either way the repo must fsck clean, resume, and restore byte-exactly —
+// the index is advisory and must never take user data down with it.
+
+/// Records the (ns, name) of every mutating op, 1-based, in the exact
+/// order FaultInjectingBackend counts them — so a test can aim crash@N at
+/// a specific object class.
+class RecordingBackend final : public StorageBackend {
+ public:
+  explicit RecordingBackend(StorageBackend& inner) : inner_(inner) {}
+
+  void put(Ns ns, const std::string& name, ByteSpan data) override {
+    note(ns, name);
+    inner_.put(ns, name, data);
+  }
+  void append(Ns ns, const std::string& name, ByteSpan data) override {
+    note(ns, name);
+    inner_.append(ns, name, data);
+  }
+  bool remove(Ns ns, const std::string& name) override {
+    note(ns, name);
+    return inner_.remove(ns, name);
+  }
+  std::optional<ByteVec> get(Ns ns, const std::string& name) const override {
+    return inner_.get(ns, name);
+  }
+  std::optional<ByteVec> get_range(Ns ns, const std::string& name,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) const override {
+    return inner_.get_range(ns, name, offset, length);
+  }
+  bool exists(Ns ns, const std::string& name) const override {
+    return inner_.exists(ns, name);
+  }
+  std::uint64_t object_count(Ns ns) const override {
+    return inner_.object_count(ns);
+  }
+  std::uint64_t content_bytes(Ns ns) const override {
+    return inner_.content_bytes(ns);
+  }
+  std::vector<std::string> list(Ns ns) const override {
+    return inner_.list(ns);
+  }
+  void seal(Ns ns, const std::string& name) override {
+    inner_.seal(ns, name);
+  }
+
+  /// 1-based op numbers whose object name starts with `prefix` in kIndex.
+  std::vector<std::uint64_t> index_ops_with_prefix(
+      const std::string& prefix) const {
+    std::vector<std::uint64_t> out;
+    for (std::size_t i = 0; i < ops_.size(); ++i) {
+      if (ops_[i].first == Ns::kIndex &&
+          ops_[i].second.rfind(prefix, 0) == 0) {
+        out.push_back(i + 1);
+      }
+    }
+    return out;
+  }
+
+ private:
+  void note(Ns ns, const std::string& name) { ops_.emplace_back(ns, name); }
+
+  StorageBackend& inner_;
+  std::vector<std::pair<Ns, std::string>> ops_;
+};
+
+EngineConfig disk_index_config() {
+  EngineConfig cfg = engine_config();
+  cfg.index_impl = IndexImpl::kDisk;
+  // Shrunk geometry so the test corpus crosses several journal segments
+  // and at least one compaction during ingest.
+  cfg.index_shards = 8;
+  cfg.index_journal_batch = 4;
+  cfg.index_compact_threshold = 48;
+  return cfg;
+}
+
+bool ingest_all_disk_index(const Corpus& corpus, StorageBackend& backend) {
+  ObjectStore store(backend);
+  // Construction is inside the try: a crash aimed at the index's very
+  // first meta write fires in the PersistentIndex constructor.
+  try {
+    auto engine = make_engine("bf-mhd", store, disk_index_config());
+    for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+      auto src = corpus.open(i);
+      engine->add_file(corpus.files()[i].name, *src);
+    }
+    engine->finish();
+  } catch (const CrashStopError&) {
+    return false;
+  }
+  return true;
+}
+
+void crash_at_index_ops(const std::string& op_prefix) {
+  const Corpus corpus(small_corpus());
+
+  // Dry run: map every mutation number to the object it wrote, so the
+  // crash points below land exactly on the index ops we target.
+  std::vector<std::uint64_t> target_ops;
+  {
+    MemoryBackend scratch;
+    RecordingBackend recorder(scratch);
+    FramedBackend framed(recorder);
+    ASSERT_TRUE(ingest_all_disk_index(corpus, framed));
+    target_ops = recorder.index_ops_with_prefix(op_prefix);
+  }
+  ASSERT_FALSE(target_ops.empty())
+      << "ingest never wrote a " << op_prefix << "* index object — the "
+      << "shrunken geometry no longer exercises this crash window";
+
+  // First, middle and last occurrence: covers segment 0, steady state,
+  // and the final flush (for compaction: first/last page + meta commit).
+  std::set<std::uint64_t> crash_points = {
+      target_ops.front(), target_ops[target_ops.size() / 2],
+      target_ops.back()};
+
+  for (const std::uint64_t k : crash_points) {
+    SCOPED_TRACE("crash@" + std::to_string(k) + " (" + op_prefix + "*)");
+    MemoryBackend raw;
+    {
+      FaultPlan plan;
+      plan.crash = FaultPlan::Tear{k, 0.5};  // half the write lands
+      FaultInjectingBackend faulty(raw, plan);
+      FramedBackend framed(faulty);
+      ASSERT_FALSE(ingest_all_disk_index(corpus, framed));
+    }
+
+    fsck_repository(raw, /*repair=*/true);
+    const auto after = fsck_repository(raw, /*repair=*/false);
+    EXPECT_TRUE(after.clean()) << after.to_string();
+
+    FramedBackend recovered(raw);
+    ASSERT_TRUE(ingest_all_disk_index(corpus, recovered));
+
+    ObjectStore store(recovered);
+    auto engine = make_engine("bf-mhd", store, disk_index_config());
+    for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+      SCOPED_TRACE(corpus.files()[i].name);
+      auto src = corpus.open(i);
+      const ByteVec original = read_all(*src);
+      const auto restored = engine->reconstruct(corpus.files()[i].name);
+      ASSERT_TRUE(restored.has_value());
+      ASSERT_TRUE(equal(*restored, original));
+    }
+  }
+}
+
+TEST(IndexCrashRecovery, CrashDuringJournalAppendThenFsckRestoresExactly) {
+  crash_at_index_ops("journal-");
+}
+
+TEST(IndexCrashRecovery, CrashDuringCompactionThenFsckRestoresExactly) {
+  crash_at_index_ops("shard-");
+}
+
+TEST(IndexCrashRecovery, CrashAtMetaCommitThenFsckRestoresExactly) {
+  crash_at_index_ops("meta");
+}
+
 std::vector<std::string> all_engines() {
   std::vector<std::string> engines = engine_names();
   const auto& extensions = extension_engine_names();

@@ -116,6 +116,62 @@ TEST(Flags, UintRejectsOverflow) {
                std::invalid_argument);
 }
 
+TEST(Flags, SizeParsesSuffixes) {
+  EXPECT_EQ(make_flags({"--x=4"}).get_size("x", 0), 4u);
+  EXPECT_EQ(make_flags({"--x=4K"}).get_size("x", 0), 4096u);
+  EXPECT_EQ(make_flags({"--x=4k"}).get_size("x", 0), 4096u);
+  EXPECT_EQ(make_flags({"--x=2M"}).get_size("x", 0), 2ull << 20);
+  EXPECT_EQ(make_flags({"--x=3g"}).get_size("x", 0), 3ull << 30);
+  EXPECT_EQ(make_flags({"--x=0"}).get_size("x", 7), 0u);
+}
+
+TEST(Flags, SizeAppliesUnitToBareNumbersOnly) {
+  // --index-cache-mb style: a bare "8" means 8 MB, an explicit "512K"
+  // overrides the unit.
+  const auto f = make_flags({"--cache=8"});
+  EXPECT_EQ(f.get_size("cache", 0, 0, UINT64_MAX, 1ull << 20), 8ull << 20);
+  const auto g = make_flags({"--cache=512K"});
+  EXPECT_EQ(g.get_size("cache", 0, 0, UINT64_MAX, 1ull << 20), 512u << 10);
+  // The default is already in bytes: no unit scaling when absent.
+  EXPECT_EQ(make_flags({}).get_size("cache", 123, 0, UINT64_MAX, 1ull << 20),
+            123u);
+}
+
+TEST(Flags, SizeEnforcesRangeOnScaledValue) {
+  const auto f = make_flags({"--cache=1"});
+  // 1 MB after scaling is inside [64K, 1G]...
+  EXPECT_EQ(f.get_size("cache", 0, 64u << 10, 1u << 30, 1ull << 20),
+            1ull << 20);
+  // ...but 1 raw byte (unit 1) is below the 64K floor.
+  EXPECT_THROW(f.get_size("cache", 0, 64u << 10, 1u << 30),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--cache=2G"})
+                   .get_size("cache", 0, 0, 1u << 30),
+               std::invalid_argument);
+}
+
+TEST(Flags, SizeRejectsMalformedAndOverflow) {
+  EXPECT_THROW(make_flags({"--x=-1"}).get_size("x", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--x=4KB"}).get_size("x", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--x=K"}).get_size("x", 0),
+               std::invalid_argument);
+  EXPECT_THROW(make_flags({"--x="}).get_size("x", 0), std::invalid_argument);
+  EXPECT_THROW(make_flags({"--x"}).get_size("x", 0), std::invalid_argument);
+  // 2^64 bytes: overflows in the digit loop.
+  EXPECT_THROW(make_flags({"--x=18446744073709551616"}).get_size("x", 0),
+               std::invalid_argument);
+  // Fits as a number but overflows when scaled by the suffix.
+  EXPECT_THROW(make_flags({"--x=99999999999999999G"}).get_size("x", 0),
+               std::invalid_argument);
+}
+
+TEST(Flags, SizeRejectsDuplicateDefinitions) {
+  EXPECT_THROW(make_flags({"--cache=8", "--cache=16M"}),
+               std::invalid_argument);
+}
+
 TEST(Flags, RejectsDuplicateDefinitions) {
   EXPECT_THROW(make_flags({"--ecs=512", "--ecs=1024"}),
                std::invalid_argument);
