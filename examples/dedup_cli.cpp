@@ -36,13 +36,24 @@
 //          --fault-plan=SPEC   inject deterministic storage faults below
 //          the framing, e.g. --fault-plan=torn@120:0.5,readerr@3x2,seed:7
 //          (see store/fault_backend.h for the mini-language)
+//          --container-mb=N   pack chunk data into fixed-size containers
+//          (the fragmentation-aware layout). Sticky like --framed: store
+//          drops a `container-size` marker recording the size and
+//          every later command reads through the container layer without
+//          the flag. --restore-cache-mb budgets the restore path's
+//          whole-container LRU cache.
+//          --rewrite=none|cbr|har   dedup-time fragmentation control on
+//          container repos: cbr caps distinct old containers per segment,
+//          har rewrites duplicates out of containers that went sparse.
 #include <cstdio>
 #include <fstream>
 #include <optional>
 
 #include "mhd/core/mhd_engine.h"
+#include "mhd/dedup/rewrite.h"
 #include "mhd/index/persistent_index.h"
 #include "mhd/metrics/metrics.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/file_backend.h"
 #include "mhd/store/framed_backend.h"
@@ -102,16 +113,48 @@ class BackendStack {
       framed_.emplace(*top);
       top = &*framed_;
     }
+    // The container layout is likewise a repository property: the
+    // `container-size` marker records the container size chosen at store
+    // time, so restores/gc/scrub always resolve chunk names through the
+    // extent maps instead of expecting per-chunk objects. (It cannot be
+    // named `containers` — FileBackend owns a directory of that name.)
+    const std::string cmarker = root + "/container-size";
+    std::uint64_t container_bytes =
+        flags.get_size("container-mb", 0, 0, 1ull << 40, /*unit=*/1ull << 20);
+    if (container_bytes == 0) {
+      if (std::FILE* f = std::fopen(cmarker.c_str(), "rb")) {
+        unsigned long long v = 0;
+        if (std::fscanf(f, "%llu", &v) == 1) container_bytes = v;
+        std::fclose(f);
+      }
+    } else if (std::FILE* f = std::fopen(cmarker.c_str(), "wb")) {
+      std::fprintf(f, "%llu\n",
+                   static_cast<unsigned long long>(container_bytes));
+      std::fclose(f);
+    }
+    if (container_bytes != 0) {
+      ContainerConfig cc;
+      cc.container_bytes = container_bytes;
+      cc.cache_bytes =
+          flags.get_size("restore-cache-mb", cc.cache_bytes, 64ull << 10,
+                         1ull << 40, /*unit=*/1ull << 20);
+      containers_.emplace(*top, cc);
+      top = &*containers_;
+    }
     active_ = top;
   }
 
   StorageBackend& active() { return *active_; }
   FileBackend& file() { return file_; }
+  ContainerBackend* containers() {
+    return containers_ ? &*containers_ : nullptr;
+  }
 
  private:
   FileBackend file_;
   std::optional<FaultInjectingBackend> faulty_;
   std::optional<FramedBackend> framed_;
+  std::optional<ContainerBackend> containers_;
   StorageBackend* active_ = nullptr;
 };
 
@@ -141,6 +184,8 @@ EngineConfig config_from(const Flags& flags, const StorageBackend& backend) {
       "ingest-threads", flags.get_bool("pipeline", false) ? 4 : 0, 0, 256));
   cfg.pipeline_queue_depth = static_cast<std::uint32_t>(
       flags.get_uint("pipeline-queue-depth", 64, 1, 65536));
+  cfg.rewrite = *parse_rewrite_mode(
+      flags.get_choice("rewrite", {"none", "cbr", "capping", "har"}, "none"));
   return cfg;
 }
 
@@ -163,7 +208,25 @@ int cmd_store(const Flags& flags, bool verify_after) {
     engine.add_file(args[i], src);
     std::printf("stored %s\n", args[i].c_str());
   }
+  // One CLI invocation is one backup generation: fold this run's
+  // container utilization into HAR's history, then seal the open
+  // container so the repo on disk is all clean streams.
+  engine.end_snapshot();
   engine.finish();
+  if (auto* containers = stack.containers()) {
+    containers->flush();
+    const auto s = containers->stats();
+    const auto& rs = engine.counters();
+    std::printf("containers: %llu sealed, %.2f MB packed",
+                static_cast<unsigned long long>(s.containers_sealed),
+                s.packed_bytes / 1048576.0);
+    if (rs.rewritten_chunks != 0) {
+      std::printf(", %llu duplicate chunks rewritten (%.2f MB)",
+                  static_cast<unsigned long long>(rs.rewritten_chunks),
+                  rs.rewritten_bytes / 1048576.0);
+    }
+    std::printf("\n");
+  }
 
   const auto& c = engine.counters();
   std::printf("input %.2f MB, new data %.2f MB, duplicate %.2f MB (%llu "
@@ -235,6 +298,16 @@ int cmd_restore(const Flags& flags) {
   std::printf("restored %s -> %s (%llu bytes)\n", args[2].c_str(),
               args[3].c_str(),
               static_cast<unsigned long long>(reader->produced()));
+  if (auto* containers = stack.containers()) {
+    const auto s = containers->stats();
+    const double mb = reader->produced() / 1048576.0;
+    std::printf("  container reads %llu (%.3f per MB), cache hits %llu, "
+                "open-container hits %llu\n",
+                static_cast<unsigned long long>(s.container_reads),
+                mb > 0 ? s.container_reads / mb : 0.0,
+                static_cast<unsigned long long>(s.cache_hits),
+                static_cast<unsigned long long>(s.open_hits));
+  }
   return 0;
 }
 
@@ -272,6 +345,12 @@ int cmd_gc(const Flags& flags) {
               r.reclaimed_bytes / 1048576.0,
               static_cast<unsigned long long>(r.deleted_manifests),
               static_cast<unsigned long long>(r.deleted_hooks));
+  if (r.deleted_containers != 0) {
+    std::printf("gc: %llu fully-dead containers deleted (%.2f MB of packed "
+                "copies)\n",
+                static_cast<unsigned long long>(r.deleted_containers),
+                r.container_bytes_reclaimed / 1048576.0);
+  }
   if (r.index_rebuilt) {
     std::printf("gc: fingerprint index rebuilt, %llu entries kept, %llu "
                 "dropped\n",

@@ -18,6 +18,12 @@
 // informational and do not dirty the result). The corrupt/tear fixtures
 // write through the raw files, bypassing the backend — exactly the bit
 // rot and torn writes the framing exists to catch.
+//
+// Container repositories (dedup_cli --container-mb) need no extra flags:
+// fsck truncates torn container tails back to the last intact record,
+// quarantines corrupt chunk maps, and cross-checks every chunk map extent
+// against the surviving container bytes (--ns=containers / --ns=chunkmaps
+// aim the fixtures at that layout).
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
@@ -72,7 +78,7 @@ std::optional<std::filesystem::path> target_object(const Flags& flags,
   const auto ns = ns_from_string(flags.get("ns", def_ns));
   if (!ns) {
     std::fprintf(stderr, "unknown --ns (want diskchunks|hooks|manifests|"
-                         "filemanifests|index)\n");
+                         "filemanifests|index|containers|chunkmaps)\n");
     return std::nullopt;
   }
   const auto names = backend.list(*ns);

@@ -10,6 +10,9 @@
 //                    [--index-bloom-bits-per-key=10]
 //                    [--pipeline] [--ingest-threads=N]
 //                    [--framed] [--fault-plan=SPEC]
+//                    [--container-mb=N] [--rewrite=none|cbr|har]
+//                    [--cbr-segment-mb=4] [--cbr-cap=16] [--har-util=0.5]
+//                    [--restore-cache-mb=32] [--measure-restore]
 //                    [--verify] [--json]
 //
 // --pipeline enables the staged concurrent ingest (4 hash workers);
@@ -25,6 +28,14 @@
 // --fault-plan injects deterministic storage faults below the framing,
 // e.g. --fault-plan=torn@120:0.5,readerr@3x2,seed:7 (see
 // store/fault_backend.h for the mini-language).
+// --container-mb packs chunk data into fixed-size containers (the
+// fragmentation-aware layout; 0 = legacy per-chunk objects) and
+// --rewrite selects the dedup-time fragmentation control: cbr caps the
+// distinct old containers a segment may reference, har rewrites
+// duplicates into containers that went sparse across generations.
+// --restore-cache-mb budgets the restore path's whole-container LRU;
+// --measure-restore times a full streaming restore of the corpus after
+// ingest and reports restore MB/s, containers-read-per-MB and CFL.
 #include <cstdio>
 
 #include "mhd/metrics/json_export.h"
@@ -65,7 +76,22 @@ int main(int argc, char** argv) {
       flags.get_uint("pipeline-queue-depth", 64, 1, 65536));
   spec.engine.framed = flags.get_bool("framed", false);
   spec.engine.fault_plan = flags.get("fault-plan", "");
+  spec.engine.container_bytes =
+      flags.get_size("container-mb", 0, 0, 1ull << 40, /*unit=*/1ull << 20);
+  spec.engine.rewrite = *parse_rewrite_mode(
+      flags.get_choice("rewrite", {"none", "cbr", "capping", "har"}, "none"));
+  spec.engine.cbr_segment_bytes =
+      flags.get_size("cbr-segment-mb", spec.engine.cbr_segment_bytes,
+                     64ull << 10, 1ull << 40, /*unit=*/1ull << 20);
+  spec.engine.cbr_cap = static_cast<std::uint32_t>(
+      flags.get_uint("cbr-cap", spec.engine.cbr_cap, 1, 65536));
+  spec.engine.har_utilization =
+      flags.get_double("har-util", spec.engine.har_utilization);
+  spec.engine.restore_cache_bytes =
+      flags.get_size("restore-cache-mb", spec.engine.restore_cache_bytes,
+                     64ull << 10, 1ull << 40, /*unit=*/1ull << 20);
   spec.verify = flags.get_bool("verify", false);
+  spec.measure_restore = flags.get_bool("measure-restore", false);
 
   const auto size_mb = static_cast<std::uint64_t>(flags.get_int("size_mb", 48));
   const auto seed = static_cast<std::uint64_t>(flags.get_int("seed", 1));
@@ -110,6 +136,26 @@ int main(int argc, char** argv) {
   if (r.framed) {
     t.add_row({"framing overhead KB",
                TextTable::num(r.framing_overhead_bytes() / 1024.0, 1)});
+  }
+  if (r.container_bytes != 0) {
+    t.add_row({"container MB", TextTable::num(r.container_bytes / 1048576.0, 1)});
+    t.add_row({"containers sealed", TextTable::num(r.containers_sealed)});
+    t.add_row({"container packed MB",
+               TextTable::num(r.container_packed_bytes / 1048576.0, 2)});
+    t.add_row({"rewrite mode", r.rewrite_mode});
+    if (r.rewrite_mode != "none") {
+      t.add_row({"rewritten chunks", TextTable::num(r.counters.rewritten_chunks)});
+      t.add_row({"rewritten MB",
+                 TextTable::num(r.counters.rewritten_bytes / 1048576.0, 2)});
+      t.add_row({"rewrite ratio",
+                 TextTable::num(r.rewrite_ratio() * 100, 2) + "%"});
+    }
+  }
+  if (r.restore.bytes != 0) {
+    t.add_row({"restore MB/s", TextTable::num(r.restore.mb_per_s(), 1)});
+    t.add_row({"containers read / MB",
+               TextTable::num(r.restore.containers_read_per_mb(), 3)});
+    t.add_row({"CFL", TextTable::num(r.restore.cfl, 3)});
   }
   if (r.stats.transient_retries != 0) {
     t.add_row({"transient retries", TextTable::num(r.stats.transient_retries)});

@@ -1,6 +1,7 @@
 #include "mhd/core/manifest_cache.h"
 
 #include "mhd/index/mem_index.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/store_errors.h"
 
 namespace mhd {
@@ -9,6 +10,7 @@ ManifestCache::ManifestCache(ObjectStore& store, std::size_t capacity,
                              bool hook_flags, std::uint64_t max_bytes,
                              FingerprintIndex* index)
     : store_(store),
+      containers_(dynamic_cast<const ContainerBackend*>(&store.backend())),
       hook_flags_(hook_flags),
       lru_(
           capacity,
@@ -49,9 +51,20 @@ void ManifestCache::ensure_index(const Digest& name, Slot& slot) {
   slot.by_hash.clear();
   const auto& entries = slot.manifest.entries();
   slot.by_hash.reserve(entries.size());
+  const std::string chunk_hex =
+      containers_ ? slot.manifest.chunk_name().hex() : std::string();
   for (std::size_t i = 0; i < entries.size(); ++i) {
     slot.by_hash.emplace(entries[i].hash, i);
-    index_->put(entries[i].hash, IndexEntry{name, entries[i].offset});
+    IndexEntry ie{name, entries[i].offset};
+    if (containers_ != nullptr) {
+      // Location record: resolve the chunk's physical container so
+      // index-only consumers see placement (ContainerBackend::locate stays
+      // the authoritative query; nullopt leaves the kNoContainer sentinel).
+      if (const auto c = containers_->locate(chunk_hex, entries[i].offset)) {
+        ie.container = *c;
+      }
+    }
+    index_->put(entries[i].hash, ie);
   }
   for (const auto& hash : previous) {
     if (slot.by_hash.count(hash) > 0) continue;

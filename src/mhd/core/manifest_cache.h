@@ -33,6 +33,8 @@
 
 namespace mhd {
 
+class ContainerBackend;
+
 class ManifestCache {
  public:
   /// `hook_flags` selects the serialized entry format (MHD's 37-byte
@@ -112,6 +114,9 @@ class ManifestCache {
   void drop_from_index(const Digest& name, const Slot& slot);
 
   ObjectStore& store_;
+  /// Non-null when the store packs containers: index entries then carry
+  /// the chunk's container id as a location record (advisory hint).
+  const ContainerBackend* containers_ = nullptr;
   bool hook_flags_;
   LruCache<Digest, Slot, DigestHasher> lru_;
   std::unique_ptr<FingerprintIndex> owned_index_;  ///< when none injected

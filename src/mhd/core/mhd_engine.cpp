@@ -166,13 +166,22 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
     auto loc = find_anchor(chunk->hash);
     if (loc) {
       const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
-      if (e.size == chunk->bytes.size()) {
+      if (e.size == chunk->bytes.size() &&
+          admit_duplicate(loc->manifest->chunk_name(), e.offset, e.size)) {
+        // extend() may HHR-splice new entries into this manifest and
+        // reallocate its entry vector, so `e` dies here — keep the size.
+        const std::uint32_t anchor_size = e.size;
         end_dup_run();
         auto outcome =
             extender_.extend(*loc, *chunk, ctx.pending, pull_chunk);
         ++counters_.dup_slices;
         counters_.dup_chunks += outcome.dup_chunks;
         counters_.dup_bytes += outcome.dup_bytes;
+        // The extension walked past the anchor inside the same DiskChunk;
+        // the rewrite stream advances by everything the slice consumed.
+        if (outcome.dup_bytes > anchor_size) {
+          advance_rewrite_stream(outcome.dup_bytes - anchor_size);
+        }
         for (auto& seg : outcome.dup_segments) ctx.log.push_back(seg);
         // Unmatched prefetches re-enter the pipeline in stream order.
         while (!outcome.leftover.empty()) {
@@ -189,14 +198,15 @@ void MhdEngine::process_file(const std::string& file_name, ByteSource& data) {
     // end, so this side map covers e.g. repeated zero pages).
     if (const auto it = ctx.current.find(chunk->hash);
         it != ctx.current.end() &&
-        it->second.second == chunk->bytes.size()) {
+        it->second.second == chunk->bytes.size() &&
+        admit_duplicate(ctx.dig, it->second.first, it->second.second)) {
       note_duplicate(chunk->bytes.size());
       ctx.log.push_back({chunk->file_offset, ctx.dig, it->second.first,
                          it->second.second});
       recycle_chunk(std::move(chunk->bytes));
       continue;
     }
-    note_unique();
+    note_unique(chunk->bytes.size());
     ctx.pending.push_back(std::move(*chunk));
     if (ctx.pending.size() >= 2 * static_cast<std::size_t>(cfg_.sd)) {
       flush_pending(ctx, cfg_.sd);

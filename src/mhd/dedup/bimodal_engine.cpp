@@ -59,7 +59,8 @@ void BimodalEngine::store_small(FileCtx& ctx, ByteSpan bytes,
 }
 
 void BimodalEngine::emit_big(FileCtx& ctx, BigChunk& chunk, bool transition) {
-  if (chunk.dup) {
+  if (chunk.dup && admit_duplicate(chunk.dup->chunk_name, chunk.dup->offset,
+                                   chunk.dup->size)) {
     note_duplicate(chunk.dup->size);
     ctx.fm.add_range(chunk.dup->chunk_name, chunk.dup->offset, chunk.dup->size,
                      /*coalesce=*/false);
@@ -67,7 +68,7 @@ void BimodalEngine::emit_big(FileCtx& ctx, BigChunk& chunk, bool transition) {
   }
   if (!transition) {
     // Store the big chunk whole: one entry, one hook, one hash.
-    note_unique();
+    note_unique(chunk.bytes.size());
     store_small(ctx, chunk.bytes, chunk.hash,
                 std::max<std::uint32_t>(1, cfg_.sd));
     return;
@@ -82,12 +83,13 @@ void BimodalEngine::emit_big(FileCtx& ctx, BigChunk& chunk, bool transition) {
   while (stream.next(bytes)) {
     ++counters_.input_chunks;
     const Digest hash = Sha1::hash(bytes);
-    if (const auto dup = find_duplicate(hash, ctx, AccessKind::kSmallChunkQuery)) {
+    if (const auto dup = find_duplicate(hash, ctx, AccessKind::kSmallChunkQuery);
+        dup && admit_duplicate(dup->chunk_name, dup->offset, dup->size)) {
       note_duplicate(dup->size);
       ctx.fm.add_range(dup->chunk_name, dup->offset, dup->size, false);
       continue;
     }
-    note_unique();
+    note_unique(bytes.size());
     store_small(ctx, bytes, hash, 1);
   }
 }

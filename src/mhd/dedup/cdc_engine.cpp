@@ -57,14 +57,15 @@ void CdcEngine::process_file(const std::string& file_name, ByteSource& data) {
     counters_.input_bytes += bytes.size();
     ++counters_.input_chunks;
 
-    if (const auto dup = find_duplicate(hash)) {
+    if (const auto dup = find_duplicate(hash);
+        dup && admit_duplicate(dup->chunk_name, dup->offset, dup->size)) {
       note_duplicate(dup->size);
       fm.add_range(dup->chunk_name, dup->offset, dup->size,
                    /*coalesce=*/false);
       continue;
     }
 
-    note_unique();
+    note_unique(bytes.size());
     if (!writer) writer.emplace(store_.open_chunk(dig.hex()));
     writer->write(bytes);
     manifest.add({hash, chunk_off, static_cast<std::uint32_t>(bytes.size()), 1,

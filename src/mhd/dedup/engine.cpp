@@ -84,6 +84,7 @@ std::unique_ptr<HashedChunkStream> DedupEngine::open_ingest(
 void DedupEngine::add_file(const std::string& file_name, ByteSource& data) {
   const Stopwatch watch;
   ++counters_.input_files;
+  if (rewrite_) rewrite_->begin_file();
   end_dup_run();  // duplicate slices never span file boundaries
   process_file(file_name, data);
   end_dup_run();

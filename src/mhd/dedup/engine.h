@@ -17,6 +17,7 @@
 #include "mhd/chunk/byte_source.h"
 #include "mhd/chunk/make_chunker.h"
 #include "mhd/container/bloom_filter.h"
+#include "mhd/dedup/rewrite.h"
 #include "mhd/hash/sha1.h"
 #include "mhd/index/fingerprint_index.h"
 #include "mhd/pipeline/hashed_chunk_stream.h"
@@ -106,6 +107,20 @@ struct EngineConfig {
   // are bit-identical with framing on; only physical bytes differ.
   bool framed = false;
   std::string fault_plan;
+
+  // Container packing + rewrite (DESIGN.md "Container store and restore
+  // path"). 0 keeps the legacy per-chunk layout; with a size the runner
+  // layers a ContainerBackend of that container size over the stack
+  // (--container-mb) and `rewrite` selects the fragmentation-control
+  // algorithm applied at dedup time (--rewrite).
+  std::uint64_t container_bytes = 0;
+  /// RAM budget of the restore path's whole-container LRU cache
+  /// (--restore-cache-mb).
+  std::uint64_t restore_cache_bytes = 32ull << 20;
+  RewriteMode rewrite = RewriteMode::kNone;
+  std::uint64_t cbr_segment_bytes = 4ull << 20;
+  std::uint32_t cbr_cap = 16;
+  double har_utilization = 0.5;
 };
 
 struct EngineCounters {
@@ -129,6 +144,11 @@ struct EngineCounters {
   /// only the dedup ratio suffers. Always zero on a healthy store.
   std::uint64_t corruption_fallbacks = 0;
 
+  /// Duplicates declined by the rewrite controller and stored fresh for
+  /// restore locality (always zero with --rewrite=none).
+  std::uint64_t rewritten_chunks = 0;
+  std::uint64_t rewritten_bytes = 0;
+
   double cpu_seconds = 0;
 
   double dad() const {
@@ -143,6 +163,15 @@ class DedupEngine {
   DedupEngine(ObjectStore& store, const EngineConfig& config)
       : store_(store), cfg_(config) {
     set_sha1_impl(config.hash_impl);
+    if (cfg_.rewrite != RewriteMode::kNone) {
+      RewriteConfig rc;
+      rc.mode = cfg_.rewrite;
+      rc.segment_bytes = cfg_.cbr_segment_bytes;
+      rc.cap = cfg_.cbr_cap;
+      rc.har_utilization = cfg_.har_utilization;
+      rewrite_ = std::make_unique<RewriteController>(
+          rc, dynamic_cast<const ContainerBackend*>(&store.backend()));
+    }
   }
   virtual ~DedupEngine() = default;
 
@@ -159,6 +188,19 @@ class DedupEngine {
   /// Restores a previously added file byte-exactly from the store.
   /// Reads bypass access accounting (restore is not deduplication work).
   std::optional<ByteVec> reconstruct(const std::string& file_name) const;
+
+  /// Closes a snapshot generation for the rewrite controller (HAR folds
+  /// this generation's container utilization into its sparse set). The
+  /// simulation runner calls this at every corpus snapshot boundary,
+  /// including before finish(). No-op without --rewrite.
+  void end_snapshot() {
+    if (rewrite_) rewrite_->end_snapshot();
+  }
+
+  /// The engine's rewrite controller, nullptr with --rewrite=none.
+  const RewriteController* rewrite_controller() const {
+    return rewrite_.get();
+  }
 
   const EngineCounters& counters() const { return counters_; }
   const EngineConfig& config() const { return cfg_; }
@@ -266,8 +308,32 @@ class DedupEngine {
     ++counters_.dup_chunks;
     counters_.dup_bytes += bytes;
   }
-  void note_unique() { in_dup_run_ = false; }
+  /// `bytes` advances the rewrite controller's segment position (CBR
+  /// segments are measured over the whole stream, not just duplicates).
+  void note_unique(std::uint64_t bytes = 0) {
+    in_dup_run_ = false;
+    if (rewrite_ && bytes > 0) rewrite_->on_stream_bytes(bytes);
+  }
   void end_dup_run() { in_dup_run_ = false; }
+
+  /// The rewrite decision for one detected duplicate: true admits the
+  /// in-place reference, false directs the engine to store the bytes
+  /// fresh (counted as a rewritten chunk). Engines call this at every
+  /// duplicate-decision site before emitting the reference.
+  bool admit_duplicate(const Digest& chunk_name, std::uint64_t offset,
+                       std::uint64_t size) {
+    if (!rewrite_) return true;
+    if (rewrite_->admit(chunk_name, offset, size)) return true;
+    ++counters_.rewritten_chunks;
+    counters_.rewritten_bytes += size;
+    return false;
+  }
+
+  /// Segment-position advance for bulk paths that consume stream bytes
+  /// without per-chunk decisions (MHD's match extension).
+  void advance_rewrite_stream(std::uint64_t bytes) {
+    if (rewrite_ && bytes > 0) rewrite_->on_stream_bytes(bytes);
+  }
 
   ObjectStore& store_;
   EngineConfig cfg_;
@@ -277,6 +343,7 @@ class DedupEngine {
   bool in_dup_run_ = false;
   PipelineStats pipeline_stats_;
   std::unique_ptr<FingerprintIndex> fp_index_;
+  std::unique_ptr<RewriteController> rewrite_;
   bool index_was_present_ = false;  ///< disk index existed before open
 };
 

@@ -94,13 +94,15 @@ void ExtremeBinningEngine::process_file(const std::string& file_name,
   bool bin_grew = false;
   for (auto& [hash, chunk_bytes] : chunks) {
     const auto hit = bin.find(hash);
-    if (hit != bin.end()) {
+    if (hit != bin.end() &&
+        admit_duplicate(hit->second.chunk_name, hit->second.offset,
+                        hit->second.size)) {
       note_duplicate(hit->second.size);
       fm.add_range(hit->second.chunk_name, hit->second.offset,
                    hit->second.size, /*coalesce=*/false);
       continue;
     }
-    note_unique();
+    note_unique(chunk_bytes.size());
     if (!writer) writer.emplace(store_.open_chunk(dig.hex()));
     writer->write(chunk_bytes);
     bin.emplace(hash, BinEntry{dig, chunk_off,

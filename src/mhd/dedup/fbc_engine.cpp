@@ -98,7 +98,8 @@ void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
     ++counters_.input_chunks;
 
     if (const auto dup =
-            find_duplicate(big_hash, ctx, AccessKind::kBigChunkQuery)) {
+            find_duplicate(big_hash, ctx, AccessKind::kBigChunkQuery);
+        dup && admit_duplicate(dup->chunk_name, dup->offset, dup->size)) {
       note_duplicate(dup->size);
       ctx.fm.add_range(dup->chunk_name, dup->offset, dup->size, false);
       continue;
@@ -110,7 +111,7 @@ void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
     std::vector<std::pair<Digest, ByteVec>> smalls;
     const bool frequent = looks_frequent(big_bytes, smalls);
     if (!frequent) {
-      note_unique();
+      note_unique(big_bytes.size());
       store_region(ctx, big_bytes, big_hash,
                    std::max<std::uint32_t>(1, cfg_.sd));
       continue;
@@ -118,12 +119,13 @@ void FbcEngine::process_file(const std::string& file_name, ByteSource& data) {
     counters_.input_chunks += smalls.size();
     for (auto& [hash, bytes] : smalls) {
       if (const auto dup =
-              find_duplicate(hash, ctx, AccessKind::kSmallChunkQuery)) {
+              find_duplicate(hash, ctx, AccessKind::kSmallChunkQuery);
+          dup && admit_duplicate(dup->chunk_name, dup->offset, dup->size)) {
         note_duplicate(dup->size);
         ctx.fm.add_range(dup->chunk_name, dup->offset, dup->size, false);
         continue;
       }
-      note_unique();
+      note_unique(bytes.size());
       store_region(ctx, bytes, hash, 1);
     }
   }

@@ -144,7 +144,9 @@ void SparseIndexEngine::dedup_segment(std::vector<SegChunk>& segment,
 
   for (auto& c : segment) {
     const auto it = known.find(c.hash);
-    if (it != known.end()) {
+    if (it != known.end() &&
+        admit_duplicate(it->second.container, it->second.offset,
+                        it->second.size)) {
       note_duplicate(it->second.size);
       fm.add_range(it->second.container, it->second.offset, it->second.size,
                    /*coalesce=*/false);
@@ -152,7 +154,7 @@ void SparseIndexEngine::dedup_segment(std::vector<SegChunk>& segment,
                                   it->second.offset, it->second.size});
       continue;
     }
-    note_unique();
+    note_unique(c.bytes.size());
     if (!writer) writer.emplace(store_.open_chunk(seg_name.hex()));
     writer->write(c.bytes);
     const ChunkRef ref{seg_name, container_off,

@@ -194,7 +194,9 @@ void SubChunkEngine::process_file(const std::string& file_name,
     if (!big && load_manifest_for(big_hash, AccessKind::kBigChunkQuery)) {
       big = find_big(big_hash);
     }
-    if (big) {
+    if (big && !(*big)->recipe.empty() &&
+        admit_duplicate((*big)->recipe.front().chunk_name,
+                        (*big)->recipe.front().offset, big_bytes.size())) {
       note_duplicate(big_bytes.size());
       for (const auto& r : (*big)->recipe) {
         fm.add_range(r.chunk_name, r.offset, r.length, /*coalesce=*/false);
@@ -220,13 +222,14 @@ void SubChunkEngine::process_file(const std::string& file_name,
     while (small_stream.next(bytes)) {
       ++counters_.input_chunks;
       const Digest hash = Sha1::hash(bytes);
-      if (const auto dup = find_small(hash)) {
+      if (const auto dup = find_small(hash);
+          dup && admit_duplicate(dup->container, dup->offset, dup->size)) {
         note_duplicate(dup->size);
         fm.add_range(dup->container, dup->offset, dup->size, false);
         group.recipe.push_back({dup->container, dup->offset, dup->size});
         continue;
       }
-      note_unique();
+      note_unique(bytes.size());
       if (!writer) writer.emplace(store_.open_chunk(container.hex()));
       writer->write(bytes);
       group.smalls.push_back({hash, container_off,

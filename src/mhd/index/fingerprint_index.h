@@ -32,8 +32,17 @@ enum class IndexImpl { kMem, kDisk };
 /// plus the chunk's offset in its DiskChunk (advisory; rebuilt entries
 /// carry offset 0 — engines confirm through the manifest anyway).
 struct IndexEntry {
+  /// Sentinel for `container`: placement unknown / legacy layout.
+  static constexpr std::uint64_t kNoContainer = ~0ull;
+
   Digest manifest{};
   std::uint64_t offset = 0;
+  /// Location record: the container holding the chunk's bytes at `offset`
+  /// when the store packs containers (kNoContainer otherwise). Advisory
+  /// like everything here — ContainerBackend::locate() on the extent maps
+  /// is the authoritative placement query; this copy lets index-only
+  /// consumers (stats, future routing) see placement without a map walk.
+  std::uint64_t container = kNoContainer;
 };
 
 class FingerprintIndex {

@@ -15,14 +15,18 @@ constexpr std::uint32_t kMetaMagic = 0x314D494Du;   // "MIM1"
 constexpr std::uint32_t kPageMagic = 0x3150494Du;   // "MIP1"
 constexpr std::uint32_t kJournalMagic = 0x314A494Du;  // "MIJ1"
 constexpr std::uint32_t kWarmMagic = 0x3157494Du;   // "MIW1"
-constexpr std::uint32_t kFormatVersion = 1;
+// v1 records were 48 bytes (fp, manifest, offset); v2 appends the 8-byte
+// container location. The index is advisory and rebuildable, so a v1
+// repository simply fails the version check and starts fresh — a missed
+// duplicate at worst, never a wrong restore.
+constexpr std::uint32_t kFormatVersion = 2;
 
 constexpr char kMetaName[] = "meta";
 constexpr char kBloomName[] = "bloom";
 constexpr char kWarmName[] = "warm";
 
-/// Serialized record size in pages (fp + manifest + offset).
-constexpr std::size_t kRecBytes = Digest::kSize * 2 + 8;
+/// Serialized record size in pages (fp + manifest + offset + container).
+constexpr std::size_t kRecBytes = Digest::kSize * 2 + 16;
 /// Journal records carry a leading op byte (1 = put, 0 = erase).
 constexpr std::size_t kJournalRecBytes = 1 + kRecBytes;
 
@@ -49,6 +53,7 @@ void append_rec(ByteVec& out, const index_detail::Rec& rec) {
   append_digest(out, rec.fp);
   append_digest(out, rec.manifest);
   append_le(out, rec.offset);
+  append_le(out, rec.container);
 }
 
 index_detail::Rec read_rec(const Byte* p) {
@@ -56,6 +61,7 @@ index_detail::Rec read_rec(const Byte* p) {
   rec.fp = read_digest(p);
   rec.manifest = read_digest(p + Digest::kSize);
   rec.offset = load_le<std::uint64_t>(p + 2 * Digest::kSize);
+  rec.container = load_le<std::uint64_t>(p + 2 * Digest::kSize + 8);
   return rec;
 }
 
@@ -316,7 +322,7 @@ std::optional<IndexEntry> PersistentIndex::lookup_quiet(const Digest& fp) {
   const auto it = std::lower_bound(page.recs.begin(), page.recs.end(), probe,
                                    rec_less);
   if (it == page.recs.end() || !(it->fp == fp)) return std::nullopt;
-  return IndexEntry{it->manifest, it->offset};
+  return IndexEntry{it->manifest, it->offset, it->container};
 }
 
 std::optional<IndexEntry> PersistentIndex::lookup_locked(const Digest& fp) {
@@ -340,6 +346,7 @@ void PersistentIndex::append_journal_record(Byte op, const Digest& fp,
   append_digest(pending_, fp);
   append_digest(pending_, e.manifest);
   append_le(pending_, e.offset);
+  append_le(pending_, e.container);
   ++pending_count_;
   if (pending_count_ >= cfg_.journal_batch) write_pending_segment();
 }
@@ -362,7 +369,8 @@ void PersistentIndex::write_pending_segment() {
 void PersistentIndex::put(const Digest& fp, const IndexEntry& entry) {
   std::lock_guard<std::mutex> lock(mu_);
   const auto prev = lookup_locked(fp);
-  if (prev && prev->manifest == entry.manifest && prev->offset == entry.offset) {
+  if (prev && prev->manifest == entry.manifest &&
+      prev->offset == entry.offset && prev->container == entry.container) {
     return;  // no-op put: don't journal warm-restart re-learns
   }
   delta_[fp] = entry;
@@ -464,7 +472,8 @@ void PersistentIndex::compact_locked() {
                                        rec_less);
       const bool found = it != merged.end() && it->fp == fp;
       if (value) {
-        index_detail::Rec rec{fp, value->manifest, value->offset};
+        index_detail::Rec rec{fp, value->manifest, value->offset,
+                              value->container};
         if (found) {
           *it = rec;
         } else {
@@ -565,7 +574,8 @@ void PersistentIndex::replay_journal() {
       const auto prev = lookup_quiet(jr.rec.fp);
       if (jr.op == Byte{1}) {
         if (!prev) ++count_;
-        delta_[jr.rec.fp] = IndexEntry{jr.rec.manifest, jr.rec.offset};
+        delta_[jr.rec.fp] =
+            IndexEntry{jr.rec.manifest, jr.rec.offset, jr.rec.container};
         bloom_.insert(jr.rec.fp.prefix64());
       } else {
         if (prev) --count_;

@@ -64,13 +64,14 @@ struct PersistentIndexConfig {
 };
 
 namespace index_detail {
-/// One bucket-page / journal record as stored on disk (48 bytes framed:
-/// fingerprint, owning manifest, chunk offset; journal records carry one
-/// extra op byte in front).
+/// One bucket-page / journal record as stored on disk (56 bytes framed:
+/// fingerprint, owning manifest, chunk offset, container id; journal
+/// records carry one extra op byte in front).
 struct Rec {
   Digest fp;
   Digest manifest;
   std::uint64_t offset = 0;
+  std::uint64_t container = IndexEntry::kNoContainer;
 };
 }  // namespace index_detail
 

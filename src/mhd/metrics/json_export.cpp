@@ -66,6 +66,19 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"hhr_chunk_reloads\":" << r.counters.hhr_chunk_reloads
       << ",\"corruption_fallbacks\":" << r.counters.corruption_fallbacks
       << ",\"transient_retries\":" << r.stats.transient_retries
+      << ",\"container_bytes\":" << r.container_bytes
+      << ",\"rewrite_mode\":\"" << json_escape(r.rewrite_mode) << "\""
+      << ",\"containers_sealed\":" << r.containers_sealed
+      << ",\"container_packed_bytes\":" << r.container_packed_bytes
+      << ",\"rewritten_chunks\":" << r.counters.rewritten_chunks
+      << ",\"rewritten_bytes\":" << r.counters.rewritten_bytes
+      << ",\"rewrite_ratio\":" << num(r.rewrite_ratio())
+      << ",\"restore_bytes\":" << r.restore.bytes
+      << ",\"restore_seconds\":" << num(r.restore.seconds)
+      << ",\"restore_mb_per_s\":" << num(r.restore.mb_per_s())
+      << ",\"restore_container_reads\":" << r.restore.container_reads
+      << ",\"containers_read_per_mb\":" << num(r.restore.containers_read_per_mb())
+      << ",\"cfl\":" << num(r.restore.cfl)
       << ",\"manifest_loads\":" << r.manifest_loads
       << ",\"index_ram_bytes\":" << r.index_ram_bytes
       << ",\"index_impl\":\"" << json_escape(r.index_impl) << "\""

@@ -1,5 +1,7 @@
 #include "mhd/metrics/metrics.h"
 
+#include "mhd/dedup/rewrite.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/framed_backend.h"
 
 namespace mhd {
@@ -80,9 +82,23 @@ ExperimentResult summarize(const std::string& algorithm,
   r.input_bytes = r.counters.input_bytes;
   r.stored_data_bytes = backend.content_bytes(Ns::kDiskChunk);
   r.physical_data_bytes = r.stored_data_bytes;
-  if (const auto* fb = dynamic_cast<const FramedBackend*>(&backend)) {
+  // With a container layer the data bytes live under Ns::kContainer of the
+  // inner backend; the logical DiskChunk view above stays the stored size.
+  const StorageBackend* phys = &backend;
+  Ns data_ns = Ns::kDiskChunk;
+  if (const auto* cb = dynamic_cast<const ContainerBackend*>(&backend)) {
+    r.container_bytes = cb->config().container_bytes;
+    r.rewrite_mode = rewrite_mode_name(engine.config().rewrite);
+    const ContainerStats cs = cb->stats();
+    r.containers_sealed = cs.containers_sealed;
+    r.container_packed_bytes = cs.packed_bytes;
+    phys = &cb->inner();
+    data_ns = Ns::kContainer;
+    r.physical_data_bytes = phys->content_bytes(data_ns);
+  }
+  if (const auto* fb = dynamic_cast<const FramedBackend*>(phys)) {
     r.framed = true;
-    r.physical_data_bytes = fb->physical_bytes(Ns::kDiskChunk);
+    r.physical_data_bytes = fb->physical_bytes(data_ns);
   }
   r.metadata = MetadataBreakdown::from(backend);
   r.manifest_loads = engine.manifest_loads();

@@ -47,6 +47,32 @@ struct MetadataBreakdown {
   }
 };
 
+/// One measured restore pass (filled by benches/CLIs — summarize() never
+/// runs a restore itself).
+struct RestoreMetrics {
+  std::uint64_t bytes = 0;   ///< logical bytes restored
+  double seconds = 0;
+  /// Whole-container loads this restore caused (ContainerStats diff);
+  /// zero on a legacy per-chunk store.
+  std::uint64_t container_reads = 0;
+  std::uint64_t cache_hits = 0;
+  /// Chunk-fragmentation level: optimal container reads
+  /// (ceil(bytes/container_bytes)) over actual reads. 1.0 = perfectly
+  /// sequential layout; falls toward 0 as duplicates scatter the stream
+  /// across old containers. 0 when nothing was measured.
+  double cfl = 0;
+
+  double mb_per_s() const {
+    return seconds <= 0 ? 0.0
+                        : static_cast<double>(bytes) / (1 << 20) / seconds;
+  }
+  double containers_read_per_mb() const {
+    return bytes == 0 ? 0.0
+                      : static_cast<double>(container_reads) /
+                            (static_cast<double>(bytes) / (1 << 20));
+  }
+};
+
 /// Everything one (algorithm, ECS, SD, corpus) run produces.
 struct ExperimentResult {
   std::string algorithm;
@@ -75,6 +101,15 @@ struct ExperimentResult {
   std::uint32_t ingest_threads = 0;
   PipelineStats pipeline;
 
+  // Container store + rewrite (zero/"none" without --container-mb).
+  std::uint64_t container_bytes = 0;  ///< configured container size
+  std::string rewrite_mode = "none";
+  std::uint64_t containers_sealed = 0;
+  std::uint64_t container_packed_bytes = 0;
+  /// Last measured restore pass, if the caller ran one (see
+  /// measure_restore in sim/runner.h); all-zero otherwise.
+  RestoreMetrics restore;
+
   double dedup_seconds = 0;  ///< CPU + modeled disk time
   double copy_seconds = 0;   ///< modeled baseline copy
 
@@ -89,6 +124,14 @@ struct ExperimentResult {
   /// CRC framing cost on the data path (0 on unframed stores).
   std::uint64_t framing_overhead_bytes() const {
     return physical_data_bytes - stored_data_bytes;
+  }
+  /// Fraction of detected duplicate bytes declined for restore locality
+  /// (0 with --rewrite=none): rewritten / (deduplicated + rewritten).
+  double rewrite_ratio() const {
+    const std::uint64_t seen = counters.dup_bytes + counters.rewritten_bytes;
+    return seen == 0 ? 0.0
+                     : static_cast<double>(counters.rewritten_bytes) /
+                           static_cast<double>(seen);
   }
 };
 

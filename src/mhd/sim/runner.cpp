@@ -1,11 +1,15 @@
 #include "mhd/sim/runner.h"
 
+#include <algorithm>
 #include <optional>
 #include <stdexcept>
 
 #include "mhd/core/mhd_engine.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/framed_backend.h"
+#include "mhd/store/restore_reader.h"
+#include "mhd/util/timer.h"
 #include "mhd/dedup/bimodal_engine.h"
 #include "mhd/dedup/cdc_engine.h"
 #include "mhd/dedup/extreme_binning_engine.h"
@@ -55,10 +59,22 @@ ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
   ObjectStore store(backend);
   auto engine = make_engine(spec.algorithm, store, spec.engine);
   for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    // Snapshot boundary: HAR folds the finished generation's container
+    // utilization into its sparse set (no-op without --rewrite=har).
+    if (i > 0 &&
+        corpus.files()[i].snapshot != corpus.files()[i - 1].snapshot) {
+      engine->end_snapshot();
+    }
     auto src = corpus.open(i);
     engine->add_file(corpus.files()[i].name, *src);
   }
+  engine->end_snapshot();
   engine->finish();
+  // Seal the open container so the physical layout summarize() measures
+  // (and any fsck of the inner backend) sees only clean streams.
+  if (auto* containers = dynamic_cast<ContainerBackend*>(&backend)) {
+    containers->flush();
+  }
 
   if (spec.verify) {
     for (std::size_t i = 0; i < corpus.files().size(); ++i) {
@@ -71,25 +87,89 @@ ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
       }
     }
   }
-  return summarize(engine->name(), *engine, backend, spec.disk);
+  ExperimentResult result = summarize(engine->name(), *engine, backend, spec.disk);
+  if (spec.measure_restore && !corpus.files().empty()) {
+    const std::uint32_t last = corpus.files().back().snapshot;
+    std::vector<std::string> names;
+    for (const auto& f : corpus.files()) {
+      if (f.snapshot == last) names.push_back(f.name);
+    }
+    result.restore = measure_restore(backend, names);
+  }
+  return result;
 }
 
 ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus) {
   MemoryBackend backend;
-  if (!spec.engine.framed && spec.engine.fault_plan.empty()) {
+  if (!spec.engine.framed && spec.engine.fault_plan.empty() &&
+      spec.engine.container_bytes == 0) {
     return run_experiment(spec, corpus, backend);
   }
-  // Durability stack: faults are injected on the *physical* layer, below
-  // the framing that exists to detect them.
+  // Durability stack (innermost first): faults are injected on the
+  // *physical* layer, below the framing that exists to detect them; the
+  // container layer packs logical chunks above both.
   std::optional<FaultInjectingBackend> faulty;
   StorageBackend* lower = &backend;
   if (!spec.engine.fault_plan.empty()) {
     faulty.emplace(backend, FaultPlan::parse(spec.engine.fault_plan));
     lower = &*faulty;
   }
-  if (!spec.engine.framed) return run_experiment(spec, corpus, *lower);
-  FramedBackend framed(*lower);
-  return run_experiment(spec, corpus, framed);
+  std::optional<FramedBackend> framed;
+  if (spec.engine.framed) {
+    framed.emplace(*lower);
+    lower = &*framed;
+  }
+  if (spec.engine.container_bytes == 0) {
+    return run_experiment(spec, corpus, *lower);
+  }
+  ContainerConfig cc;
+  cc.container_bytes = spec.engine.container_bytes;
+  cc.cache_bytes = spec.engine.restore_cache_bytes;
+  ContainerBackend containers(*lower, cc);
+  return run_experiment(spec, corpus, containers);
+}
+
+RestoreMetrics measure_restore(StorageBackend& backend,
+                               const std::vector<std::string>& files) {
+  RestoreMetrics m;
+  auto* containers = dynamic_cast<ContainerBackend*>(&backend);
+  if (containers != nullptr) containers->drop_cache();
+  const ContainerStats before =
+      containers ? containers->stats() : ContainerStats{};
+
+  ByteVec buf(1 << 20);
+  const Stopwatch watch;
+  for (const auto& file : files) {
+    auto reader = RestoreReader::open(backend, file);
+    if (!reader) throw std::runtime_error("measure_restore: missing " + file);
+    std::size_t n;
+    while ((n = reader->read({buf.data(), buf.size()})) > 0) m.bytes += n;
+    if (!reader->ok() || reader->produced() != reader->total_length()) {
+      throw std::runtime_error("measure_restore: short restore of " + file);
+    }
+  }
+  m.seconds = watch.seconds();
+
+  if (containers != nullptr) {
+    const ContainerStats after = containers->stats();
+    m.container_reads = after.container_reads - before.container_reads;
+    m.cache_hits = after.cache_hits - before.cache_hits;
+    const std::uint64_t cbytes = containers->config().container_bytes;
+    if (cbytes > 0 && m.bytes > 0) {
+      if (m.container_reads == 0) {
+        // Everything came from the open container's RAM image — there is
+        // no fragmentation signal to report, score it perfect.
+        m.cfl = 1.0;
+      } else {
+        const std::uint64_t optimal = (m.bytes + cbytes - 1) / cbytes;
+        // Capped at 1.0 (the literature's convention): the cache can push
+        // actual reads below the sequential optimum.
+        m.cfl = std::min(1.0, static_cast<double>(optimal) /
+                                  static_cast<double>(m.container_reads));
+      }
+    }
+  }
+  return m;
 }
 
 }  // namespace mhd

@@ -36,13 +36,30 @@ struct RunSpec {
   /// Reconstruct every file and compare byte-exactly after the run
   /// (slow; throws std::runtime_error on mismatch).
   bool verify = false;
+  /// After ingest, time a streaming restore of the newest snapshot's
+  /// files and fill ExperimentResult::restore (MB/s, container reads,
+  /// CFL). The latest generation is the fragmentation-sensitive one.
+  bool measure_restore = false;
 };
 
 /// Runs the full corpus through a fresh engine + in-memory backend.
+/// With spec.engine.container_bytes > 0 the stack gains a ContainerBackend
+/// (above framing/faults): Memory → [Fault] → [Framed] → [Container].
 ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus);
 
 /// Runs against a caller-provided backend (e.g. FileBackend).
 ExperimentResult run_experiment(const RunSpec& spec, const Corpus& corpus,
                                 StorageBackend& backend);
+
+/// Streams a restore of every named file through `backend` (timed, whole
+/// files discarded as read) and, when the backend is a ContainerBackend,
+/// drops its container cache first (cold-cache measurement — the cache
+/// still assists *within* the restore, bounded by --restore-cache-mb),
+/// then diffs its ContainerStats to attribute container traffic and
+/// compute CFL = ceil(bytes / container_bytes) / actual container reads.
+/// Byte verification is the caller's job; a missing or damaged file
+/// throws std::runtime_error.
+RestoreMetrics measure_restore(StorageBackend& backend,
+                               const std::vector<std::string>& files);
 
 }  // namespace mhd

@@ -26,6 +26,14 @@ enum class Ns : int {
   /// snapshot, meta — see index/persistent_index.h). Advisory: never
   /// needed to restore data, rebuildable from the hooks namespace.
   kIndex,
+  /// Fixed-size containers packing chunk bytes in write order (record
+  /// streams, like DiskChunks). Only present when the repository runs a
+  /// ContainerBackend — see store/container_store.h.
+  kContainer,
+  /// Per-DiskChunk extent maps: logical chunk ranges -> (container,
+  /// offset) placements. Sealed objects; committing one is the durability
+  /// point of a chunk (and of a rewrite decision).
+  kChunkMap,
   kCount,
 };
 

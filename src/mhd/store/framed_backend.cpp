@@ -7,7 +7,9 @@ namespace mhd {
 
 namespace {
 
-bool is_stream(Ns ns) { return ns == Ns::kDiskChunk; }
+bool is_stream(Ns ns) {
+  return ns == Ns::kDiskChunk || ns == Ns::kContainer;
+}
 
 }  // namespace
 

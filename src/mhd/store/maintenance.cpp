@@ -6,6 +6,7 @@
 #include "mhd/index/persistent_index.h"
 #include "mhd/format/manifest.h"
 #include "mhd/hash/sha1.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/store_errors.h"
 #include "mhd/util/hex.h"
 
@@ -197,6 +198,14 @@ GcReport collect_garbage(StorageBackend& backend) {
       backend.remove(Ns::kHook, name);
       ++report.deleted_hooks;
     }
+  }
+
+  // With a container layer, the chunk sweep above released dead chunks'
+  // extent maps; containers referenced by no surviving map follow them.
+  if (auto* containers = dynamic_cast<ContainerBackend*>(&backend)) {
+    const auto [removed, reclaimed] = containers->sweep_containers();
+    report.deleted_containers = removed;
+    report.container_bytes_reclaimed = reclaimed;
   }
 
   // The persistent fingerprint index (when present) may still map the

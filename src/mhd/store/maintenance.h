@@ -66,6 +66,12 @@ struct GcReport {
   bool index_rebuilt = false;
   std::uint64_t index_entries = 0;
   std::uint64_t dropped_index_entries = 0;
+  /// Container layer (zero without one): sealed containers referenced by
+  /// no surviving chunk map, swept after the chunk sweep. Their payload
+  /// bytes are the physical copies of the logical reclaimed_bytes, so
+  /// they are reported separately, not added into reclaimed_bytes.
+  std::uint64_t deleted_containers = 0;
+  std::uint64_t container_bytes_reclaimed = 0;
 };
 
 /// Mark-and-sweep garbage collection (see file comment). Safe to run at

@@ -11,6 +11,8 @@ const char* ns_name(Ns ns) {
     case Ns::kManifest: return "manifests";
     case Ns::kFileManifest: return "filemanifests";
     case Ns::kIndex: return "index";
+    case Ns::kContainer: return "containers";
+    case Ns::kChunkMap: return "chunkmaps";
     case Ns::kCount: break;
   }
   return "?";

@@ -1,12 +1,20 @@
 #include "mhd/store/restore_reader.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "mhd/hash/sha1.h"
 #include "mhd/store/store_errors.h"
 
 namespace mhd {
+
+namespace {
+/// Matches ObjectStore's ingest-side policy: transient device errors are
+/// retried with bounded exponential backoff before giving up.
+constexpr int kReadAttempts = 4;
+}  // namespace
 
 RestoreReader::RestoreReader(const StorageBackend& backend, FileManifest fm)
     : backend_(&backend), fm_(std::move(fm)), total_(fm_.total_length()) {}
@@ -14,10 +22,18 @@ RestoreReader::RestoreReader(const StorageBackend& backend, FileManifest fm)
 std::optional<RestoreReader> RestoreReader::open(
     const StorageBackend& backend, const std::string& file_name) {
   std::optional<ByteVec> raw;
-  try {
-    raw = backend.get(Ns::kFileManifest, Sha1::hash(as_bytes(file_name)).hex());
-  } catch (const CorruptObjectError&) {
-    return std::nullopt;  // corrupt manifest: restore fails, never lies
+  for (int attempt = 1;; ++attempt) {
+    try {
+      raw = backend.get(Ns::kFileManifest,
+                        Sha1::hash(as_bytes(file_name)).hex());
+      break;
+    } catch (const CorruptObjectError&) {
+      return std::nullopt;  // corrupt manifest: restore fails, never lies
+    } catch (const TransientReadError&) {
+      if (attempt >= kReadAttempts) throw;
+      std::this_thread::sleep_for(std::chrono::microseconds(50)
+                                  * (1 << attempt));
+    }
   }
   if (!raw) return std::nullopt;
   auto fm = FileManifest::deserialize(*raw);
@@ -34,11 +50,22 @@ std::size_t RestoreReader::read(MutByteSpan out) {
     const std::size_t take = static_cast<std::size_t>(
         std::min<std::uint64_t>(remaining, out.size() - written));
     std::optional<ByteVec> piece;
-    try {
-      piece = backend_->get_range(Ns::kDiskChunk, e.chunk_name.hex(),
-                                  e.offset + entry_pos_, take);
-    } catch (const CorruptObjectError&) {
-      piece.reset();  // checksum failure poisons the stream like a miss
+    for (int attempt = 1;; ++attempt) {
+      try {
+        piece = backend_->get_range(Ns::kDiskChunk, e.chunk_name.hex(),
+                                    e.offset + entry_pos_, take);
+        break;
+      } catch (const CorruptObjectError&) {
+        piece.reset();  // checksum failure poisons the stream like a miss
+        break;
+      } catch (const TransientReadError&) {
+        // A flaky read is not a damaged repository: retry in place so one
+        // glitch doesn't force the caller to restart a long restore.
+        if (attempt >= kReadAttempts) throw;
+        ++transient_retries_;
+        std::this_thread::sleep_for(std::chrono::microseconds(50)
+                                    * (1 << attempt));
+      }
     }
     if (!piece) {
       ok_ = false;  // damaged repository: stop, never emit wrong bytes

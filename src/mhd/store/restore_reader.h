@@ -35,6 +35,12 @@ class RestoreReader final : public ByteSource {
   /// 0 from then on (a short restore, never corrupt bytes).
   bool ok() const { return ok_; }
 
+  /// TransientReadErrors absorbed by the bounded in-stream retry. A
+  /// restore that completed with retries is still byte-exact; only an
+  /// exhausted retry budget surfaces as a TransientReadError to the
+  /// caller (who may restart the whole restore).
+  std::uint64_t transient_retries() const { return transient_retries_; }
+
   std::size_t read(MutByteSpan out) override;
 
  private:
@@ -46,6 +52,7 @@ class RestoreReader final : public ByteSource {
   std::uint64_t entry_pos_ = 0;
   std::uint64_t total_ = 0;
   std::uint64_t produced_ = 0;
+  std::uint64_t transient_retries_ = 0;
   bool ok_ = true;
 };
 

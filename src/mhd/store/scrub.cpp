@@ -11,6 +11,7 @@
 #include "mhd/format/manifest.h"
 #include "mhd/hash/digest.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/file_backend.h"
 #include "mhd/store/framing.h"
 #include "mhd/util/hex.h"
@@ -91,54 +92,62 @@ std::string FsckReport::to_string() const {
 FsckReport fsck_repository(StorageBackend& raw, bool repair) {
   FsckReport rep;
 
-  // --- Pass 1a: DiskChunk record streams --------------------------------
+  // --- Pass 1a: record-stream namespaces (DiskChunks, containers) -------
+  // Containers get the same treatment as legacy DiskChunk streams: a torn
+  // tail is cut at the last intact record and resealed (every packed byte
+  // before the tear survives); a CRC-failing stream is quarantined.
   std::unordered_map<std::string, std::uint64_t> chunk_logical;
-  for (const auto& name : raw.list(Ns::kDiskChunk)) {
-    ++rep.objects;
-    const auto bytes = raw.get(Ns::kDiskChunk, name);
-    if (!bytes) continue;
-    const auto scan = framing::scan_records(*bytes);
-    if (scan.sealed && !scan.corrupt && !scan.torn) {
-      ++rep.clean_objects;
-      chunk_logical.emplace(name, scan.logical_bytes);
-      continue;
-    }
-    FsckIssue issue{Ns::kDiskChunk, name, FsckIssue::Kind::kCorrupt, "", {}};
-    if (scan.corrupt) {
-      ++rep.corrupt;
-      issue.detail = "record CRC/structure mismatch after " +
-                     std::to_string(scan.logical_bytes) + " good bytes";
-      if (repair) {
-        quarantine(raw, Ns::kDiskChunk, name, *bytes);
-        issue.action = FsckIssue::Action::kQuarantined;
-        ++rep.repaired;
+  std::unordered_map<std::string, std::uint64_t> container_logical;
+  for (const Ns stream_ns : {Ns::kDiskChunk, Ns::kContainer}) {
+    auto& logical =
+        stream_ns == Ns::kDiskChunk ? chunk_logical : container_logical;
+    for (const auto& name : raw.list(stream_ns)) {
+      ++rep.objects;
+      const auto bytes = raw.get(stream_ns, name);
+      if (!bytes) continue;
+      const auto scan = framing::scan_records(*bytes);
+      if (scan.sealed && !scan.corrupt && !scan.torn) {
+        ++rep.clean_objects;
+        logical.emplace(name, scan.logical_bytes);
+        continue;
       }
-    } else {
-      // Torn: every record before the tear is intact; cut and re-seal.
-      ++rep.torn;
-      issue.kind = FsckIssue::Kind::kTornTail;
-      issue.detail = "stream ends unsealed at byte " +
-                     std::to_string(scan.valid_prefix) + " of " +
-                     std::to_string(bytes->size());
-      if (repair) {
-        ByteVec fixed(bytes->begin(),
-                      bytes->begin() +
-                          static_cast<std::ptrdiff_t>(scan.valid_prefix));
-        append(fixed, framing::seal_record(scan.logical_bytes));
-        raw.put(Ns::kDiskChunk, name, fixed);
-        chunk_logical.emplace(name, scan.logical_bytes);
-        rep.salvaged_bytes += scan.logical_bytes;
-        issue.action = FsckIssue::Action::kTruncatedSealed;
-        ++rep.repaired;
+      FsckIssue issue{stream_ns, name, FsckIssue::Kind::kCorrupt, "", {}};
+      if (scan.corrupt) {
+        ++rep.corrupt;
+        issue.detail = "record CRC/structure mismatch after " +
+                       std::to_string(scan.logical_bytes) + " good bytes";
+        if (repair) {
+          quarantine(raw, stream_ns, name, *bytes);
+          issue.action = FsckIssue::Action::kQuarantined;
+          ++rep.repaired;
+        }
+      } else {
+        // Torn: every record before the tear is intact; cut and re-seal.
+        ++rep.torn;
+        issue.kind = FsckIssue::Kind::kTornTail;
+        issue.detail = "stream ends unsealed at byte " +
+                       std::to_string(scan.valid_prefix) + " of " +
+                       std::to_string(bytes->size());
+        if (repair) {
+          ByteVec fixed(bytes->begin(),
+                        bytes->begin() +
+                            static_cast<std::ptrdiff_t>(scan.valid_prefix));
+          append(fixed, framing::seal_record(scan.logical_bytes));
+          raw.put(stream_ns, name, fixed);
+          logical.emplace(name, scan.logical_bytes);
+          rep.salvaged_bytes += scan.logical_bytes;
+          issue.action = FsckIssue::Action::kTruncatedSealed;
+          ++rep.repaired;
+        }
       }
+      rep.issues.push_back(std::move(issue));
     }
-    rep.issues.push_back(std::move(issue));
   }
 
   // --- Pass 1b: sealed-object namespaces --------------------------------
-  std::array<std::unordered_map<std::string, ByteVec>, 3> payloads;
-  const std::array<Ns, 3> sealed_ns = {Ns::kHook, Ns::kManifest,
-                                       Ns::kFileManifest};
+  std::array<std::unordered_map<std::string, ByteVec>, 4> payloads;
+  const std::array<Ns, 4> sealed_ns = {Ns::kHook, Ns::kManifest,
+                                       Ns::kFileManifest, Ns::kChunkMap};
   for (std::size_t s = 0; s < sealed_ns.size(); ++s) {
     const Ns ns = sealed_ns[s];
     for (const auto& name : raw.list(ns)) {
@@ -186,6 +195,45 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
   const auto& hooks = payloads[0];
   const auto& manifests = payloads[1];
   const auto& file_manifests = payloads[2];
+  const auto& chunk_maps = payloads[3];
+
+  // --- Pass 1d: extent maps must resolve into intact containers ---------
+  // A committed chunk map is the durable identity of a container-packed
+  // chunk: its logical length joins chunk_logical (so the reference pass
+  // below treats packed and legacy chunks uniformly), but only when every
+  // extent lands inside a clean/salvaged container — a chunk with any
+  // unresolvable extent must fail reference checks loudly, not shortened.
+  std::unordered_set<std::string> referenced_containers;
+  for (const auto& [name, payload] : chunk_maps) {
+    const auto extents = ContainerBackend::parse_extents(payload);
+    if (!extents) {
+      ++rep.broken_refs;
+      rep.issues.push_back({Ns::kChunkMap, name, FsckIssue::Kind::kBrokenRef,
+                            "CRC-clean but unparseable", {}});
+      continue;
+    }
+    std::uint64_t total = 0;
+    bool resolvable = true;
+    for (const auto& e : *extents) {
+      const std::string cname = ContainerBackend::container_name(e.container);
+      referenced_containers.insert(cname);
+      const auto it = container_logical.find(cname);
+      if (it == container_logical.end() || e.offset > it->second ||
+          e.length > it->second - e.offset) {
+        resolvable = false;
+        ++rep.broken_refs;
+        rep.issues.push_back(
+            {Ns::kChunkMap, name, FsckIssue::Kind::kBrokenRef,
+             "extent [" + std::to_string(e.offset) + "," +
+                 std::to_string(e.offset + e.length) +
+                 ") unresolvable in container " + cname,
+             {}});
+        continue;
+      }
+      total += e.length;
+    }
+    if (resolvable) chunk_logical.emplace(name, total);
+  }
 
   // --- Pass 2: cross-references (over clean/repaired objects only) ------
   std::unordered_set<std::string> referenced;
@@ -283,6 +331,15 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
                           std::to_string(logical) +
                               " logical bytes unreachable from any "
                               "FileManifest (collect_garbage reclaims)",
+                          {}});
+  }
+  for (const auto& [name, logical] : container_logical) {
+    if (referenced_containers.count(name) > 0) continue;
+    ++rep.orphans;
+    rep.issues.push_back({Ns::kContainer, name, FsckIssue::Kind::kOrphan,
+                          std::to_string(logical) +
+                              " payload bytes referenced by no chunk map "
+                              "(sweep_containers reclaims)",
                           {}});
   }
 

@@ -4,14 +4,18 @@
 // FramedBackend), where torn and corrupt structure is visible, and walks
 // the whole repository:
 //
-//   1. Framing pass: every DiskChunk record stream is scanned
-//      (clean / torn-tail / corrupt), every sealed object's trailer CRC is
-//      checked (clean / corrupt).
+//   1. Framing pass: every DiskChunk and container record stream is
+//      scanned (clean / torn-tail / corrupt), every sealed object's
+//      trailer CRC is checked (clean / corrupt). Committed chunk maps
+//      (Ns::kChunkMap) must resolve every extent into an intact container
+//      region; fully resolvable maps contribute their chunks' logical
+//      lengths alongside legacy DiskChunk streams.
 //   2. Reference pass: FileManifest entries must resolve to existing
 //      chunks within their logical size; hooks must point at an existing
 //      manifest; standard manifests must cover an existing chunk. Clean
-//      chunks referenced by no FileManifest are reported as orphans
-//      (informational — reclaiming them is collect_garbage()'s job).
+//      chunks referenced by no FileManifest — and containers referenced by
+//      no chunk map — are reported as orphans (informational — reclaiming
+//      them is collect_garbage()'s / sweep_containers()'s job).
 //
 // With `repair`:
 //   * torn chunk tails are truncated to the last intact record and the

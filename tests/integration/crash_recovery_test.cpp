@@ -14,7 +14,9 @@
 
 #include <gtest/gtest.h>
 
+#include "mhd/dedup/rewrite.h"
 #include "mhd/sim/runner.h"
+#include "mhd/store/container_store.h"
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/framed_backend.h"
 #include "mhd/store/memory_backend.h"
@@ -170,17 +172,22 @@ class RecordingBackend final : public StorageBackend {
     inner_.seal(ns, name);
   }
 
-  /// 1-based op numbers whose object name starts with `prefix` in kIndex.
-  std::vector<std::uint64_t> index_ops_with_prefix(
-      const std::string& prefix) const {
+  /// 1-based op numbers in `ns` whose object name starts with `prefix`.
+  std::vector<std::uint64_t> ops_with_prefix(Ns ns,
+                                             const std::string& prefix) const {
     std::vector<std::uint64_t> out;
     for (std::size_t i = 0; i < ops_.size(); ++i) {
-      if (ops_[i].first == Ns::kIndex &&
-          ops_[i].second.rfind(prefix, 0) == 0) {
+      if (ops_[i].first == ns && ops_[i].second.rfind(prefix, 0) == 0) {
         out.push_back(i + 1);
       }
     }
     return out;
+  }
+
+  /// 1-based op numbers whose object name starts with `prefix` in kIndex.
+  std::vector<std::uint64_t> index_ops_with_prefix(
+      const std::string& prefix) const {
+    return ops_with_prefix(Ns::kIndex, prefix);
   }
 
  private:
@@ -282,6 +289,116 @@ TEST(IndexCrashRecovery, CrashDuringCompactionThenFsckRestoresExactly) {
 
 TEST(IndexCrashRecovery, CrashAtMetaCommitThenFsckRestoresExactly) {
   crash_at_index_ops("meta");
+}
+
+// --- Container-store crash windows ----------------------------------------
+//
+// Crashes aimed directly at the container layer's durability machinery:
+// mid container-stream append/seal (the packed data itself) and mid
+// chunk-map commit (the chunk's durability point — under HAR this also
+// covers rewrite commits). The committed-map invariant says a crash can
+// only lose bytes no committed map references, so after fsck --repair the
+// repo must be clean, resumable, and restore byte-exactly.
+
+ContainerConfig crash_container_config() {
+  ContainerConfig cc;
+  cc.container_bytes = 64 << 10;  // small: several containers per image
+  cc.cache_bytes = 1 << 20;
+  return cc;
+}
+
+EngineConfig container_engine_config() {
+  EngineConfig cfg = engine_config();
+  cfg.container_bytes = 64 << 10;
+  cfg.restore_cache_bytes = 1 << 20;
+  // HAR so later generations rewrite duplicates: chunk-map crash points
+  // then include rewrite commits, not just first-copy commits.
+  cfg.rewrite = RewriteMode::kHar;
+  return cfg;
+}
+
+bool ingest_all_containers(const Corpus& corpus, StorageBackend& lower) {
+  try {
+    FramedBackend framed(lower);
+    ContainerBackend containers(framed, crash_container_config());
+    ObjectStore store(containers);
+    auto engine = make_engine("bf-mhd", store, container_engine_config());
+    for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+      if (i > 0 &&
+          corpus.files()[i].snapshot != corpus.files()[i - 1].snapshot) {
+        engine->end_snapshot();
+      }
+      auto src = corpus.open(i);
+      engine->add_file(corpus.files()[i].name, *src);
+    }
+    engine->end_snapshot();
+    engine->finish();
+    containers.flush();
+  } catch (const CrashStopError&) {
+    return false;
+  }
+  return true;
+}
+
+void verify_container_restores(const Corpus& corpus, StorageBackend& raw) {
+  FramedBackend framed(raw);
+  ContainerBackend containers(framed, crash_container_config());
+  ObjectStore store(containers);
+  auto engine = make_engine("bf-mhd", store, container_engine_config());
+  for (std::size_t i = 0; i < corpus.files().size(); ++i) {
+    SCOPED_TRACE(corpus.files()[i].name);
+    auto src = corpus.open(i);
+    const ByteVec original = read_all(*src);
+    const auto restored = engine->reconstruct(corpus.files()[i].name);
+    ASSERT_TRUE(restored.has_value());
+    ASSERT_TRUE(equal(*restored, original));
+  }
+}
+
+void crash_at_container_ops(Ns target_ns) {
+  const Corpus corpus(small_corpus());
+
+  std::vector<std::uint64_t> target_ops;
+  {
+    MemoryBackend scratch;
+    RecordingBackend recorder(scratch);
+    ASSERT_TRUE(ingest_all_containers(corpus, recorder));
+    target_ops = recorder.ops_with_prefix(target_ns, "");
+  }
+  ASSERT_FALSE(target_ops.empty())
+      << "ingest never touched " << ns_name(target_ns)
+      << " — the container stack is not being exercised";
+
+  std::set<std::uint64_t> crash_points = {
+      target_ops.front(), target_ops[target_ops.size() / 2],
+      target_ops.back()};
+
+  for (const std::uint64_t k : crash_points) {
+    SCOPED_TRACE("crash@" + std::to_string(k) + " (" + ns_name(target_ns) +
+                 ")");
+    MemoryBackend raw;
+    {
+      FaultPlan plan;
+      plan.crash = FaultPlan::Tear{k, 0.5};  // half the final write lands
+      FaultInjectingBackend faulty(raw, plan);
+      ASSERT_FALSE(ingest_all_containers(corpus, faulty));
+    }
+
+    fsck_repository(raw, /*repair=*/true);
+    const auto after = fsck_repository(raw, /*repair=*/false);
+    EXPECT_TRUE(after.clean()) << after.to_string();
+
+    ASSERT_TRUE(ingest_all_containers(corpus, raw));
+    verify_container_restores(corpus, raw);
+  }
+}
+
+TEST(ContainerCrashRecovery, CrashDuringContainerAppendOrSealThenFsckRestores) {
+  crash_at_container_ops(Ns::kContainer);
+}
+
+TEST(ContainerCrashRecovery, CrashDuringChunkMapCommitThenFsckRestores) {
+  crash_at_container_ops(Ns::kChunkMap);
 }
 
 std::vector<std::string> all_engines() {

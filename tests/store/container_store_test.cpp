@@ -1,0 +1,223 @@
+// ContainerBackend — packing geometry, reopen, torn/corrupt container
+// handling through fsck, cache accounting, and GC sweeping. The container
+// layer must keep the logical chunk namespace byte-exact while physically
+// packing write-order bytes into fixed containers.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "mhd/store/container_store.h"
+#include "mhd/store/framed_backend.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/store/scrub.h"
+#include "mhd/store/store_errors.h"
+
+namespace mhd {
+namespace {
+
+ByteVec pattern_bytes(std::size_t n, Byte seed) {
+  ByteVec v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = static_cast<Byte>((seed + i * 131) & 0xff);
+  }
+  return v;
+}
+
+/// Writes one logical chunk (append + seal = commit) and returns its data.
+ByteVec write_chunk(StorageBackend& b, const std::string& name, std::size_t n,
+                    Byte seed) {
+  const ByteVec data = pattern_bytes(n, seed);
+  b.append(Ns::kDiskChunk, name, data);
+  b.seal(Ns::kDiskChunk, name);
+  return data;
+}
+
+ContainerConfig small_containers(std::uint64_t container_bytes = 1024,
+                                 std::uint64_t cache_bytes = 1 << 20) {
+  ContainerConfig cc;
+  cc.container_bytes = container_bytes;
+  cc.cache_bytes = cache_bytes;
+  return cc;
+}
+
+TEST(ContainerStore, PacksChunksInWriteOrderAndRestoresByteExactly) {
+  MemoryBackend raw;
+  ContainerBackend cb(raw, small_containers(1024));
+
+  const ByteVec a = write_chunk(cb, "aa01", 600, 1);
+  const ByteVec b = write_chunk(cb, "bb02", 600, 2);
+  const ByteVec c = write_chunk(cb, "cc03", 600, 3);
+
+  // 1800 bytes into 1024-byte containers: container 0 sealed (overflowed by
+  // chunk b's split), container 1 still open.
+  EXPECT_EQ(cb.stats().containers_sealed, 1u);
+  EXPECT_EQ(cb.stats().packed_bytes, 1800u);
+  EXPECT_EQ(cb.content_bytes(Ns::kDiskChunk), 1800u);
+  EXPECT_EQ(cb.object_count(Ns::kDiskChunk), 3u);
+
+  // Write order decides placement: a wholly in container 0, b split across
+  // the boundary, c in container 1 (the open one).
+  EXPECT_EQ(cb.locate("aa01", 0), 0u);
+  EXPECT_EQ(cb.locate("bb02", 0), 0u);
+  EXPECT_EQ(cb.locate("bb02", 599), 1u);
+  EXPECT_EQ(cb.locate("cc03", 0), 1u);
+  EXPECT_FALSE(cb.locate("aa01", 600).has_value());  // past chunk end
+  EXPECT_FALSE(cb.locate("zz99", 0).has_value());    // unknown chunk
+
+  EXPECT_EQ(cb.get(Ns::kDiskChunk, "aa01"), a);
+  EXPECT_EQ(cb.get(Ns::kDiskChunk, "bb02"), b);
+  EXPECT_EQ(cb.get(Ns::kDiskChunk, "cc03"), c);
+  // A range straddling the container boundary inside chunk b.
+  const auto mid = cb.get_range(Ns::kDiskChunk, "bb02", 400, 100);
+  ASSERT_TRUE(mid.has_value());
+  EXPECT_TRUE(equal(*mid, ByteSpan(b.data() + 400, 100)));
+
+  // Physically the inner backend holds container streams + chunk maps and
+  // not a single per-chunk object.
+  EXPECT_EQ(raw.object_count(Ns::kDiskChunk), 0u);
+  EXPECT_EQ(raw.object_count(Ns::kChunkMap), 3u);
+  EXPECT_EQ(raw.list(Ns::kContainer).front(), "c00000000");
+  EXPECT_EQ(cb.container_data_bytes(0), 1024u);
+}
+
+TEST(ContainerStore, OversizedAppendSplitsAcrossContainers) {
+  MemoryBackend raw;
+  ContainerBackend cb(raw, small_containers(1024));
+  const ByteVec big = write_chunk(cb, "big1", 3000, 9);
+  cb.flush();
+
+  EXPECT_EQ(cb.stats().containers_sealed, 3u);  // ceil(3000/1024) = 3
+  EXPECT_EQ(cb.locate("big1", 0), 0u);
+  EXPECT_EQ(cb.locate("big1", 1024), 1u);
+  EXPECT_EQ(cb.locate("big1", 2999), 2u);
+  EXPECT_EQ(cb.get(Ns::kDiskChunk, "big1"), big);
+}
+
+TEST(ContainerStore, ReopenRestoresGeometryFromCommittedMaps) {
+  MemoryBackend raw;
+  ByteVec a, b;
+  {
+    ContainerBackend cb(raw, small_containers(1024));
+    a = write_chunk(cb, "aa01", 700, 4);
+    b = write_chunk(cb, "bb02", 900, 5);
+  }  // destructor flushes: every packed byte is a clean stream below
+
+  ContainerBackend reopened(raw, small_containers(1024));
+  EXPECT_EQ(reopened.get(Ns::kDiskChunk, "aa01"), a);
+  EXPECT_EQ(reopened.get(Ns::kDiskChunk, "bb02"), b);
+  EXPECT_EQ(reopened.content_bytes(Ns::kDiskChunk), 1600u);
+  EXPECT_TRUE(reopened.exists(Ns::kDiskChunk, "aa01"));
+  // Sealed streams are immutable: new writes go to a fresh container id
+  // strictly after everything already on disk.
+  EXPECT_GE(reopened.open_container(), 2u);
+  const ByteVec c = write_chunk(reopened, "cc03", 100, 6);
+  EXPECT_EQ(reopened.locate("cc03", 0), reopened.open_container());
+  EXPECT_EQ(reopened.get(Ns::kDiskChunk, "cc03"), c);
+}
+
+TEST(ContainerStore, TornContainerTailIsTruncatedToCommittedPrefixByFsck) {
+  MemoryBackend raw;
+  ByteVec a;
+  {
+    FramedBackend framed(raw);
+    ContainerBackend cb(framed, small_containers(1 << 16));
+    a = write_chunk(cb, "aa01", 700, 7);   // committed
+    const ByteVec junk = pattern_bytes(300, 8);
+    cb.append(Ns::kDiskChunk, "bb02", junk);  // in-flight, never sealed
+    // No flush: tear the raw stream's tail (mid bb02's record), the state
+    // a crash leaves behind.
+  }
+  {
+    auto bytes = raw.get(Ns::kContainer, "c00000000");
+    ASSERT_TRUE(bytes.has_value());
+    bytes->resize(bytes->size() - 5);
+    raw.put(Ns::kContainer, "c00000000", *bytes);
+  }
+
+  fsck_repository(raw, /*repair=*/true);
+  const auto after = fsck_repository(raw, /*repair=*/false);
+  EXPECT_TRUE(after.clean()) << after.to_string();
+
+  // The committed chunk survives in full; the torn in-flight append is
+  // gone — exactly the crash-consistency invariant.
+  FramedBackend framed(raw);
+  ContainerBackend reopened(framed, small_containers(1 << 16));
+  EXPECT_EQ(reopened.get(Ns::kDiskChunk, "aa01"), a);
+  EXPECT_FALSE(reopened.exists(Ns::kDiskChunk, "bb02"));
+}
+
+TEST(ContainerStore, BitFlippedContainerIsRejectedNotMisread) {
+  MemoryBackend raw;
+  {
+    FramedBackend framed(raw);
+    ContainerBackend cb(framed, small_containers(1 << 16));
+    write_chunk(cb, "aa01", 700, 11);
+  }
+  {
+    auto bytes = raw.get(Ns::kContainer, "c00000000");
+    ASSERT_TRUE(bytes.has_value());
+    (*bytes)[bytes->size() / 2] ^= 0x01;  // single-bit rot inside the data
+    raw.put(Ns::kContainer, "c00000000", *bytes);
+  }
+
+  FramedBackend framed(raw);
+  ContainerBackend reopened(framed, small_containers(1 << 16));
+  EXPECT_THROW(reopened.get(Ns::kDiskChunk, "aa01"), CorruptObjectError);
+
+  const auto report = fsck_repository(raw, /*repair=*/false);
+  EXPECT_FALSE(report.clean());
+  EXPECT_GE(report.corrupt, 1u);
+}
+
+TEST(ContainerStore, CacheHitsMissesAndEvictionsAreAccounted) {
+  MemoryBackend raw;
+  // Cache holds exactly two full containers.
+  ContainerBackend cb(raw, small_containers(1024, 2048));
+  std::vector<std::string> names;
+  for (int i = 0; i < 4; ++i) {
+    names.push_back("ch" + std::to_string(i));
+    write_chunk(cb, names.back(), 1024, static_cast<Byte>(i));
+  }
+  cb.flush();
+  cb.drop_cache();  // sealing populated the cache; measure from cold
+  const ContainerStats base = cb.stats();
+
+  cb.get(Ns::kDiskChunk, names[0]);  // miss: load container 0
+  cb.get(Ns::kDiskChunk, names[0]);  // hit
+  EXPECT_EQ(cb.stats().container_reads - base.container_reads, 1u);
+  EXPECT_EQ(cb.stats().cache_hits - base.cache_hits, 1u);
+
+  cb.get(Ns::kDiskChunk, names[1]);  // miss: cache = {1, 0}
+  cb.get(Ns::kDiskChunk, names[2]);  // miss: evicts 0, cache = {2, 1}
+  EXPECT_EQ(cb.stats().cache_evictions - base.cache_evictions, 1u);
+
+  cb.get(Ns::kDiskChunk, names[1]);  // still resident
+  EXPECT_EQ(cb.stats().cache_hits - base.cache_hits, 2u);
+  cb.get(Ns::kDiskChunk, names[0]);  // evicted above: a miss again
+  EXPECT_EQ(cb.stats().container_reads - base.container_reads, 4u);
+  EXPECT_EQ(cb.stats().container_read_bytes - base.container_read_bytes,
+            4u * 1024u);
+}
+
+TEST(ContainerStore, SweepRemovesOnlyFullyUnreferencedContainers) {
+  MemoryBackend raw;
+  ContainerBackend cb(raw, small_containers(1024));
+  write_chunk(cb, "aa01", 1024, 1);  // fills container 0 exactly
+  write_chunk(cb, "bb02", 1024, 2);  // fills container 1
+  cb.flush();
+  ASSERT_EQ(raw.object_count(Ns::kContainer), 2u);
+
+  // Both containers referenced: nothing to sweep.
+  EXPECT_EQ(cb.sweep_containers().first, 0u);
+
+  ASSERT_TRUE(cb.remove(Ns::kDiskChunk, "aa01"));
+  const auto [removed, reclaimed] = cb.sweep_containers();
+  EXPECT_EQ(removed, 1u);
+  EXPECT_EQ(reclaimed, 1024u);
+  EXPECT_EQ(raw.object_count(Ns::kContainer), 1u);
+  EXPECT_EQ(cb.get(Ns::kDiskChunk, "bb02"), pattern_bytes(1024, 2));
+}
+
+}  // namespace
+}  // namespace mhd

@@ -4,7 +4,9 @@
 
 #include "../dedup/engine_test_util.h"
 #include "mhd/core/mhd_engine.h"
+#include "mhd/store/fault_backend.h"
 #include "mhd/store/memory_backend.h"
+#include "mhd/store/store_errors.h"
 
 namespace mhd {
 namespace {
@@ -72,6 +74,29 @@ TEST_F(RestoreReaderTest, DamagedRepositoryStopsShortNotWrong) {
   const ByteVec out = read_all(*reader);
   EXPECT_TRUE(out.empty());
   EXPECT_FALSE(reader->ok());
+}
+
+TEST_F(RestoreReaderTest, TransientReadErrorIsRetriedInPlace) {
+  // Read #1 is open()'s FileManifest get; #2 is the first chunk
+  // get_range. Both fail once — the bounded retry must absorb each and
+  // the restore must still be byte-exact.
+  FaultInjectingBackend flaky(backend_, FaultPlan::parse("readerr@1,readerr@3"));
+  auto reader = RestoreReader::open(flaky, "a");
+  ASSERT_TRUE(reader.has_value());
+  const ByteVec restored = read_all(*reader);
+  EXPECT_TRUE(equal(restored, a_));
+  EXPECT_TRUE(reader->ok());
+  EXPECT_EQ(reader->transient_retries(), 1u);  // open's retry not counted
+}
+
+TEST_F(RestoreReaderTest, PersistentTransientErrorsExhaustRetryBudget) {
+  // A persistently failing device must surface after the bounded retries
+  // (never spin forever, never fabricate bytes).
+  FaultInjectingBackend dead(backend_, FaultPlan::parse("readerr@2x64"));
+  auto reader = RestoreReader::open(dead, "a");
+  ASSERT_TRUE(reader.has_value());
+  Byte buf[4096];
+  EXPECT_THROW(reader->read({buf, sizeof(buf)}), TransientReadError);
 }
 
 TEST_F(RestoreReaderTest, ProgressAdvancesMonotonically) {
