@@ -1,0 +1,249 @@
+// Multi-tenant daemon throughput: concurrent sessions vs aggregate
+// ingest/restore bandwidth and tail latency.
+//
+//   server_throughput [--sessions=1,4,8] [--files=4] [--file_kb=512]
+//                     [--fault-plan=SPEC|none] [--seed=N]
+//                     [--json=BENCH_server.json]
+//
+// For each session count S the harness starts a fresh in-process daemon
+// on a loopback socket and drives S concurrent client sessions (disjoint
+// tenants) through the real wire protocol: every session PUTs `files`
+// files of `file_kb` KiB (consecutive files share half their content, so
+// the dedup path is exercised), then GETs them all back with byte
+// verification. Each sweep runs twice: clean, and with a deterministic
+// storage fault plan injected below the framing layer (restores absorb
+// the transient read errors through the bounded in-stream retry — the
+// row's `errors` column shows what still surfaced).
+//
+// Reported per (sessions, faults, phase): aggregate MB/s over the phase
+// wall clock and exact p50/p99 per-request latency. BENCH_server.json at
+// the repo root is the recorded baseline (see --json).
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mhd/server/client.h"
+#include "mhd/server/daemon.h"
+#include "mhd/store/fault_backend.h"
+#include "mhd/store/framed_backend.h"
+#include "mhd/store/memory_backend.h"
+#include "mhd/util/flags.h"
+
+namespace {
+
+using namespace mhd;
+using namespace mhd::server;
+using Clock = std::chrono::steady_clock;
+
+ByteVec make_blob(std::uint64_t seed, std::size_t n) {
+  ByteVec v(n);
+  std::uint64_t x = seed * 0x9E3779B97F4A7C15ull + 0x2545F4914F6CDD1Dull;
+  for (auto& b : v) {
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    b = static_cast<Byte>(x >> 32);
+  }
+  return v;
+}
+
+/// `files` blobs per tenant; file k shares its first half with file k-1.
+std::vector<ByteVec> session_files(std::uint64_t tenant, int files,
+                                   std::size_t bytes, std::uint64_t seed) {
+  std::vector<ByteVec> out;
+  for (int k = 0; k < files; ++k) {
+    ByteVec blob = make_blob(seed + tenant * 1000 + k, bytes);
+    if (k > 0) {
+      std::copy(out.back().begin(),
+                out.back().begin() + static_cast<std::ptrdiff_t>(bytes / 2),
+                blob.begin());
+    }
+    out.push_back(std::move(blob));
+  }
+  return out;
+}
+
+struct Row {
+  int sessions = 0;
+  bool faults = false;
+  const char* phase = "";
+  double mb_per_s = 0;
+  std::uint64_t p50_us = 0, p99_us = 0;
+  int errors = 0;
+};
+
+std::uint64_t pct(std::vector<std::uint64_t>& v, double q) {
+  if (v.empty()) return 0;
+  std::sort(v.begin(), v.end());
+  const auto idx = static_cast<std::size_t>(q * (v.size() - 1) + 0.5);
+  return v[std::min(idx, v.size() - 1)];
+}
+
+void run_config(int sessions, const FaultPlan& plan, int files,
+                std::size_t file_bytes, std::uint64_t seed,
+                std::vector<Row>& rows) {
+  MemoryBackend mem;
+  std::optional<FaultInjectingBackend> faulty;
+  StorageBackend* top = &mem;
+  if (!plan.empty()) {
+    faulty.emplace(mem, plan);
+    top = &*faulty;
+  }
+  FramedBackend framed(*top);
+
+  DaemonConfig dc;
+  dc.listen = "tcp:0";
+  dc.max_sessions = static_cast<std::uint32_t>(sessions) + 2;
+  DedupDaemon daemon(framed, mem, dc);
+  daemon.start();
+  const std::string spec = daemon.listen_spec();
+
+  std::mutex agg_mu;
+  std::vector<std::uint64_t> put_us, get_us;
+  std::atomic<int> put_errors{0}, get_errors{0};
+  const std::uint64_t bytes_per_phase =
+      static_cast<std::uint64_t>(sessions) * files * file_bytes;
+
+  const auto ingest_start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int s = 0; s < sessions; ++s) {
+      workers.emplace_back([&, s] {
+        auto client = DedupClient::connect(spec);
+        if (!client) {
+          put_errors += files;
+          return;
+        }
+        const auto data = session_files(s, files, file_bytes, seed);
+        std::vector<std::uint64_t> local;
+        for (int k = 0; k < files; ++k) {
+          const auto t0 = Clock::now();
+          const auto r = client->put_bytes(
+              "s" + std::to_string(s), "f" + std::to_string(k) + ".img",
+              ByteSpan{data[k]});
+          local.push_back(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          if (!r.ok) ++put_errors;
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        put_us.insert(put_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const double ingest_s =
+      std::chrono::duration<double>(Clock::now() - ingest_start).count();
+
+  const auto restore_start = Clock::now();
+  {
+    std::vector<std::thread> workers;
+    for (int s = 0; s < sessions; ++s) {
+      workers.emplace_back([&, s] {
+        auto client = DedupClient::connect(spec);
+        if (!client) {
+          get_errors += files;
+          return;
+        }
+        const auto data = session_files(s, files, file_bytes, seed);
+        std::vector<std::uint64_t> local;
+        for (int k = 0; k < files; ++k) {
+          ByteVec out;
+          const auto t0 = Clock::now();
+          const auto r = client->get(
+              "s" + std::to_string(s), "f" + std::to_string(k) + ".img",
+              [&](ByteSpan chunk) { append(out, chunk); });
+          local.push_back(static_cast<std::uint64_t>(
+              std::chrono::duration_cast<std::chrono::microseconds>(
+                  Clock::now() - t0)
+                  .count()));
+          if (!r.ok || !r.stream_ok || out != data[k]) ++get_errors;
+        }
+        std::lock_guard<std::mutex> lock(agg_mu);
+        get_us.insert(get_us.end(), local.begin(), local.end());
+      });
+    }
+    for (auto& w : workers) w.join();
+  }
+  const double restore_s =
+      std::chrono::duration<double>(Clock::now() - restore_start).count();
+  daemon.stop();
+
+  const double mb = static_cast<double>(bytes_per_phase) / (1024.0 * 1024.0);
+  rows.push_back({sessions, !plan.empty(), "ingest", mb / ingest_s,
+                  pct(put_us, 0.50), pct(put_us, 0.99), put_errors.load()});
+  rows.push_back({sessions, !plan.empty(), "restore", mb / restore_s,
+                  pct(get_us, 0.50), pct(get_us, 0.99), get_errors.load()});
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Flags flags(argc, argv);
+  const auto sessions_list =
+      flags.get_int_list("sessions", std::vector<std::int64_t>{1, 4, 8});
+  const int files = static_cast<int>(flags.get_int("files", 4));
+  const std::size_t file_bytes =
+      static_cast<std::size_t>(flags.get_int("file_kb", 512)) << 10;
+  const std::uint64_t seed =
+      static_cast<std::uint64_t>(flags.get_int("seed", 1));
+  // Transient read errors late in the op stream, absorbed by the restore
+  // retry path; `none` skips the fault sweep entirely.
+  const std::string fault_spec =
+      flags.get("fault-plan", "readerr@40x3,readerr@90x2,seed:7");
+
+  std::vector<Row> rows;
+  for (const auto s : sessions_list) {
+    run_config(static_cast<int>(s), FaultPlan{}, files, file_bytes, seed,
+               rows);
+  }
+  if (fault_spec != "none") {
+    const FaultPlan plan = FaultPlan::parse(fault_spec);
+    for (const auto s : sessions_list) {
+      run_config(static_cast<int>(s), plan, files, file_bytes, seed, rows);
+    }
+  }
+
+  std::printf("%9s %7s %8s %10s %9s %9s %7s\n", "sessions", "faults",
+              "phase", "MB/s", "p50_us", "p99_us", "errors");
+  for (const auto& r : rows) {
+    std::printf("%9d %7s %8s %10.1f %9llu %9llu %7d\n", r.sessions,
+                r.faults ? "yes" : "no", r.phase, r.mb_per_s,
+                static_cast<unsigned long long>(r.p50_us),
+                static_cast<unsigned long long>(r.p99_us), r.errors);
+  }
+
+  const std::string json = flags.get("json", "");
+  if (!json.empty()) {
+    std::ofstream out(json);
+    out << "{\n  \"bench\": \"server_throughput\",\n";
+    out << "  \"files_per_session\": " << files << ",\n";
+    out << "  \"file_kb\": " << (file_bytes >> 10) << ",\n";
+    out << "  \"fault_plan\": \""
+        << (fault_spec == "none" ? "" : fault_spec) << "\",\n";
+    out << "  \"rows\": [\n";
+    for (std::size_t i = 0; i < rows.size(); ++i) {
+      const auto& r = rows[i];
+      char buf[256];
+      std::snprintf(buf, sizeof(buf),
+                    "    {\"sessions\": %d, \"faults\": %s, \"phase\": "
+                    "\"%s\", \"mb_per_s\": %.1f, \"p50_us\": %llu, "
+                    "\"p99_us\": %llu, \"errors\": %d}%s\n",
+                    r.sessions, r.faults ? "true" : "false", r.phase,
+                    r.mb_per_s, static_cast<unsigned long long>(r.p50_us),
+                    static_cast<unsigned long long>(r.p99_us), r.errors,
+                    i + 1 < rows.size() ? "," : "");
+      out << buf;
+    }
+    out << "  ]\n}\n";
+    std::printf("wrote %s\n", json.c_str());
+  }
+  return 0;
+}

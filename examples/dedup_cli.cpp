@@ -13,6 +13,24 @@
 //   ./dedup_cli scrub   <repo_dir>               full integrity check
 //   ./dedup_cli stats   <repo_dir>               repository statistics
 //
+// Daemon mode (the multi-tenant server, see src/mhd/server/):
+//
+//   ./dedup_cli serve <repo_dir>                 run the dedup daemon
+//       --listen=unix:<path>|tcp:<port>  (default unix:<repo>/daemon.sock)
+//       --max-sessions=8 --session-queue-depth=16 --retry-after-ms=100
+//       --tenant-quota-mb=N --tenant-quota-files=N   per-tenant limits
+//       --serve-seconds=N                stop after N seconds (tests)
+//   ./dedup_cli put   <spec> <tenant> <file...>  ingest via a daemon
+//   ./dedup_cli get   <spec> <tenant> <name> <out>
+//   ./dedup_cli ls    <spec> <tenant>            tenant's files (JSON)
+//   ./dedup_cli dstats   <spec>                  daemon stats (JSON)
+//   ./dedup_cli maintain <spec> <gc|fsck>        online maintenance
+//   (<spec> is the daemon's listen spec, e.g. unix:/repo/daemon.sock)
+//
+// Mutating commands (store/verify/delete/gc/serve) take the repository's
+// store.lock: two writers on one repo fail fast with a typed error
+// instead of corrupting each other (see store/store_lock.h).
+//
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
 //          --chunker-impl=auto|scalar|simd
 //          --hash-impl=auto|shani|simd|portable   SHA-1 kernel selection
@@ -45,20 +63,26 @@
 //          --rewrite=none|cbr|har   dedup-time fragmentation control on
 //          container repos: cbr caps distinct old containers per segment,
 //          har rewrites duplicates out of containers that went sparse.
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <fstream>
 #include <optional>
+#include <thread>
 
 #include "mhd/core/mhd_engine.h"
 #include "mhd/dedup/rewrite.h"
 #include "mhd/index/persistent_index.h"
 #include "mhd/metrics/metrics.h"
+#include "mhd/server/client.h"
+#include "mhd/server/daemon.h"
 #include "mhd/store/container_store.h"
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/file_backend.h"
 #include "mhd/store/framed_backend.h"
 #include "mhd/store/maintenance.h"
 #include "mhd/store/restore_reader.h"
+#include "mhd/store/store_lock.h"
 #include "mhd/util/flags.h"
 
 namespace {
@@ -195,6 +219,7 @@ int cmd_store(const Flags& flags, bool verify_after) {
     std::fprintf(stderr, "usage: dedup_cli store <repo> <file...>\n");
     return 2;
   }
+  const StoreLock lock = StoreLock::acquire(args[1]);
   BackendStack stack(args[1], flags);
   ObjectStore store(stack.active());
   MhdEngine engine(store, config_from(flags, stack.active()));
@@ -317,6 +342,7 @@ int cmd_delete(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli delete <repo> <name...>\n");
     return 2;
   }
+  const StoreLock lock = StoreLock::acquire(args[1]);
   BackendStack stack(args[1], flags);
   int missing = 0;
   for (std::size_t i = 2; i < args.size(); ++i) {
@@ -336,6 +362,7 @@ int cmd_gc(const Flags& flags) {
     std::fprintf(stderr, "usage: dedup_cli gc <repo>\n");
     return 2;
   }
+  const StoreLock lock = StoreLock::acquire(args[1]);
   BackendStack stack(args[1], flags);
   const auto r = collect_garbage(stack.active());
   std::printf("gc: %llu live chunks kept, %llu chunks deleted (%.2f MB "
@@ -431,6 +458,148 @@ int cmd_stats(const Flags& flags) {
   return 0;
 }
 
+volatile std::sig_atomic_t g_stop_requested = 0;
+void on_stop_signal(int) { g_stop_requested = 1; }
+
+int cmd_serve(const Flags& flags) {
+  const auto& args = flags.positional();
+  if (args.size() != 2) {
+    std::fprintf(stderr, "usage: dedup_cli serve <repo>\n");
+    return 2;
+  }
+  // The daemon is THE single writer of the repository for its lifetime.
+  const StoreLock lock = StoreLock::acquire(args[1]);
+  BackendStack stack(args[1], flags);
+
+  server::DaemonConfig dc;
+  dc.listen = flags.get("listen", "unix:" + args[1] + "/daemon.sock");
+  dc.max_sessions = static_cast<std::uint32_t>(
+      flags.get_uint("max-sessions", 8, 1, 1024));
+  dc.session_queue_depth = static_cast<std::uint32_t>(
+      flags.get_uint("session-queue-depth", 16, 1, 4096));
+  dc.retry_after_ms = static_cast<std::uint32_t>(
+      flags.get_uint("retry-after-ms", 100, 1, 60000));
+  dc.quota.max_logical_bytes = flags.get_size(
+      "tenant-quota-mb", 0, 0, 1ull << 50, /*unit=*/1ull << 20);
+  dc.quota.max_files = flags.get_uint("tenant-quota-files", 0, 0, 1ull << 32);
+  dc.engine = config_from(flags, stack.active());
+
+  server::DedupDaemon daemon(stack.active(), stack.file(), dc);
+  daemon.start();
+  std::printf("dedup daemon listening on %s (max %u sessions, queue depth "
+              "%u)\n",
+              daemon.listen_spec().c_str(), dc.max_sessions,
+              dc.session_queue_depth);
+  std::fflush(stdout);
+
+  std::signal(SIGINT, on_stop_signal);
+  std::signal(SIGTERM, on_stop_signal);
+  const std::uint64_t serve_seconds =
+      flags.get_uint("serve-seconds", 0, 0, 86400);
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::seconds(serve_seconds);
+  while (!g_stop_requested) {
+    if (serve_seconds != 0 && std::chrono::steady_clock::now() >= deadline) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  }
+  daemon.stop();
+  std::printf("daemon stopped: %llu sessions served, %llu busy rejections\n",
+              static_cast<unsigned long long>(daemon.sessions_served()),
+              static_cast<unsigned long long>(daemon.busy_rejections()));
+  std::printf("%s\n", daemon.stats_json().c_str());
+  return 0;
+}
+
+int report(const server::DedupClient::Result& r) {
+  if (r.ok) {
+    std::printf("%s\n", r.message.c_str());
+    return 0;
+  }
+  if (r.busy) {
+    std::fprintf(stderr, "daemon busy, retry after %u ms\n", r.retry_after_ms);
+    return 3;
+  }
+  std::fprintf(stderr, "%s%s\n", r.quota ? "quota: " : "error: ",
+               r.message.c_str());
+  return 1;
+}
+
+int cmd_client_put(const Flags& flags) {
+  const auto& args = flags.positional();
+  if (args.size() < 4) {
+    std::fprintf(stderr, "usage: dedup_cli put <spec> <tenant> <file...>\n");
+    return 2;
+  }
+  auto client = server::DedupClient::connect(args[1]);
+  if (!client) {
+    std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
+    return 1;
+  }
+  for (std::size_t i = 3; i < args.size(); ++i) {
+    FileSource src(args[i]);
+    if (!src.ok()) {
+      std::fprintf(stderr, "cannot open %s\n", args[i].c_str());
+      return 1;
+    }
+    const int rc = report(client->put(args[2], args[i], src));
+    if (rc != 0) return rc;
+  }
+  return 0;
+}
+
+int cmd_client_get(const Flags& flags) {
+  const auto& args = flags.positional();
+  if (args.size() != 5) {
+    std::fprintf(stderr, "usage: dedup_cli get <spec> <tenant> <name> <out>\n");
+    return 2;
+  }
+  auto client = server::DedupClient::connect(args[1]);
+  if (!client) {
+    std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
+    return 1;
+  }
+  std::ofstream out(args[4], std::ios::binary | std::ios::trunc);
+  const auto r = client->get(args[2], args[3], [&](ByteSpan chunk) {
+    out.write(reinterpret_cast<const char*>(chunk.data()),
+              static_cast<std::streamsize>(chunk.size()));
+  });
+  if (!r.ok) {
+    std::fprintf(stderr, "%s\n", r.message.c_str());
+    return r.busy ? 3 : 1;
+  }
+  std::printf("restored %s -> %s (%llu bytes)\n", args[3].c_str(),
+              args[4].c_str(), static_cast<unsigned long long>(r.produced));
+  return 0;
+}
+
+int cmd_client_simple(const Flags& flags, const char* what) {
+  const auto& args = flags.positional();
+  const bool needs_tenant = std::string(what) == "ls";
+  const bool needs_op = std::string(what) == "maintain";
+  if (args.size() != (needs_tenant || needs_op ? 3u : 2u)) {
+    std::fprintf(stderr, "usage: dedup_cli %s <spec>%s\n", what,
+                 needs_tenant ? " <tenant>" : (needs_op ? " <gc|fsck>" : ""));
+    return 2;
+  }
+  auto client = server::DedupClient::connect(args[1]);
+  if (!client) {
+    std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
+    return 1;
+  }
+  if (needs_tenant) return report(client->ls(args[2]));
+  if (needs_op) {
+    if (args[2] == "gc") return report(client->maintain(server::MaintainOp::kGc));
+    if (args[2] == "fsck") {
+      return report(client->maintain(server::MaintainOp::kFsck));
+    }
+    std::fprintf(stderr, "unknown maintenance op: %s\n", args[2].c_str());
+    return 2;
+  }
+  return report(client->stats());
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -449,6 +618,15 @@ int main(int argc, char** argv) {
     if (args[0] == "gc") return cmd_gc(flags);
     if (args[0] == "scrub") return cmd_scrub(flags);
     if (args[0] == "stats") return cmd_stats(flags);
+    if (args[0] == "serve") return cmd_serve(flags);
+    if (args[0] == "put") return cmd_client_put(flags);
+    if (args[0] == "get") return cmd_client_get(flags);
+    if (args[0] == "ls") return cmd_client_simple(flags, "ls");
+    if (args[0] == "dstats") return cmd_client_simple(flags, "dstats");
+    if (args[0] == "maintain") return cmd_client_simple(flags, "maintain");
+  } catch (const mhd::StoreLockedError& e) {
+    std::fprintf(stderr, "%s\n", e.what());
+    return 4;
   } catch (const mhd::CorruptObjectError& e) {
     std::fprintf(stderr, "%s\nrun 'fsck_cli repair <repo>' to recover\n",
                  e.what());

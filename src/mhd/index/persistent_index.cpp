@@ -217,6 +217,11 @@ std::uint32_t normalize_shards(std::uint32_t shards) {
   return pow2;
 }
 
+bool entry_equal(const IndexEntry& a, const IndexEntry& b) {
+  return a.manifest == b.manifest && a.offset == b.offset &&
+         a.container == b.container;
+}
+
 }  // namespace
 
 PersistentIndex::PersistentIndex(StorageBackend& backend,
@@ -239,15 +244,19 @@ PersistentIndex::PersistentIndex(StorageBackend& backend,
             if (page.dirty) write_page_at(shard, page.pending_gen, page);
           },
           cfg_.cache_bytes, [](const Page& page) { return page.weight(); }) {
+  // The constructor is single-threaded by contract (nobody shares an index
+  // that is still being opened); it uses the same locking helpers as
+  // steady state, just without contention.
   const auto meta_payload = get_unsealed(backend_, kMetaName);
   const auto meta = meta_payload ? parse_meta(*meta_payload) : std::nullopt;
+  if (meta) cfg_.shards = meta->shards;  // geometry owned by the repository
+  init_shards();
   if (meta) {
-    cfg_.shards = meta->shards;  // geometry is owned by the repository
     gens_ = meta->gens;
     first_seq_ = meta->first_seq;
     next_seq_ = meta->first_seq;  // re-discovered by the forward scan
     page_count_ = meta->page_count;
-    count_ = meta->page_count;
+    count_.store(meta->page_count, std::memory_order_relaxed);
     bool bloom_loaded = false;
     if (const auto bloom_payload = get_unsealed(backend_, kBloomName)) {
       if (auto filter = BloomFilter::deserialize(*bloom_payload)) {
@@ -270,6 +279,14 @@ PersistentIndex::PersistentIndex(StorageBackend& backend,
   note_ram();
 }
 
+void PersistentIndex::init_shards() {
+  shards_.clear();
+  shards_.reserve(cfg_.shards);
+  for (std::uint32_t s = 0; s < cfg_.shards; ++s) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
 bool PersistentIndex::present(const StorageBackend& backend) {
   return backend.exists(Ns::kIndex, kMetaName);
 }
@@ -278,30 +295,40 @@ std::uint32_t PersistentIndex::shard_of(const Digest& fp) const {
   return static_cast<std::uint32_t>(fp.prefix64() & (cfg_.shards - 1));
 }
 
-PersistentIndex::Page& PersistentIndex::load_page(std::uint32_t shard) {
-  if (Page* hit = cache_.get(shard)) return *hit;
-  Page page;
-  const std::string name = shard_object_name(shard, gens_[shard]);
-  bool exists = false;
-  try {
-    exists = backend_.exists(Ns::kIndex, name);
-  } catch (const StoreError&) {
-    exists = false;
-  }
-  if (exists) {
-    const auto payload = get_unsealed(backend_, name);
-    auto recs = payload ? parse_page(*payload, shard) : std::nullopt;
-    if (recs) {
-      page.recs = std::move(*recs);
-    } else {
-      // Damaged page: treat as empty — its entries degrade to missed
-      // duplicates, which is always safe.
-      ++corrupt_pages_;
+std::optional<IndexEntry> PersistentIndex::probe_page(std::uint32_t shard,
+                                                      const Digest& fp) {
+  std::lock_guard<std::mutex> lock(cache_mu_);
+  Page* page = cache_.get(shard);
+  if (!page) {
+    Page fresh;
+    const std::string name = shard_object_name(shard, gens_[shard]);
+    bool exists = false;
+    try {
+      exists = backend_.exists(Ns::kIndex, name);
+    } catch (const StoreError&) {
+      exists = false;
     }
+    if (exists) {
+      const auto payload = get_unsealed(backend_, name);
+      auto recs = payload ? parse_page(*payload, shard) : std::nullopt;
+      if (recs) {
+        fresh.recs = std::move(*recs);
+      } else {
+        // Damaged page: treat as empty — its entries degrade to missed
+        // duplicates, which is always safe.
+        ++corrupt_pages_;
+      }
+    }
+    page = &cache_.put(shard, std::move(fresh));
+    page_cache_high_water_ =
+        std::max(page_cache_high_water_, cache_.total_weight());
   }
-  Page& placed = cache_.put(shard, std::move(page));
-  note_ram();
-  return placed;
+  index_detail::Rec probe;
+  probe.fp = fp;
+  const auto it = std::lower_bound(page->recs.begin(), page->recs.end(),
+                                   probe, rec_less);
+  if (it == page->recs.end() || !(it->fp == fp)) return std::nullopt;
+  return IndexEntry{it->manifest, it->offset, it->container};
 }
 
 void PersistentIndex::write_page_at(std::uint32_t shard, std::uint32_t gen,
@@ -311,47 +338,56 @@ void PersistentIndex::write_page_at(std::uint32_t shard, std::uint32_t gen,
 }
 
 std::optional<IndexEntry> PersistentIndex::lookup_quiet(const Digest& fp) {
-  const auto dit = delta_.find(fp);
-  if (dit != delta_.end()) {
-    if (!dit->second) return std::nullopt;  // tombstone
-    return *dit->second;
+  const std::uint32_t s = shard_of(fp);
+  {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const auto dit = shards_[s]->delta.find(fp);
+    if (dit != shards_[s]->delta.end()) {
+      if (!dit->second) return std::nullopt;  // tombstone
+      return *dit->second;
+    }
   }
-  const Page& page = load_page(shard_of(fp));
-  index_detail::Rec probe;
-  probe.fp = fp;
-  const auto it = std::lower_bound(page.recs.begin(), page.recs.end(), probe,
-                                   rec_less);
-  if (it == page.recs.end() || !(it->fp == fp)) return std::nullopt;
-  return IndexEntry{it->manifest, it->offset, it->container};
-}
-
-std::optional<IndexEntry> PersistentIndex::lookup_locked(const Digest& fp) {
-  const auto dit = delta_.find(fp);
-  if (dit != delta_.end()) {
-    if (!dit->second) return std::nullopt;
-    return *dit->second;
-  }
-  if (!bloom_.maybe_contains(fp.prefix64())) return std::nullopt;
-  return lookup_quiet(fp);
+  return probe_page(s, fp);
 }
 
 std::optional<IndexEntry> PersistentIndex::lookup(const Digest& fp) {
-  std::lock_guard<std::mutex> lock(mu_);
-  return lookup_locked(fp);
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
+  const std::uint32_t s = shard_of(fp);
+  {
+    std::lock_guard<std::mutex> lock(shards_[s]->mu);
+    const auto dit = shards_[s]->delta.find(fp);
+    if (dit != shards_[s]->delta.end()) {
+      if (!dit->second) return std::nullopt;
+      return *dit->second;
+    }
+  }
+  {
+    std::lock_guard<std::mutex> lock(bloom_mu_);
+    if (!bloom_.maybe_contains(fp.prefix64())) return std::nullopt;
+  }
+  const auto hit = probe_page(s, fp);
+  // A read-only workload still churns pages through the cache; the total
+  // RAM high-water must cover that growth, not just mutation paths.
+  note_ram();
+  return hit;
 }
 
 void PersistentIndex::append_journal_record(Byte op, const Digest& fp,
                                             const IndexEntry& e) {
+  std::lock_guard<std::mutex> lock(journal_mu_);
   pending_.push_back(op);
   append_digest(pending_, fp);
   append_digest(pending_, e.manifest);
   append_le(pending_, e.offset);
   append_le(pending_, e.container);
   ++pending_count_;
-  if (pending_count_ >= cfg_.journal_batch) write_pending_segment();
+  journal_records_.fetch_add(1, std::memory_order_relaxed);
+  // Group commit: whichever session fills the batch seals the whole
+  // window — its own records and every other session's — as one segment.
+  if (pending_count_ >= cfg_.journal_batch) write_pending_segment_locked();
 }
 
-void PersistentIndex::write_pending_segment() {
+void PersistentIndex::write_pending_segment_locked() {
   if (pending_count_ == 0) return;
   ByteVec payload;
   payload.reserve(12 + pending_.size());
@@ -362,110 +398,193 @@ void PersistentIndex::write_pending_segment() {
   backend_.put(Ns::kIndex, journal_object_name(next_seq_),
                framing::seal_object(payload));
   ++next_seq_;
+  journal_segments_.fetch_add(1, std::memory_order_relaxed);
   pending_.clear();
   pending_count_ = 0;
 }
 
 void PersistentIndex::put(const Digest& fp, const IndexEntry& entry) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto prev = lookup_locked(fp);
-  if (prev && prev->manifest == entry.manifest &&
-      prev->offset == entry.offset && prev->container == entry.container) {
-    return;  // no-op put: don't journal warm-restart re-learns
+  bool want_compact = false;
+  {
+    std::shared_lock<std::shared_mutex> sl(struct_mu_);
+    const std::uint32_t s = shard_of(fp);
+    std::lock_guard<std::mutex> sg(shards_[s]->mu);
+    auto& delta = shards_[s]->delta;
+
+    std::optional<IndexEntry> prev;
+    const auto dit = delta.find(fp);
+    if (dit != delta.end()) {
+      prev = dit->second;  // nullopt = tombstone
+    } else {
+      bool maybe;
+      {
+        std::lock_guard<std::mutex> bl(bloom_mu_);
+        maybe = bloom_.maybe_contains(fp.prefix64());
+      }
+      if (maybe) prev = probe_page(s, fp);
+    }
+    if (prev && entry_equal(*prev, entry)) {
+      return;  // no-op put: don't journal warm-restart re-learns
+    }
+    if (dit == delta.end()) delta_total_.fetch_add(1, std::memory_order_relaxed);
+    delta[fp] = entry;
+    if (!prev) count_.fetch_add(1, std::memory_order_relaxed);
+    {
+      std::lock_guard<std::mutex> bl(bloom_mu_);
+      bloom_.insert(fp.prefix64());
+    }
+    append_journal_record(Byte{1}, fp, entry);
+    want_compact =
+        delta_total_.load(std::memory_order_relaxed) >= cfg_.compact_threshold;
+    note_ram();
   }
-  delta_[fp] = entry;
-  bloom_.insert(fp.prefix64());
-  if (!prev) ++count_;
-  append_journal_record(Byte{1}, fp, entry);
-  if (delta_.size() >= cfg_.compact_threshold) compact_locked();
-  note_ram();
+  if (want_compact) {
+    std::unique_lock<std::shared_mutex> ul(struct_mu_);
+    if (delta_total_.load(std::memory_order_relaxed) >= cfg_.compact_threshold) {
+      compact_exclusive();
+    }
+  }
 }
 
 bool PersistentIndex::erase(const Digest& fp) {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto prev = lookup_locked(fp);
-  if (!prev) return false;
-  delta_[fp] = std::nullopt;
-  --count_;
-  append_journal_record(Byte{0}, fp, IndexEntry{});
-  if (delta_.size() >= cfg_.compact_threshold) compact_locked();
-  note_ram();
-  return true;
+  bool want_compact = false;
+  bool erased = false;
+  {
+    std::shared_lock<std::shared_mutex> sl(struct_mu_);
+    const std::uint32_t s = shard_of(fp);
+    std::lock_guard<std::mutex> sg(shards_[s]->mu);
+    auto& delta = shards_[s]->delta;
+
+    std::optional<IndexEntry> prev;
+    const auto dit = delta.find(fp);
+    if (dit != delta.end()) {
+      prev = dit->second;
+    } else {
+      bool maybe;
+      {
+        std::lock_guard<std::mutex> bl(bloom_mu_);
+        maybe = bloom_.maybe_contains(fp.prefix64());
+      }
+      if (maybe) prev = probe_page(s, fp);
+    }
+    if (!prev) return false;
+    if (dit == delta.end()) delta_total_.fetch_add(1, std::memory_order_relaxed);
+    delta[fp] = std::nullopt;
+    count_.fetch_sub(1, std::memory_order_relaxed);
+    append_journal_record(Byte{0}, fp, IndexEntry{});
+    want_compact =
+        delta_total_.load(std::memory_order_relaxed) >= cfg_.compact_threshold;
+    note_ram();
+    erased = true;
+  }
+  if (want_compact) {
+    std::unique_lock<std::shared_mutex> ul(struct_mu_);
+    if (delta_total_.load(std::memory_order_relaxed) >= cfg_.compact_threshold) {
+      compact_exclusive();
+    }
+  }
+  return erased;
 }
 
 bool PersistentIndex::maybe_contains(const Digest& fp) const {
-  std::lock_guard<std::mutex> lock(mu_);
-  const auto dit = delta_.find(fp);
-  if (dit != delta_.end()) return dit->second.has_value();
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
+  auto* self = const_cast<PersistentIndex*>(this);
+  const std::uint32_t s = self->shard_of(fp);
+  {
+    std::lock_guard<std::mutex> lock(self->shards_[s]->mu);
+    const auto dit = self->shards_[s]->delta.find(fp);
+    if (dit != self->shards_[s]->delta.end()) return dit->second.has_value();
+  }
+  std::lock_guard<std::mutex> bl(bloom_mu_);
   return bloom_.maybe_contains(fp.prefix64());
 }
 
 void PersistentIndex::flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  write_pending_segment();
+  std::unique_lock<std::shared_mutex> ul(struct_mu_);
+  {
+    std::lock_guard<std::mutex> jl(journal_mu_);
+    write_pending_segment_locked();
+  }
   write_bloom();
   write_meta();
 }
 
 std::uint64_t PersistentIndex::entry_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return count_;
+  return count_.load(std::memory_order_relaxed);
 }
 
 std::uint64_t PersistentIndex::ram_bytes() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ram_bytes_locked();
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
+  return ram_bytes_estimate();
 }
 
 std::uint64_t PersistentIndex::ram_high_water() const {
-  std::lock_guard<std::mutex> lock(mu_);
-  return ram_high_water_;
+  return ram_high_water_.load(std::memory_order_relaxed);
 }
 
 void PersistentIndex::compact() {
-  std::lock_guard<std::mutex> lock(mu_);
-  compact_locked();
-  note_ram();
+  std::unique_lock<std::shared_mutex> ul(struct_mu_);
+  compact_exclusive();
 }
 
 std::uint64_t PersistentIndex::journal_segment_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
+  std::lock_guard<std::mutex> jl(journal_mu_);
   return next_seq_ - first_seq_;
 }
 
 std::uint64_t PersistentIndex::compaction_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
   return compactions_;
 }
 
 std::uint64_t PersistentIndex::page_cache_ram_high_water() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   return page_cache_high_water_;
 }
 
 std::uint64_t PersistentIndex::corrupt_page_reads() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(cache_mu_);
   return corrupt_pages_;
 }
 
-void PersistentIndex::compact_locked() {
-  if (delta_.empty()) return;
+std::uint64_t PersistentIndex::journal_records_appended() const {
+  return journal_records_.load(std::memory_order_relaxed);
+}
+
+std::uint64_t PersistentIndex::journal_segments_written() const {
+  return journal_segments_.load(std::memory_order_relaxed);
+}
+
+void PersistentIndex::compact_exclusive() {
+  // Exclusive on struct_mu_: every shard, the cache, the bloom and the
+  // journal belong to this thread — the leaf locks are taken only where a
+  // helper shared with the point-op path insists on them.
+  if (delta_total_.load(std::memory_order_relaxed) == 0) return;
   // The pending batch becomes a segment first so the journal covers every
   // acknowledged op in the pre-commit crash window.
-  write_pending_segment();
-
-  std::unordered_map<std::uint32_t, std::vector<
-      std::pair<Digest, DeltaValue>>> by_shard;
-  for (const auto& [fp, value] : delta_) {
-    by_shard[shard_of(fp)].emplace_back(fp, value);
+  {
+    std::lock_guard<std::mutex> jl(journal_mu_);
+    write_pending_segment_locked();
   }
 
   const std::uint64_t old_first = first_seq_;
   std::vector<std::pair<std::uint32_t, std::uint32_t>> replaced;  // shard,gen
-  for (auto& [shard, ops] : by_shard) {
-    Page& page = load_page(shard);
-    std::vector<index_detail::Rec> merged = page.recs;
-    for (const auto& [fp, value] : ops) {
+  for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
+    auto& delta = shards_[shard]->delta;
+    if (delta.empty()) continue;
+    // Prime the cache entry through the probe path (loads the page), then
+    // mutate it in place under cache_mu_.
+    probe_page(shard, delta.begin()->first);
+    std::lock_guard<std::mutex> cl(cache_mu_);
+    Page* page = cache_.get(shard);
+    if (!page) {
+      // Evicted between probe and lock (only possible if the cache budget
+      // is absurdly small); reload through put of an empty page.
+      page = &cache_.put(shard, Page{});
+    }
+    std::vector<index_detail::Rec> merged = page->recs;
+    for (const auto& [fp, value] : delta) {
       index_detail::Rec probe;
       probe.fp = fp;
       const auto it = std::lower_bound(merged.begin(), merged.end(), probe,
@@ -484,19 +603,21 @@ void PersistentIndex::compact_locked() {
       }
     }
     const std::uint32_t new_gen = gens_[shard] + 1;
-    const std::uint64_t old_weight = page.weight();
-    page.recs = std::move(merged);
-    page.dirty = false;
-    page.pending_gen = new_gen;
-    write_page_at(shard, new_gen, page);
+    const std::uint64_t old_weight = page->weight();
+    page->recs = std::move(merged);
+    page->dirty = false;
+    page->pending_gen = new_gen;
+    write_page_at(shard, new_gen, *page);
     cache_.reweigh(shard, old_weight);
+    page_cache_high_water_ =
+        std::max(page_cache_high_water_, cache_.total_weight());
     replaced.emplace_back(shard, gens_[shard]);
   }
 
   // COMMIT: the meta names the new generations and discards the journal.
   for (const auto& [shard, old_gen] : replaced) gens_[shard] = old_gen + 1;
   first_seq_ = next_seq_;
-  page_count_ = count_;
+  page_count_ = count_.load(std::memory_order_relaxed);
   write_meta();
 
   // Post-commit cleanup; a crash here only leaves sweepable garbage.
@@ -506,7 +627,8 @@ void PersistentIndex::compact_locked() {
   for (std::uint64_t seq = old_first; seq < first_seq_; ++seq) {
     backend_.remove(Ns::kIndex, journal_object_name(seq));
   }
-  delta_.clear();
+  for (auto& shard : shards_) shard->delta.clear();
+  delta_total_.store(0, std::memory_order_relaxed);
   ++compactions_;
   note_ram();
 }
@@ -572,14 +694,21 @@ void PersistentIndex::replay_journal() {
     }
     for (const auto& jr : *recs) {
       const auto prev = lookup_quiet(jr.rec.fp);
+      auto& shard = *shards_[shard_of(jr.rec.fp)];
       if (jr.op == Byte{1}) {
-        if (!prev) ++count_;
-        delta_[jr.rec.fp] =
+        if (!prev) count_.fetch_add(1, std::memory_order_relaxed);
+        if (shard.delta.find(jr.rec.fp) == shard.delta.end()) {
+          delta_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard.delta[jr.rec.fp] =
             IndexEntry{jr.rec.manifest, jr.rec.offset, jr.rec.container};
         bloom_.insert(jr.rec.fp.prefix64());
       } else {
-        if (prev) --count_;
-        delta_[jr.rec.fp] = std::nullopt;
+        if (prev) count_.fetch_sub(1, std::memory_order_relaxed);
+        if (shard.delta.find(jr.rec.fp) == shard.delta.end()) {
+          delta_total_.fetch_add(1, std::memory_order_relaxed);
+        }
+        shard.delta[jr.rec.fp] = std::nullopt;
       }
     }
   }
@@ -612,10 +741,11 @@ void PersistentIndex::rebuild_from_hooks() {
   }
   gens_.assign(cfg_.shards, 0);
   first_seq_ = next_seq_ = 0;
-  delta_.clear();
+  for (auto& shard : shards_) shard->delta.clear();
+  delta_total_.store(0, std::memory_order_relaxed);
   pending_.clear();
   pending_count_ = 0;
-  count_ = 0;
+  count_.store(0, std::memory_order_relaxed);
   bloom_ = make_bloom(cfg_);
 
   std::vector<std::vector<index_detail::Rec>> pages(cfg_.shards);
@@ -636,6 +766,7 @@ void PersistentIndex::rebuild_from_hooks() {
     rec.offset = 0;  // unknown after rebuild; engines confirm via manifest
     pages[shard_of(fp)].push_back(rec);
   }
+  std::uint64_t total = 0;
   for (std::uint32_t shard = 0; shard < cfg_.shards; ++shard) {
     auto& recs = pages[shard];
     std::sort(recs.begin(), recs.end(), rec_less);
@@ -645,7 +776,7 @@ void PersistentIndex::rebuild_from_hooks() {
                              return a.fp == b.fp;
                            }),
                recs.end());
-    count_ += recs.size();
+    total += recs.size();
     for (const auto& rec : recs) bloom_.insert(rec.fp.prefix64());
     if (!recs.empty()) {
       Page page;
@@ -653,24 +784,41 @@ void PersistentIndex::rebuild_from_hooks() {
       write_page_at(shard, 0, page);
     }
   }
-  page_count_ = count_;
+  count_.store(total, std::memory_order_relaxed);
+  page_count_ = total;
   write_meta();
   write_bloom();
 }
 
-std::uint64_t PersistentIndex::ram_bytes_locked() const {
-  return bloom_.size_bytes() + cache_.total_weight() +
-         delta_.size() * kDeltaEntryRamBytes + pending_.capacity();
+std::uint64_t PersistentIndex::ram_bytes_estimate() const {
+  std::uint64_t total =
+      delta_total_.load(std::memory_order_relaxed) * kDeltaEntryRamBytes;
+  {
+    std::lock_guard<std::mutex> bl(bloom_mu_);
+    total += bloom_.size_bytes();
+  }
+  {
+    std::lock_guard<std::mutex> cl(cache_mu_);
+    total += cache_.total_weight();
+  }
+  {
+    std::lock_guard<std::mutex> jl(journal_mu_);
+    total += pending_.capacity();
+  }
+  return total;
 }
 
 void PersistentIndex::note_ram() {
-  ram_high_water_ = std::max(ram_high_water_, ram_bytes_locked());
-  page_cache_high_water_ =
-      std::max(page_cache_high_water_, cache_.total_weight());
+  const std::uint64_t now = ram_bytes_estimate();
+  std::uint64_t seen = ram_high_water_.load(std::memory_order_relaxed);
+  while (now > seen &&
+         !ram_high_water_.compare_exchange_weak(seen, now,
+                                                std::memory_order_relaxed)) {
+  }
 }
 
 void PersistentIndex::save_warm_list(const std::vector<Digest>& names) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ul(struct_mu_);
   ByteVec payload;
   payload.reserve(16 + names.size() * Digest::kSize);
   append_le(payload, kWarmMagic);
@@ -681,7 +829,7 @@ void PersistentIndex::save_warm_list(const std::vector<Digest>& names) {
 }
 
 std::vector<Digest> PersistentIndex::load_warm_list() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
   const auto payload = get_unsealed(backend_, kWarmName);
   if (!payload) return {};
   constexpr std::size_t kHeader = 4 + 4 + 8;
@@ -699,13 +847,13 @@ std::vector<Digest> PersistentIndex::load_warm_list() const {
 }
 
 void PersistentIndex::save_aux(const std::string& name, ByteSpan payload) {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::shared_mutex> ul(struct_mu_);
   backend_.put(Ns::kIndex, "aux-" + name, framing::seal_object(payload));
 }
 
 std::optional<ByteVec> PersistentIndex::load_aux(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_lock<std::shared_mutex> sl(struct_mu_);
   return get_unsealed(backend_, "aux-" + name);
 }
 

@@ -33,11 +33,36 @@
 // ones before the meta commit), fronted by the bloom filter. RAM is
 // bounded by cache_bytes + the delta/bloom, not by index size.
 //
+// Concurrency (the multi-tenant daemon's requirement): point operations
+// from many sessions run in parallel under FINE-GRAINED SHARD LOCKING.
+// The lock hierarchy, outermost first:
+//
+//   struct_mu_ (shared_mutex)   point ops hold it shared; structural
+//                               changes (compaction, flush, warm/aux
+//                               writes, rebuild) hold it exclusive
+//   shard mutex                 one per bucket shard, serializes the
+//                               delta entries of that shard
+//   leaf mutexes                bloom_mu_ / cache_mu_ / journal_mu_,
+//                               acquired one at a time, never nested
+//
+// Journal appends are GROUP-COMMITTED: sessions push records into one
+// shared pending batch under journal_mu_, and whichever session crosses
+// the batch boundary seals the whole batch — records from all sessions —
+// as a single journal segment (one backend write instead of one per
+// record). journal_records_appended()/journal_segments_written() expose
+// the achieved batching ratio.
+//
 // The index is advisory: a lost entry costs a missed duplicate, never a
-// wrong restore. All methods are thread-safe (single mutex).
+// wrong restore. Lookups may race puts and observe either order — both
+// answers are correct by that contract. The *backend* must tolerate
+// concurrent calls (the daemon interposes SyncBackend; single-threaded
+// callers need nothing).
 #pragma once
 
+#include <atomic>
+#include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -57,7 +82,8 @@ struct PersistentIndexConfig {
   /// Bloom sizing (--index-bloom-bits-per-key) for `expected_keys`.
   std::uint32_t bloom_bits_per_key = 10;
   std::uint64_t expected_keys = 1u << 20;
-  /// Journal records buffered in RAM before a segment object is written.
+  /// Journal records buffered in RAM before a segment object is written —
+  /// the group-commit window shared by every concurrent session.
   std::uint32_t journal_batch = 64;
   /// Delta entries that trigger folding the journal into the pages.
   std::uint64_t compact_threshold = 4096;
@@ -108,6 +134,14 @@ class PersistentIndex final : public FingerprintIndex {
   std::uint64_t page_cache_ram_high_water() const;
   std::uint64_t page_cache_budget() const { return cfg_.cache_bytes; }
 
+  /// Group-commit observability: put/erase records appended since open vs
+  /// journal segment objects actually written. records/segments is the
+  /// achieved batch size — with S concurrent sessions it approaches
+  /// journal_batch, i.e. one backend write absorbs a whole cross-session
+  /// window of appends.
+  std::uint64_t journal_records_appended() const;
+  std::uint64_t journal_segments_written() const;
+
   /// Warm-restart residency snapshot: manifest names MRU-first.
   void save_warm_list(const std::vector<Digest>& names);
   std::vector<Digest> load_warm_list() const;
@@ -133,41 +167,68 @@ class PersistentIndex final : public FingerprintIndex {
   /// Delta value: engaged = put, disengaged = erase tombstone.
   using DeltaValue = std::optional<IndexEntry>;
 
+  /// Per-shard write state: the shard's slice of the delta map under its
+  /// own mutex. Point ops lock exactly one shard; compaction (exclusive
+  /// on struct_mu_) owns them all without locking.
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<Digest, DeltaValue, DigestHasher> delta;
+  };
+
   std::uint32_t shard_of(const Digest& fp) const;
-  Page& load_page(std::uint32_t shard);
+  /// Sorted-page probe: loads the shard page through the cache and copies
+  /// the match out, all under cache_mu_ (the returned value never aliases
+  /// cache memory). Counts a corrupt page exactly once per load.
+  std::optional<IndexEntry> probe_page(std::uint32_t shard, const Digest& fp);
+  /// Ground-truth point lookup (delta, then page — no bloom): the ctor's
+  /// journal replay and the no-op-put check use it.
+  std::optional<IndexEntry> lookup_quiet(const Digest& fp);
   void write_page_at(std::uint32_t shard, std::uint32_t gen,
                      const Page& page);
-  std::optional<IndexEntry> lookup_locked(const Digest& fp);
-  std::optional<IndexEntry> lookup_quiet(const Digest& fp);
+  /// Appends one record to the shared pending batch (journal_mu_), sealing
+  /// a full batch as one segment — the group-commit point.
   void append_journal_record(Byte op, const Digest& fp, const IndexEntry& e);
-  void write_pending_segment();
+  /// Caller holds journal_mu_ or struct_mu_ exclusively.
+  void write_pending_segment_locked();
   void rebuild_bloom_from_pages();
   void replay_journal();
   void sweep_stale_objects();
   void rebuild_from_hooks();
-  void compact_locked();
+  /// Caller holds struct_mu_ exclusively (or is the constructor).
+  void compact_exclusive();
   void write_meta();
   void write_bloom();
-  std::uint64_t ram_bytes_locked() const;
+  void init_shards();
+  std::uint64_t ram_bytes_estimate() const;
   void note_ram();
 
   StorageBackend& backend_;
   PersistentIndexConfig cfg_;
   BloomFilter bloom_;
   LruCache<std::uint32_t, Page> cache_;
-  std::unordered_map<Digest, DeltaValue, DigestHasher> delta_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+
   ByteVec pending_;               ///< serialized records of the open batch
   std::uint32_t pending_count_ = 0;
   std::vector<std::uint32_t> gens_;  ///< live generation per shard
   std::uint64_t first_seq_ = 0;      ///< oldest live journal segment
   std::uint64_t next_seq_ = 0;       ///< next segment number to write
-  std::uint64_t count_ = 0;          ///< exact live entry count
   std::uint64_t page_count_ = 0;     ///< entries folded into pages (meta)
   std::uint64_t compactions_ = 0;
-  std::uint64_t corrupt_pages_ = 0;
-  std::uint64_t ram_high_water_ = 0;
-  std::uint64_t page_cache_high_water_ = 0;
-  mutable std::mutex mu_;
+  std::uint64_t corrupt_pages_ = 0;        ///< guarded by cache_mu_
+  std::uint64_t page_cache_high_water_ = 0;  ///< guarded by cache_mu_
+
+  std::atomic<std::uint64_t> count_{0};        ///< exact live entry count
+  std::atomic<std::uint64_t> delta_total_{0};  ///< entries across shards
+  std::atomic<std::uint64_t> journal_records_{0};
+  std::atomic<std::uint64_t> journal_segments_{0};
+  std::atomic<std::uint64_t> ram_high_water_{0};
+
+  /// Lock hierarchy — see file comment. struct_mu_ > shard.mu > leaves.
+  mutable std::shared_mutex struct_mu_;
+  mutable std::mutex bloom_mu_;
+  mutable std::mutex cache_mu_;
+  mutable std::mutex journal_mu_;
 };
 
 /// True when the backend holds a persistent fingerprint index.

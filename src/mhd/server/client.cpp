@@ -1,0 +1,178 @@
+#include "mhd/server/client.h"
+
+#include <unistd.h>
+
+namespace mhd::server {
+
+std::optional<DedupClient> DedupClient::connect(const std::string& spec) {
+  const int fd = connect_to(spec);
+  if (fd < 0) return std::nullopt;
+  return DedupClient(fd);
+}
+
+DedupClient::~DedupClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+DedupClient::DedupClient(DedupClient&& other) noexcept : fd_(other.fd_) {
+  other.fd_ = -1;
+}
+
+DedupClient::Result DedupClient::read_response() {
+  Result r;
+  Frame frame;
+  if (!read_frame(fd_, frame)) {
+    r.message = "connection closed by daemon";
+    return r;
+  }
+  const std::string text(reinterpret_cast<const char*>(frame.payload.data()),
+                         frame.payload.size());
+  switch (frame.type) {
+    case MsgType::kOk:
+      r.ok = true;
+      r.message = text;
+      break;
+    case MsgType::kBusy:
+      r.busy = true;
+      if (frame.payload.size() >= 4) {
+        r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
+      }
+      r.message = "daemon busy";
+      break;
+    case MsgType::kQuota:
+      r.quota = true;
+      r.message = text;
+      break;
+    default:
+      r.message = text.empty() ? "daemon error" : text;
+      break;
+  }
+  return r;
+}
+
+DedupClient::Result DedupClient::put(const std::string& tenant,
+                                     const std::string& name,
+                                     ByteSource& src) {
+  try {
+    ByteVec begin;
+    append_string(begin, tenant);
+    append_string(begin, name);
+    write_frame(fd_, MsgType::kPutBegin, ByteSpan{begin});
+    ByteVec buf(kStreamFrameBytes);
+    std::size_t n;
+    while ((n = src.read({buf.data(), buf.size()})) > 0) {
+      write_frame(fd_, MsgType::kPutData, ByteSpan{buf.data(), n});
+    }
+    write_frame(fd_, MsgType::kPutEnd, ByteSpan{});
+  } catch (const ProtocolError&) {
+    // The daemon may have aborted the stream (quota, invalid tenant) and
+    // already queued its verdict; try to read it before giving up.
+  }
+  try {
+    return read_response();
+  } catch (const ProtocolError& e) {
+    Result r;
+    r.message = e.what();
+    return r;
+  }
+}
+
+DedupClient::Result DedupClient::put_bytes(const std::string& tenant,
+                                           const std::string& name,
+                                           ByteSpan data) {
+  MemorySource src(data);
+  return put(tenant, name, src);
+}
+
+DedupClient::GetResult DedupClient::get(
+    const std::string& tenant, const std::string& name,
+    const std::function<void(ByteSpan)>& sink) {
+  GetResult r;
+  try {
+    ByteVec req;
+    append_string(req, tenant);
+    append_string(req, name);
+    write_frame(fd_, MsgType::kGet, ByteSpan{req});
+    Frame frame;
+    while (read_frame(fd_, frame)) {
+      if (frame.type == MsgType::kData) {
+        if (sink) sink(ByteSpan{frame.payload});
+        continue;
+      }
+      if (frame.type == MsgType::kDataEnd) {
+        if (frame.payload.size() >= 9) {
+          r.produced = load_le<std::uint64_t>(frame.payload.data());
+          r.stream_ok = frame.payload[8] == Byte{1};
+        }
+        r.ok = r.stream_ok;
+        if (!r.stream_ok) r.message = "restore incomplete (damaged store)";
+        return r;
+      }
+      if (frame.type == MsgType::kBusy) {
+        r.busy = true;
+        if (frame.payload.size() >= 4) {
+          r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
+        }
+        r.message = "daemon busy";
+        return r;
+      }
+      r.message.assign(reinterpret_cast<const char*>(frame.payload.data()),
+                       frame.payload.size());
+      return r;
+    }
+    r.message = "connection closed by daemon";
+  } catch (const ProtocolError& e) {
+    r.message = e.what();
+  }
+  return r;
+}
+
+DedupClient::Result DedupClient::ls(const std::string& tenant) {
+  try {
+    ByteVec req;
+    append_string(req, tenant);
+    write_frame(fd_, MsgType::kLs, ByteSpan{req});
+    return read_response();
+  } catch (const ProtocolError& e) {
+    Result r;
+    r.message = e.what();
+    return r;
+  }
+}
+
+DedupClient::Result DedupClient::stats() {
+  try {
+    write_frame(fd_, MsgType::kStats, ByteSpan{});
+    return read_response();
+  } catch (const ProtocolError& e) {
+    Result r;
+    r.message = e.what();
+    return r;
+  }
+}
+
+DedupClient::Result DedupClient::maintain(MaintainOp op) {
+  try {
+    ByteVec req;
+    req.push_back(static_cast<Byte>(op));
+    write_frame(fd_, MsgType::kMaintain, ByteSpan{req});
+    return read_response();
+  } catch (const ProtocolError& e) {
+    Result r;
+    r.message = e.what();
+    return r;
+  }
+}
+
+DedupClient::Result DedupClient::ping() {
+  try {
+    write_frame(fd_, MsgType::kPing, ByteSpan{});
+    return read_response();
+  } catch (const ProtocolError& e) {
+    Result r;
+    r.message = e.what();
+    return r;
+  }
+}
+
+}  // namespace mhd::server

@@ -1,0 +1,68 @@
+// DedupClient — typed client for the daemon protocol.
+//
+// One connection, one request at a time (the protocol is strict
+// request/response). Results carry the admission-control outcome
+// explicitly: `busy` + retry_after_ms when the daemon is at its session
+// limit (callers are expected to back off and retry), `quota` when a PUT
+// hit the tenant's limits. Both CLI subcommands and the server tests
+// drive the daemon exclusively through this class.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "mhd/chunk/byte_source.h"
+#include "mhd/server/protocol.h"
+
+namespace mhd::server {
+
+class DedupClient {
+ public:
+  /// Connects to "unix:<path>" or "tcp:<port>"; nullopt on failure.
+  static std::optional<DedupClient> connect(const std::string& spec);
+  ~DedupClient();
+  DedupClient(DedupClient&& other) noexcept;
+  DedupClient& operator=(DedupClient&&) = delete;
+  DedupClient(const DedupClient&) = delete;
+  DedupClient& operator=(const DedupClient&) = delete;
+
+  struct Result {
+    bool ok = false;
+    bool busy = false;    ///< daemon at max sessions; retry after hint
+    bool quota = false;   ///< tenant quota exceeded
+    std::uint32_t retry_after_ms = 0;
+    std::string message;  ///< Ok payload (JSON where structured) or error
+  };
+
+  struct GetResult : Result {
+    std::uint64_t produced = 0;
+    /// False when the daemon hit damaged objects mid-restore (short
+    /// stream, never wrong bytes).
+    bool stream_ok = false;
+  };
+
+  /// Streams `src` as the tenant's file `name`.
+  Result put(const std::string& tenant, const std::string& name,
+             ByteSource& src);
+  Result put_bytes(const std::string& tenant, const std::string& name,
+                   ByteSpan data);
+
+  /// Streams the restored bytes into `sink` chunk by chunk.
+  GetResult get(const std::string& tenant, const std::string& name,
+                const std::function<void(ByteSpan)>& sink);
+
+  Result ls(const std::string& tenant);  ///< message: JSON file array
+  Result stats();                        ///< message: JSON daemon stats
+  Result maintain(MaintainOp op);        ///< message: JSON report
+  Result ping();
+
+ private:
+  explicit DedupClient(int fd) : fd_(fd) {}
+  Result read_response();
+
+  int fd_ = -1;
+};
+
+}  // namespace mhd::server

@@ -1,0 +1,584 @@
+#include "mhd/server/daemon.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <exception>
+#include <set>
+#include <vector>
+
+#include "mhd/core/mhd_engine.h"
+#include "mhd/metrics/json_export.h"
+#include "mhd/pipeline/bounded_queue.h"
+#include "mhd/server/protocol.h"
+#include "mhd/store/maintenance.h"
+#include "mhd/store/object_store.h"
+#include "mhd/store/restore_reader.h"
+#include "mhd/store/scrub.h"
+
+namespace mhd::server {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t elapsed_us(Clock::time_point start) {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            start)
+          .count());
+}
+
+/// ByteSource over the PUT session's BoundedQueue: the dedup worker pulls
+/// from here while the socket pump pushes PutData payloads in.
+class QueueSource final : public ByteSource {
+ public:
+  explicit QueueSource(BoundedQueue<ByteVec>& queue) : queue_(&queue) {}
+
+  std::size_t read(MutByteSpan out) override {
+    std::size_t done = 0;
+    while (done < out.size()) {
+      if (pos_ == current_.size()) {
+        if (!queue_->pop(current_)) return done;  // closed and drained
+        pos_ = 0;
+        continue;
+      }
+      const std::size_t n =
+          std::min(out.size() - done, current_.size() - pos_);
+      std::copy(current_.begin() + static_cast<std::ptrdiff_t>(pos_),
+                current_.begin() + static_cast<std::ptrdiff_t>(pos_ + n),
+                out.begin() + static_cast<std::ptrdiff_t>(done));
+      pos_ += n;
+      done += n;
+    }
+    return done;
+  }
+
+ private:
+  BoundedQueue<ByteVec>* queue_;
+  ByteVec current_;
+  std::size_t pos_ = 0;
+};
+
+/// Graceful rejection: the response frame is already queued; FIN our write
+/// side and drain (bounded) whatever the peer is still streaming, so the
+/// close never turns into an RST that destroys the undelivered response.
+void drain_rejected(int fd) {
+  ::shutdown(fd, SHUT_WR);
+  timeval tv{2, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  char sink[4096];
+  while (::recv(fd, sink, sizeof(sink), 0) > 0) {
+  }
+}
+
+}  // namespace
+
+DedupDaemon::DedupDaemon(StorageBackend& active, StorageBackend& raw,
+                         DaemonConfig cfg)
+    : sync_(active), raw_(raw), cfg_(std::move(cfg)) {
+  if (cfg_.max_sessions == 0) cfg_.max_sessions = 1;
+  if (cfg_.session_queue_depth == 0) cfg_.session_queue_depth = 1;
+}
+
+DedupDaemon::~DedupDaemon() { stop(); }
+
+void DedupDaemon::start() {
+  listener_.listen(cfg_.listen);
+  running_.store(true);
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void DedupDaemon::stop() {
+  if (!running_.exchange(false)) return;
+  listener_.wake();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Unblock sessions stuck in socket reads, then join them all.
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (auto& slot : sessions_) {
+      if (!slot->done.load() && slot->fd >= 0) {
+        ::shutdown(slot->fd, SHUT_RDWR);
+      }
+    }
+  }
+  for (;;) {
+    std::unique_ptr<SessionSlot> slot;
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      if (sessions_.empty()) break;
+      slot = std::move(sessions_.front());
+      sessions_.pop_front();
+    }
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+  listener_.close();
+}
+
+std::string DedupDaemon::listen_spec() const {
+  if (listener_.port() != 0) return "tcp:" + std::to_string(listener_.port());
+  return listener_.spec();
+}
+
+void DedupDaemon::reap_finished_sessions() {
+  std::list<std::unique_ptr<SessionSlot>> finished;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    for (auto it = sessions_.begin(); it != sessions_.end();) {
+      if ((*it)->done.load()) {
+        finished.push_back(std::move(*it));
+        it = sessions_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  for (auto& slot : finished) {
+    if (slot->thread.joinable()) slot->thread.join();
+  }
+}
+
+void DedupDaemon::accept_loop() {
+  while (running_.load()) {
+    const int fd = listener_.accept();
+    if (fd < 0) break;  // woken for shutdown or listener error
+    reap_finished_sessions();
+    // Admission control: reject beyond max_sessions with an explicit
+    // retry hint rather than queueing unbounded connections.
+    std::uint32_t active = active_sessions_.load();
+    bool admitted = false;
+    while (active < cfg_.max_sessions) {
+      if (active_sessions_.compare_exchange_weak(active, active + 1)) {
+        admitted = true;
+        break;
+      }
+    }
+    if (!admitted) {
+      busy_rejections_.fetch_add(1);
+      ByteVec payload;
+      append_le(payload, cfg_.retry_after_ms);
+      try {
+        write_frame(fd, MsgType::kBusy, ByteSpan{payload});
+      } catch (const ProtocolError&) {
+      }
+      drain_rejected(fd);
+      ::close(fd);
+      continue;
+    }
+    // A stalled peer must not pin a session slot (and with it the shared
+    // maintenance lock) forever.
+    timeval tv{30, 0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    auto slot = std::make_unique<SessionSlot>();
+    slot->fd = fd;
+    SessionSlot* raw_slot = slot.get();
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      sessions_.push_back(std::move(slot));
+    }
+    raw_slot->thread = std::thread([this, raw_slot] {
+      serve_connection(*raw_slot);
+      ::close(raw_slot->fd);
+      active_sessions_.fetch_sub(1);
+      sessions_served_.fetch_add(1);
+      raw_slot->done.store(true);
+    });
+  }
+}
+
+void DedupDaemon::serve_connection(SessionSlot& slot) {
+  const int fd = slot.fd;
+  try {
+    Frame frame;
+    while (read_frame(fd, frame)) {
+      switch (frame.type) {
+        case MsgType::kPing: {
+          std::shared_lock<std::shared_mutex> maint(maint_mu_);
+          write_frame(fd, MsgType::kOk, std::string("pong"));
+          break;
+        }
+        case MsgType::kStats: {
+          std::shared_lock<std::shared_mutex> maint(maint_mu_);
+          write_frame(fd, MsgType::kOk, stats_json());
+          break;
+        }
+        case MsgType::kPutBegin: {
+          std::shared_lock<std::shared_mutex> maint(maint_mu_);
+          handle_put(fd, ByteSpan{frame.payload});
+          break;
+        }
+        case MsgType::kGet: {
+          std::shared_lock<std::shared_mutex> maint(maint_mu_);
+          handle_get(fd, ByteSpan{frame.payload});
+          break;
+        }
+        case MsgType::kLs: {
+          std::shared_lock<std::shared_mutex> maint(maint_mu_);
+          handle_ls(fd, ByteSpan{frame.payload});
+          break;
+        }
+        case MsgType::kMaintain:
+          // Takes maint_mu_ exclusively itself — must not hold it shared.
+          handle_maintain(fd, ByteSpan{frame.payload});
+          break;
+        default:
+          write_frame(fd, MsgType::kErr, std::string("unexpected frame"));
+          return;  // protocol state lost; drop the connection
+      }
+    }
+  } catch (const ProtocolError&) {
+    // Malformed peer / reset / stalled past SO_RCVTIMEO: drop silently.
+  } catch (const std::exception& e) {
+    try {
+      write_frame(fd, MsgType::kErr, std::string(e.what()));
+    } catch (const ProtocolError&) {
+    }
+  }
+}
+
+DedupDaemon::TenantState& DedupDaemon::tenant(const std::string& id) {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  auto& slot = tenants_[id];
+  if (!slot) slot = std::make_unique<TenantState>();
+  return *slot;
+}
+
+void DedupDaemon::seed_tenant(const std::string& id, TenantState& ts) {
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    if (ts.seeded) return;
+  }
+  // Repository scan outside the registry lock (it reads objects).
+  TenantView view(sync_, id);
+  const auto files = scan_tenant_files(view);
+  std::uint64_t bytes = 0;
+  for (const auto& f : files) bytes += f.bytes;
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  if (ts.seeded) return;
+  ts.seeded = true;
+  ts.files = files.size();
+  ts.logical_bytes = bytes;
+}
+
+void DedupDaemon::handle_put(int fd, ByteSpan payload) {
+  const auto start = Clock::now();
+  std::size_t pos = 0;
+  const auto tenant_id = read_string(payload, pos);
+  const auto file_name = read_string(payload, pos);
+  if (!tenant_id || !file_name || file_name->empty()) {
+    throw ProtocolError("malformed PutBegin");
+  }
+  if (const auto reason = validate_tenant(*tenant_id)) {
+    write_frame(fd, MsgType::kErr, *reason);
+    drain_rejected(fd);
+    throw ProtocolError("invalid tenant id");  // drop: data frames follow
+  }
+
+  TenantState& ts = tenant(*tenant_id);
+  // One writer per tenant namespace; cross-tenant PUTs stay concurrent.
+  std::lock_guard<std::mutex> writer(ts.write_mu);
+  seed_tenant(*tenant_id, ts);
+
+  std::uint64_t base_bytes = 0, base_files = 0;
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    base_bytes = ts.logical_bytes;
+    base_files = ts.files;
+  }
+  const auto& quota = cfg_.quota;
+  if (quota.max_files != 0 && base_files + 1 > quota.max_files) {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    ++ts.counters.quota_rejections;
+    write_frame(fd, MsgType::kQuota,
+                "file count limit " + std::to_string(quota.max_files) +
+                    " reached");
+    drain_rejected(fd);
+    throw ProtocolError("quota: file count");
+  }
+
+  // Dedup worker: per-tenant engine over the shared synchronized stack.
+  BoundedQueue<ByteVec> queue(cfg_.session_queue_depth);
+  EngineCounters counters;
+  std::exception_ptr worker_error;
+  std::thread worker([&] {
+    try {
+      TenantView view(sync_, *tenant_id);
+      ObjectStore store(view);
+      MhdEngine engine(store, cfg_.engine);
+      QueueSource src(queue);
+      engine.add_file(*file_name, src);
+      engine.end_snapshot();
+      engine.finish();
+      counters = engine.counters();
+    } catch (...) {
+      worker_error = std::current_exception();
+      // Unblock the pump if it is mid-push.
+      queue.fail(std::make_exception_ptr(
+          ProtocolError("ingest worker failed")));
+    }
+  });
+
+  // Socket pump: stream PutData frames into the queue until PutEnd. The
+  // bounded queue is the backpressure point — when the worker lags, push
+  // blocks, we stop reading, and transport flow control reaches the peer.
+  std::uint64_t streamed = 0;
+  bool over_quota = false;
+  std::string pump_error;
+  try {
+    Frame frame;
+    while (true) {
+      if (!read_frame(fd, frame)) {
+        pump_error = "connection closed mid-PUT";
+        break;
+      }
+      if (frame.type == MsgType::kPutEnd) break;
+      if (frame.type != MsgType::kPutData) {
+        pump_error = "unexpected frame inside PUT";
+        break;
+      }
+      streamed += frame.payload.size();
+      if (quota.max_logical_bytes != 0 &&
+          base_bytes + streamed > quota.max_logical_bytes) {
+        over_quota = true;
+        break;
+      }
+      try {
+        queue.push(std::move(frame.payload));
+      } catch (const ProtocolError&) {
+        break;  // worker already failed; its error is authoritative
+      }
+    }
+  } catch (const ProtocolError& e) {
+    pump_error = e.what();
+  }
+
+  if (over_quota || !pump_error.empty()) {
+    queue.fail(std::make_exception_ptr(QuotaExceededError(
+        *tenant_id, over_quota ? "aborted mid-stream" : pump_error)));
+  } else {
+    queue.close();
+  }
+  worker.join();
+
+  const std::uint64_t us = elapsed_us(start);
+  if (over_quota) {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    ++ts.counters.quota_rejections;
+    write_frame(fd, MsgType::kQuota,
+                "logical byte limit " +
+                    std::to_string(quota.max_logical_bytes) + " exceeded");
+    // Partially written chunks are unreferenced garbage; the next gc
+    // maintenance pass reclaims them.
+    drain_rejected(fd);
+    throw ProtocolError("quota: logical bytes");
+  }
+  if (!pump_error.empty()) throw ProtocolError(pump_error);
+  if (worker_error) {
+    try {
+      std::rethrow_exception(worker_error);
+    } catch (const std::exception& e) {
+      write_frame(fd, MsgType::kErr, std::string(e.what()));
+      return;
+    }
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    ts.files += 1;
+    ts.logical_bytes += counters.input_bytes;
+    ++ts.counters.puts;
+    ts.counters.files = ts.files;
+    ts.counters.logical_bytes = ts.logical_bytes;
+    ts.counters.ingest_bytes += counters.input_bytes;
+    ts.counters.dup_bytes += counters.dup_bytes;
+    ts.counters.queue_high_water =
+        std::max<std::uint64_t>(ts.counters.queue_high_water,
+                                queue.high_water());
+    ts.put_us.record(us);
+  }
+  std::string summary = "{\"file\":\"" + json_escape(*file_name) +
+                        "\",\"input_bytes\":" +
+                        std::to_string(counters.input_bytes) +
+                        ",\"dup_bytes\":" + std::to_string(counters.dup_bytes) +
+                        ",\"micros\":" + std::to_string(us) + "}";
+  write_frame(fd, MsgType::kOk, summary);
+}
+
+void DedupDaemon::handle_get(int fd, ByteSpan payload) {
+  const auto start = Clock::now();
+  std::size_t pos = 0;
+  const auto tenant_id = read_string(payload, pos);
+  const auto file_name = read_string(payload, pos);
+  if (!tenant_id || !file_name) throw ProtocolError("malformed Get");
+  if (const auto reason = validate_tenant(*tenant_id)) {
+    write_frame(fd, MsgType::kErr, *reason);
+    return;
+  }
+
+  // Restores need no engine and no tenant write lock: RestoreReader is a
+  // read-only stream over the tenant view, safe concurrently with
+  // everything (the synchronized stack linearizes the object reads).
+  TenantView view(sync_, *tenant_id);
+  auto reader = RestoreReader::open(view, *file_name);
+  if (!reader) {
+    write_frame(fd, MsgType::kErr,
+                "no such file in tenant '" + *tenant_id + "': " + *file_name);
+    return;
+  }
+  ByteVec buf(kStreamFrameBytes);
+  std::size_t n;
+  while ((n = reader->read({buf.data(), buf.size()})) > 0) {
+    write_frame(fd, MsgType::kData, ByteSpan{buf.data(), n});
+  }
+  ByteVec tail;
+  append_le(tail, reader->produced());
+  tail.push_back(reader->ok() ? Byte{1} : Byte{0});
+  write_frame(fd, MsgType::kDataEnd, ByteSpan{tail});
+
+  TenantState& ts = tenant(*tenant_id);
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  ++ts.counters.gets;
+  ts.counters.restore_bytes += reader->produced();
+  ts.get_us.record(elapsed_us(start));
+}
+
+void DedupDaemon::handle_ls(int fd, ByteSpan payload) {
+  std::size_t pos = 0;
+  const auto tenant_id = read_string(payload, pos);
+  if (!tenant_id) throw ProtocolError("malformed Ls");
+  if (const auto reason = validate_tenant(*tenant_id)) {
+    write_frame(fd, MsgType::kErr, *reason);
+    return;
+  }
+  TenantView view(sync_, *tenant_id);
+  std::string json = "[";
+  bool first = true;
+  for (const auto& f : scan_tenant_files(view)) {
+    if (!first) json += ",";
+    first = false;
+    json += "{\"name\":\"" + json_escape(f.name) +
+            "\",\"bytes\":" + std::to_string(f.bytes) + "}";
+  }
+  json += "]";
+  write_frame(fd, MsgType::kOk, json);
+}
+
+std::vector<std::string> DedupDaemon::discover_tenants() const {
+  // Every daemon-written object carries a `<tenant>.` prefix; union the
+  // prefixes across the namespaces a tenant can leave objects in (a
+  // tenant whose files were all deleted still has chunks until gc runs).
+  std::set<std::string> ids;
+  for (const Ns ns : {Ns::kFileManifest, Ns::kManifest, Ns::kHook,
+                      Ns::kDiskChunk}) {
+    for (const auto& name : sync_.list(ns)) {
+      const auto dot = name.find('.');
+      if (dot == std::string::npos) continue;
+      const std::string id = name.substr(0, dot);
+      if (!validate_tenant(id)) ids.insert(id);
+    }
+  }
+  return {ids.begin(), ids.end()};
+}
+
+void DedupDaemon::handle_maintain(int fd, ByteSpan payload) {
+  if (payload.size() != 1) throw ProtocolError("malformed Maintain");
+  const auto op = static_cast<MaintainOp>(payload[0]);
+  // Quiesce: wait for in-flight requests to drain, hold off new ones.
+  // Engines exist only for the duration of a PUT, so a quiesced daemon
+  // has no live index/container state to invalidate.
+  std::unique_lock<std::shared_mutex> maint(maint_mu_);
+  maintenance_runs_.fetch_add(1);
+  // Maintenance runs PER TENANT, through the same namespace view the
+  // sessions use: hooks, manifests and index objects reference each other
+  // by unprefixed digest names, so only a view resolves them correctly.
+  // (Physical container reclamation needs the ContainerBackend itself and
+  // stays an offline `dedup_cli gc` operation.)
+  const auto tenants = discover_tenants();
+  if (op == MaintainOp::kGc) {
+    GcReport total;
+    for (const auto& id : tenants) {
+      TenantView view(sync_, id);
+      const auto r = collect_garbage(view);
+      total.live_chunks += r.live_chunks;
+      total.deleted_chunks += r.deleted_chunks;
+      total.reclaimed_bytes += r.reclaimed_bytes;
+      total.deleted_manifests += r.deleted_manifests;
+      total.deleted_hooks += r.deleted_hooks;
+      total.index_rebuilt = total.index_rebuilt || r.index_rebuilt;
+    }
+    write_frame(
+        fd, MsgType::kOk,
+        "{\"op\":\"gc\",\"tenants\":" + std::to_string(tenants.size()) +
+            ",\"live_chunks\":" + std::to_string(total.live_chunks) +
+            ",\"deleted_chunks\":" + std::to_string(total.deleted_chunks) +
+            ",\"reclaimed_bytes\":" + std::to_string(total.reclaimed_bytes) +
+            ",\"index_rebuilt\":" +
+            (total.index_rebuilt ? "true" : "false") + "}");
+    return;
+  }
+  if (op == MaintainOp::kFsck) {
+    // Read-only integrity pass (scrub semantics) — safe on every repo
+    // flavour; repairing fsck remains an offline fsck_cli operation.
+    bool clean = true;
+    std::uint64_t file_manifests = 0, chunks = 0, corrupt = 0, dangling = 0;
+    for (const auto& id : tenants) {
+      TenantView view(sync_, id);
+      const auto r = scrub_repository(view);
+      clean = clean && r.clean();
+      file_manifests += r.file_manifests;
+      chunks += r.chunks;
+      corrupt += r.corrupt_objects;
+      dangling += r.dangling_hooks;
+    }
+    write_frame(
+        fd, MsgType::kOk,
+        std::string("{\"op\":\"fsck\",\"tenants\":") +
+            std::to_string(tenants.size()) +
+            ",\"clean\":" + (clean ? "true" : "false") +
+            ",\"file_manifests\":" + std::to_string(file_manifests) +
+            ",\"chunks\":" + std::to_string(chunks) +
+            ",\"corrupt_objects\":" + std::to_string(corrupt) +
+            ",\"dangling_hooks\":" + std::to_string(dangling) + "}");
+    return;
+  }
+  write_frame(fd, MsgType::kErr, std::string("unknown maintenance op"));
+}
+
+std::string DedupDaemon::stats_json() const {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  std::string json = "{";
+  json += "\"active_sessions\":" + std::to_string(active_sessions_.load());
+  json += ",\"sessions_served\":" + std::to_string(sessions_served_.load());
+  json += ",\"busy_rejections\":" + std::to_string(busy_rejections_.load());
+  json += ",\"maintenance_runs\":" + std::to_string(maintenance_runs_.load());
+  json += ",\"max_sessions\":" + std::to_string(cfg_.max_sessions);
+  json += ",\"session_queue_depth\":" +
+          std::to_string(cfg_.session_queue_depth);
+  json += ",\"tenants\":{";
+  bool first = true;
+  for (const auto& [id, ts] : tenants_) {
+    if (!first) json += ",";
+    first = false;
+    const auto& c = ts->counters;
+    json += "\"" + json_escape(id) + "\":{";
+    json += "\"puts\":" + std::to_string(c.puts);
+    json += ",\"gets\":" + std::to_string(c.gets);
+    json += ",\"files\":" + std::to_string(ts->files);
+    json += ",\"logical_bytes\":" + std::to_string(ts->logical_bytes);
+    json += ",\"ingest_bytes\":" + std::to_string(c.ingest_bytes);
+    json += ",\"restore_bytes\":" + std::to_string(c.restore_bytes);
+    json += ",\"dup_bytes\":" + std::to_string(c.dup_bytes);
+    json += ",\"queue_high_water\":" + std::to_string(c.queue_high_water);
+    json += ",\"quota_rejections\":" + std::to_string(c.quota_rejections);
+    json += ",\"put_p50_us\":" + std::to_string(ts->put_us.quantile(0.5));
+    json += ",\"put_p99_us\":" + std::to_string(ts->put_us.quantile(0.99));
+    json += ",\"get_p50_us\":" + std::to_string(ts->get_us.quantile(0.5));
+    json += ",\"get_p99_us\":" + std::to_string(ts->get_us.quantile(0.99));
+    json += "}";
+  }
+  json += "}}";
+  return json;
+}
+
+}  // namespace mhd::server

@@ -1,0 +1,166 @@
+// DedupDaemon — the long-running multi-tenant dedup server.
+//
+// One daemon owns one repository (the caller holds the StoreLock) and
+// serves many concurrent ingest/restore sessions over the protocol in
+// protocol.h. Architecture, per connection:
+//
+//   accept thread ── admission check ──▶ session thread
+//                                         PUT: socket pump ─▶ BoundedQueue
+//                                              ─▶ dedup worker thread
+//                                         GET: RestoreReader streaming
+//
+// Sharing and isolation:
+//   * every session sees the repository through a TenantView (namespace
+//     prefix, see tenant_view.h) stacked on ONE SyncBackend that
+//     linearizes the physical store;
+//   * engines are per-PUT and per-tenant: a tenant's PUTs serialize on
+//     the tenant's write mutex (one writer per namespace), while PUTs of
+//     different tenants and all GETs run concurrently;
+//   * GETs never construct an engine — RestoreReader streams straight
+//     from the (read-only) tenant view, so restore storms scale with
+//     sessions, not with engine state.
+//
+// Admission control: at most max_sessions concurrent sessions; a rejected
+// connection receives Busy(retry_after_ms) and is closed, and the
+// rejection is counted. Within a PUT, the BoundedQueue between the socket
+// pump and the dedup worker bounds buffered data; a full queue stops the
+// socket reads and lets transport flow control push back to the client.
+//
+// Online maintenance: gc/fsck take the maintenance lock exclusively —
+// they wait for in-flight requests to drain and hold off new ones, run
+// against the quiesced store, then resume. Safe because engines only live
+// for the duration of a PUT (nothing holds index state across requests).
+//
+// Quotas: per-tenant logical-byte and file-count limits, seeded from the
+// repository on the tenant's first touch and enforced during streaming;
+// an over-quota PUT is aborted mid-stream with a Quota response.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+
+#include "mhd/dedup/engine.h"
+#include "mhd/server/latency_histogram.h"
+#include "mhd/server/protocol.h"
+#include "mhd/server/tenant_view.h"
+#include "mhd/store/sync_backend.h"
+
+namespace mhd::server {
+
+struct DaemonConfig {
+  /// "unix:<path>" or "tcp:<port>" (loopback; 0 = ephemeral, see port()).
+  std::string listen = "tcp:0";
+  std::uint32_t max_sessions = 8;
+  /// PutData frames buffered between socket pump and dedup worker.
+  std::uint32_t session_queue_depth = 16;
+  /// Suggested client back-off returned with Busy responses.
+  std::uint32_t retry_after_ms = 100;
+  TenantQuota quota;  ///< applied to every tenant
+  EngineConfig engine;
+};
+
+/// Point-in-time counters for one tenant (stats RPC / tests).
+struct TenantCounters {
+  std::uint64_t puts = 0;
+  std::uint64_t gets = 0;
+  std::uint64_t files = 0;
+  std::uint64_t logical_bytes = 0;
+  std::uint64_t ingest_bytes = 0;
+  std::uint64_t restore_bytes = 0;
+  std::uint64_t dup_bytes = 0;
+  std::uint64_t queue_high_water = 0;  ///< max PutData queue depth seen
+  std::uint64_t quota_rejections = 0;
+  std::uint64_t put_p50_us = 0, put_p99_us = 0;
+  std::uint64_t get_p50_us = 0, get_p99_us = 0;
+};
+
+class DedupDaemon {
+ public:
+  /// `active` is the top of the repository's backend stack (container/
+  /// framed/fault layers applied); `raw` its physical bottom, which fsck
+  /// needs. The daemon interposes its own SyncBackend — the caller's
+  /// stack need not be thread-safe.
+  DedupDaemon(StorageBackend& active, StorageBackend& raw, DaemonConfig cfg);
+  ~DedupDaemon();
+
+  DedupDaemon(const DedupDaemon&) = delete;
+  DedupDaemon& operator=(const DedupDaemon&) = delete;
+
+  /// Binds the listener and starts accepting. Throws on bind failure.
+  void start();
+  /// Stops accepting, unblocks and joins every session, closes the
+  /// listener. Idempotent.
+  void stop();
+
+  /// Resolved listen spec ("tcp:<real port>" after an ephemeral bind).
+  std::string listen_spec() const;
+  int port() const { return listener_.port(); }
+
+  /// The stats RPC's payload (also reachable without a connection).
+  std::string stats_json() const;
+
+  std::uint64_t sessions_served() const { return sessions_served_.load(); }
+  std::uint64_t busy_rejections() const { return busy_rejections_.load(); }
+  std::uint32_t active_sessions() const { return active_sessions_.load(); }
+
+ private:
+  struct TenantState {
+    std::mutex write_mu;  ///< one writer per tenant namespace
+    bool seeded = false;
+    std::uint64_t files = 0;
+    std::uint64_t logical_bytes = 0;
+    TenantCounters counters;
+    LatencyHistogram put_us;
+    LatencyHistogram get_us;
+  };
+
+  struct SessionSlot {
+    std::thread thread;
+    std::atomic<bool> done{false};
+    int fd = -1;
+  };
+
+  void accept_loop();
+  void serve_connection(SessionSlot& slot);
+  /// Request handlers; each runs under the maintenance lock (shared).
+  void handle_put(int fd, ByteSpan payload);
+  void handle_get(int fd, ByteSpan payload);
+  void handle_ls(int fd, ByteSpan payload);
+  void handle_maintain(int fd, ByteSpan payload);
+
+  TenantState& tenant(const std::string& id);
+  /// Tenant ids present in the repository (from object-name prefixes).
+  std::vector<std::string> discover_tenants() const;
+  /// First-touch quota seeding from the repository (caller holds the
+  /// tenant's write_mu or is otherwise the only accessor).
+  void seed_tenant(const std::string& id, TenantState& ts);
+  void reap_finished_sessions();
+
+  SyncBackend sync_;       ///< linearizes the shared stack for sessions
+  StorageBackend& raw_;    ///< physical layer (fsck target)
+  DaemonConfig cfg_;
+  Listener listener_;
+  std::thread accept_thread_;
+  std::atomic<bool> running_{false};
+
+  /// Maintenance lock: requests shared, gc/fsck exclusive (quiesce).
+  std::shared_mutex maint_mu_;
+
+  mutable std::mutex reg_mu_;  ///< tenants_ + sessions_ + counter updates
+  std::map<std::string, std::unique_ptr<TenantState>> tenants_;
+  std::list<std::unique_ptr<SessionSlot>> sessions_;
+
+  std::atomic<std::uint32_t> active_sessions_{0};
+  std::atomic<std::uint64_t> sessions_served_{0};
+  std::atomic<std::uint64_t> busy_rejections_{0};
+  std::atomic<std::uint64_t> maintenance_runs_{0};
+};
+
+}  // namespace mhd::server

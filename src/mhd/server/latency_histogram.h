@@ -1,0 +1,51 @@
+// LatencyHistogram — fixed-footprint log2 latency buckets.
+//
+// Request latencies span orders of magnitude (a cache-hit GET vs a PUT
+// that compacts the index), so the daemon records them in power-of-two
+// microsecond buckets: bucket i counts samples in [2^i, 2^(i+1)) µs.
+// quantile() returns the upper bound of the bucket containing the q-th
+// sample — a ≤2× overestimate, which is the right fidelity for p50/p99
+// dashboards at 512 bytes per histogram.
+//
+// Not internally synchronized; the daemon guards each tenant's histograms
+// with the registry mutex it already holds to update the counters.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+namespace mhd::server {
+
+class LatencyHistogram {
+ public:
+  void record(std::uint64_t micros) {
+    int b = 0;
+    while ((1ull << (b + 1)) <= micros && b + 1 < kBuckets) ++b;
+    ++buckets_[b];
+    ++count_;
+  }
+
+  std::uint64_t count() const { return count_; }
+
+  /// Upper bound (µs) of the bucket holding the q-th quantile sample;
+  /// 0 when empty. q in [0,1].
+  std::uint64_t quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    // rank counts from 1: p50 of 2 samples is the 1st, p99 the 2nd.
+    std::uint64_t rank = static_cast<std::uint64_t>(q * (count_ - 1)) + 1;
+    for (int b = 0; b < kBuckets; ++b) {
+      if (rank <= buckets_[b]) return 1ull << (b + 1);
+      rank -= buckets_[b];
+    }
+    return 1ull << kBuckets;
+  }
+
+ private:
+  static constexpr int kBuckets = 40;  ///< up to ~2^40 µs ≈ 12 days
+  std::array<std::uint64_t, kBuckets> buckets_{};
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace mhd::server

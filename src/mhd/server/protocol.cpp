@@ -1,0 +1,256 @@
+#include "mhd/server/protocol.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace mhd::server {
+
+namespace {
+
+bool read_exact(int fd, void* buf, std::size_t len) {
+  auto* p = static_cast<unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    const ssize_t n = ::read(fd, p + done, len - done);
+    if (n == 0) {
+      if (done == 0) return false;  // clean EOF between frames
+      throw ProtocolError("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (done == 0 && (errno == ECONNRESET || errno == EPIPE)) return false;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void write_exact(int fd, const void* buf, std::size_t len) {
+  const auto* p = static_cast<const unsigned char*>(buf);
+  std::size_t done = 0;
+  while (done < len) {
+    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
+    // not kill the daemon with SIGPIPE.
+    const ssize_t n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("write: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace
+
+std::optional<std::string> validate_tenant(const std::string& tenant) {
+  if (tenant.empty()) return "tenant id is empty";
+  if (tenant.size() > 64) return "tenant id longer than 64 chars";
+  for (const char c : tenant) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '-';
+    if (!ok) {
+      // '/' '\\' '.' and friends would leak into object/file names.
+      return std::string("tenant id contains forbidden character '") + c +
+             "' (allowed: [A-Za-z0-9_-])";
+    }
+  }
+  return std::nullopt;
+}
+
+bool read_frame(int fd, Frame& out) {
+  unsigned char header[5];
+  if (!read_exact(fd, header, sizeof(header))) return false;
+  const std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                            (static_cast<std::uint32_t>(header[1]) << 8) |
+                            (static_cast<std::uint32_t>(header[2]) << 16) |
+                            (static_cast<std::uint32_t>(header[3]) << 24);
+  if (len > kMaxFramePayload) {
+    throw ProtocolError("frame payload exceeds " +
+                        std::to_string(kMaxFramePayload) + " bytes");
+  }
+  out.type = static_cast<MsgType>(header[4]);
+  out.payload.resize(len);
+  if (len != 0 && !read_exact(fd, out.payload.data(), len)) {
+    throw ProtocolError("connection closed mid-frame");
+  }
+  return true;
+}
+
+void write_frame(int fd, MsgType type, ByteSpan payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw ProtocolError("attempted to write an oversized frame");
+  }
+  const auto len = static_cast<std::uint32_t>(payload.size());
+  unsigned char header[5] = {
+      static_cast<unsigned char>(len & 0xff),
+      static_cast<unsigned char>((len >> 8) & 0xff),
+      static_cast<unsigned char>((len >> 16) & 0xff),
+      static_cast<unsigned char>((len >> 24) & 0xff),
+      static_cast<unsigned char>(type),
+  };
+  write_exact(fd, header, sizeof(header));
+  if (len != 0) write_exact(fd, payload.data(), payload.size());
+}
+
+void write_frame(int fd, MsgType type, const std::string& text) {
+  write_frame(fd, type,
+              ByteSpan{reinterpret_cast<const Byte*>(text.data()),
+                       text.size()});
+}
+
+void append_string(ByteVec& out, const std::string& s) {
+  const auto len = static_cast<std::uint16_t>(
+      s.size() > 0xffff ? 0xffff : s.size());
+  append_le(out, len);
+  append(out, ByteSpan{reinterpret_cast<const Byte*>(s.data()), len});
+}
+
+std::optional<std::string> read_string(ByteSpan payload, std::size_t& pos) {
+  if (pos + 2 > payload.size()) return std::nullopt;
+  const auto len = load_le<std::uint16_t>(payload.data() + pos);
+  pos += 2;
+  if (pos + len > payload.size()) return std::nullopt;
+  std::string s(reinterpret_cast<const char*>(payload.data() + pos), len);
+  pos += len;
+  return s;
+}
+
+Listener::~Listener() { close(); }
+
+void Listener::listen(const std::string& spec) {
+  spec_ = spec;
+  int fd = -1;
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    if (path.size() + 1 > sizeof(sockaddr_un{}.sun_path)) {
+      throw std::runtime_error("unix socket path too long: " + path);
+    }
+    fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket: " + std::string(std::strerror(errno)));
+    ::unlink(path.c_str());  // a previous daemon's leftover socket
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("bind " + path + ": " + std::strerror(err));
+    }
+    unix_path_ = path;
+  } else if (spec.rfind("tcp:", 0) == 0) {
+    const int port = std::atoi(spec.c_str() + 4);
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) throw std::runtime_error("socket: " + std::string(std::strerror(errno)));
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);  // loopback only
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      const int err = errno;
+      ::close(fd);
+      throw std::runtime_error("bind tcp:" + std::to_string(port) + ": " +
+                               std::strerror(err));
+    }
+    sockaddr_in bound{};
+    socklen_t blen = sizeof(bound);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &blen);
+    port_ = ntohs(bound.sin_port);
+  } else {
+    throw std::runtime_error("listen spec must be unix:<path> or tcp:<port>: " +
+                             spec);
+  }
+  if (::listen(fd, 64) < 0) {
+    const int err = errno;
+    ::close(fd);
+    throw std::runtime_error("listen: " + std::string(std::strerror(err)));
+  }
+  int pipefd[2];
+  if (::pipe(pipefd) < 0) {
+    ::close(fd);
+    throw std::runtime_error("pipe: " + std::string(std::strerror(errno)));
+  }
+  fd_ = fd;
+  wake_r_ = pipefd[0];
+  wake_w_ = pipefd[1];
+}
+
+int Listener::accept() {
+  while (fd_ >= 0) {
+    pollfd fds[2] = {{fd_, POLLIN, 0}, {wake_r_, POLLIN, 0}};
+    const int n = ::poll(fds, 2, -1);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (fds[1].revents != 0) return -1;  // woken for shutdown
+    if (fds[0].revents != 0) {
+      const int conn = ::accept(fd_, nullptr, nullptr);
+      if (conn >= 0) return conn;
+      if (errno == EINTR || errno == ECONNABORTED) continue;
+      return -1;
+    }
+  }
+  return -1;
+}
+
+void Listener::wake() {
+  if (wake_w_ >= 0) {
+    const char c = 'w';
+    (void)!::write(wake_w_, &c, 1);
+  }
+}
+
+void Listener::close() {
+  if (fd_ >= 0) ::close(fd_);
+  if (wake_r_ >= 0) ::close(wake_r_);
+  if (wake_w_ >= 0) ::close(wake_w_);
+  fd_ = wake_r_ = wake_w_ = -1;
+  if (!unix_path_.empty()) {
+    ::unlink(unix_path_.c_str());
+    unix_path_.clear();
+  }
+}
+
+int connect_to(const std::string& spec) {
+  if (spec.rfind("unix:", 0) == 0) {
+    const std::string path = spec.substr(5);
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  if (spec.rfind("tcp:", 0) == 0) {
+    const int port = std::atoi(spec.c_str() + 4);
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return -1;
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(port));
+    if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+      ::close(fd);
+      return -1;
+    }
+    return fd;
+  }
+  return -1;
+}
+
+}  // namespace mhd::server

@@ -1,0 +1,129 @@
+// Wire protocol of the multi-tenant dedup daemon.
+//
+// Transport: a byte stream (local TCP or a Unix socket). Every message is
+// one length-prefixed frame:
+//
+//   [u32 payload_len (LE)] [u8 type] [payload_len bytes]
+//
+// The length covers the payload only, not the type byte, and is capped at
+// kMaxFramePayload — a malformed peer can never make the daemon allocate
+// unbounded memory. Strings inside payloads are [u16 len][bytes].
+//
+// Conversations are strict request/response per connection:
+//
+//   PUT:  PutBegin(tenant, name) → PutData* → PutEnd
+//         ← Ok(summary json) | Err | Quota | Busy
+//   GET:  Get(tenant, name) ← Data* ← DataEnd(total, ok) | Err | Busy
+//   LS:   Ls(tenant) ← Ok(json array) | Err
+//   STATS: Stats ← Ok(json object)
+//   MAINTAIN: Maintain(op) ← Ok(json) | Err | Busy   (op: gc | fsck)
+//   PING: Ping ← Ok("pong")
+//
+// Backpressure has two layers: admission (a daemon at max-sessions answers
+// the first request frame with Busy(retry_after_ms) and closes) and
+// streaming (PutData frames land in a BoundedQueue; when the dedup worker
+// falls behind, the daemon simply stops reading the socket and TCP/Unix
+// flow control pushes back to the client).
+//
+// Tenant ids are validated at this boundary (validate_tenant): they become
+// object-name prefixes in the store, so path separators, dots and empties
+// are rejected before they can touch a filename.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <stdexcept>
+#include <string>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd::server {
+
+/// Hard cap on a single frame's payload (daemon-side allocation bound).
+constexpr std::uint32_t kMaxFramePayload = 8u << 20;
+
+/// Preferred PutData/Data frame size for streaming (well under the cap).
+constexpr std::uint32_t kStreamFrameBytes = 256u << 10;
+
+enum class MsgType : std::uint8_t {
+  // requests
+  kPutBegin = 0x01,
+  kPutData = 0x02,
+  kPutEnd = 0x03,
+  kGet = 0x04,
+  kLs = 0x05,
+  kStats = 0x06,
+  kMaintain = 0x07,  ///< payload: u8 op (1 = gc, 2 = fsck)
+  kPing = 0x08,
+  // responses
+  kOk = 0x40,       ///< payload: UTF-8 text (JSON where structured)
+  kData = 0x41,     ///< restore bytes
+  kDataEnd = 0x42,  ///< u64 total, u8 ok
+  kErr = 0x43,      ///< human-readable error
+  kBusy = 0x44,     ///< u32 retry_after_ms — admission backpressure
+  kQuota = 0x45,    ///< tenant quota exceeded; payload names the limit
+};
+
+enum class MaintainOp : std::uint8_t { kGc = 1, kFsck = 2 };
+
+struct Frame {
+  MsgType type = MsgType::kErr;
+  ByteVec payload;
+};
+
+/// Tenant ids become object-name prefixes (`<tenant>.<name>`), so the
+/// alphabet is restricted to [A-Za-z0-9_-], length 1..64. Returns the
+/// rejection reason, or nullopt when valid.
+std::optional<std::string> validate_tenant(const std::string& tenant);
+
+/// Blocking exact-size frame IO on a connected socket. read_frame returns
+/// false on clean EOF and throws ProtocolError on a malformed or oversized
+/// frame; write_frame throws on a broken pipe.
+bool read_frame(int fd, Frame& out);
+void write_frame(int fd, MsgType type, ByteSpan payload);
+void write_frame(int fd, MsgType type, const std::string& text);
+
+/// Payload helpers ([u16 len][bytes] strings).
+void append_string(ByteVec& out, const std::string& s);
+std::optional<std::string> read_string(ByteSpan payload, std::size_t& pos);
+
+/// Malformed frame / handshake violation.
+class ProtocolError : public std::runtime_error {
+ public:
+  explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Listening socket bound from a spec: "unix:<path>" or "tcp:<port>"
+/// (loopback only; port 0 picks an ephemeral port, see port()). accept()
+/// blocks until a connection arrives or wake() is called from another
+/// thread (returns -1 then, and after close()).
+class Listener {
+ public:
+  Listener() = default;
+  ~Listener();
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+
+  /// Throws std::runtime_error on bind failure (port in use, bad spec).
+  void listen(const std::string& spec);
+  int accept();
+  void wake();
+  void close();
+
+  /// Bound TCP port (0 for Unix sockets) — lets tests listen on tcp:0.
+  int port() const { return port_; }
+  const std::string& spec() const { return spec_; }
+
+ private:
+  int fd_ = -1;
+  int wake_r_ = -1;
+  int wake_w_ = -1;
+  int port_ = 0;
+  std::string spec_;
+  std::string unix_path_;  ///< unlinked on close
+};
+
+/// Connects to a listener spec; returns -1 on failure.
+int connect_to(const std::string& spec);
+
+}  // namespace mhd::server

@@ -1,0 +1,30 @@
+#include "mhd/server/tenant_view.h"
+
+#include <algorithm>
+
+#include "mhd/format/file_manifest.h"
+
+namespace mhd::server {
+
+std::vector<TenantFile> scan_tenant_files(const StorageBackend& view) {
+  std::vector<TenantFile> files;
+  for (const auto& obj : view.list(Ns::kFileManifest)) {
+    std::optional<ByteVec> raw;
+    try {
+      raw = view.get(Ns::kFileManifest, obj);
+    } catch (const StoreError&) {
+      continue;  // unreadable manifest: not restorable, not counted
+    }
+    if (!raw) continue;
+    const auto fm = FileManifest::deserialize(*raw);
+    if (!fm) continue;
+    files.push_back({fm->file_name(), fm->total_length()});
+  }
+  std::sort(files.begin(), files.end(),
+            [](const TenantFile& a, const TenantFile& b) {
+              return a.name < b.name;
+            });
+  return files;
+}
+
+}  // namespace mhd::server

@@ -1,0 +1,117 @@
+// TenantView — per-tenant namespace isolation over a shared backend.
+//
+// The daemon runs every tenant against one physical repository. Isolation
+// is by name: a TenantView prefixes every object name with `<tenant>.`
+// in every namespace, so tenants cannot observe or collide with each
+// other's chunks, hooks, manifests, file manifests, index objects — the
+// whole store. Consequences, by design:
+//
+//   * no cross-tenant deduplication (identical data stored by two tenants
+//     is stored twice) — isolation beats ratio here, and it makes
+//     "N parallel tenants == N serial runs" a well-defined bit-level
+//     equivalence the tests assert;
+//   * the persistent fingerprint index is per tenant too (its meta/shard
+//     objects carry the prefix), so engines opened for different tenants
+//     never share index state;
+//   * container packing happens BELOW this layer, so physical containers
+//     may interleave chunks of different tenants — shared bandwidth,
+//     private namespaces.
+//
+// The tenant id alphabet is enforced at the protocol boundary
+// (server::validate_tenant); '.' is the one separator this prefix scheme
+// reserves, and FileBackend object names (hex digests, "meta",
+// "shard-…") never start with `<tenant>.` for a valid tenant id.
+//
+// list()/object_count()/content_bytes() are filtered to the tenant
+// (content_bytes by reading each object — a stats-path operation, not a
+// hot path).
+#pragma once
+
+#include <string>
+
+#include "mhd/store/backend.h"
+#include "mhd/store/store_errors.h"
+
+namespace mhd::server {
+
+/// Per-tenant ingest limits; 0 = unlimited.
+struct TenantQuota {
+  std::uint64_t max_logical_bytes = 0;  ///< sum of ingested file sizes
+  std::uint64_t max_files = 0;          ///< stored files (FileManifests)
+};
+
+/// A PUT would push the tenant past its quota. The ingest is aborted;
+/// partially written chunks become garbage for the next gc pass.
+class QuotaExceededError : public StoreError {
+ public:
+  QuotaExceededError(const std::string& tenant, const std::string& what)
+      : StoreError("tenant '" + tenant + "' quota exceeded: " + what) {}
+};
+
+class TenantView final : public StorageBackend {
+ public:
+  TenantView(StorageBackend& inner, std::string tenant)
+      : inner_(inner), prefix_(std::move(tenant) + ".") {}
+
+  void put(Ns ns, const std::string& name, ByteSpan data) override {
+    inner_.put(ns, prefix_ + name, data);
+  }
+  void append(Ns ns, const std::string& name, ByteSpan data) override {
+    inner_.append(ns, prefix_ + name, data);
+  }
+  std::optional<ByteVec> get(Ns ns, const std::string& name) const override {
+    return inner_.get(ns, prefix_ + name);
+  }
+  std::optional<ByteVec> get_range(Ns ns, const std::string& name,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) const override {
+    return inner_.get_range(ns, prefix_ + name, offset, length);
+  }
+  bool exists(Ns ns, const std::string& name) const override {
+    return inner_.exists(ns, prefix_ + name);
+  }
+  bool remove(Ns ns, const std::string& name) override {
+    return inner_.remove(ns, prefix_ + name);
+  }
+  void seal(Ns ns, const std::string& name) override {
+    inner_.seal(ns, prefix_ + name);
+  }
+  std::uint64_t object_count(Ns ns) const override {
+    return list(ns).size();
+  }
+  std::uint64_t content_bytes(Ns ns) const override {
+    std::uint64_t total = 0;
+    for (const auto& name : list(ns)) {
+      if (const auto obj = inner_.get(ns, prefix_ + name)) total += obj->size();
+    }
+    return total;
+  }
+  std::vector<std::string> list(Ns ns) const override {
+    std::vector<std::string> mine;
+    for (auto& name : inner_.list(ns)) {
+      if (name.rfind(prefix_, 0) == 0) {
+        mine.push_back(name.substr(prefix_.size()));
+      }
+    }
+    return mine;
+  }
+
+  const std::string& prefix() const { return prefix_; }
+
+ private:
+  StorageBackend& inner_;
+  std::string prefix_;
+};
+
+/// One stored file as seen through a tenant view.
+struct TenantFile {
+  std::string name;
+  std::uint64_t bytes = 0;
+};
+
+/// Walks the tenant's FileManifests (objects are named by the hash of the
+/// file name, so the payloads must be read to recover names). Seeds quota
+/// accounting on a tenant's first touch and backs the `ls` RPC.
+std::vector<TenantFile> scan_tenant_files(const StorageBackend& view);
+
+}  // namespace mhd::server

@@ -1,0 +1,83 @@
+#include "mhd/store/store_lock.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+namespace mhd {
+
+bool process_alive(long pid) {
+  if (pid <= 0) return false;
+  if (::kill(static_cast<pid_t>(pid), 0) == 0) return true;
+  // EPERM: the process exists but belongs to someone else — still alive.
+  return errno == EPERM;
+}
+
+namespace {
+
+/// PID recorded in an existing lock file; -1 when unreadable/malformed
+/// (treated as stale: a garbage lock must not brick the repository).
+long read_lock_pid(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (!f) return -1;
+  char buf[64] = {};
+  const std::size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  if (n == 0) return -1;
+  char* end = nullptr;
+  const long pid = std::strtol(buf, &end, 10);
+  if (end == buf) return -1;
+  return pid;
+}
+
+/// O_EXCL create; returns false when the file already exists.
+bool create_lock_file(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_EXCL, 0644);
+  if (fd < 0) return false;
+  char buf[32];
+  const int len =
+      std::snprintf(buf, sizeof(buf), "%ld\n", static_cast<long>(::getpid()));
+  // A short write leaves a malformed file — read back as stale, which is
+  // the safe direction (never locks anyone out).
+  (void)!::write(fd, buf, static_cast<std::size_t>(len));
+  ::close(fd);
+  return true;
+}
+
+}  // namespace
+
+StoreLock StoreLock::acquire(const std::filesystem::path& root) {
+  std::filesystem::create_directories(root);
+  const std::string path = (root / kFileName).string();
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    if (create_lock_file(path)) return StoreLock(path);
+    const long holder = read_lock_pid(path);
+    if (process_alive(holder)) throw StoreLockedError(path, holder);
+    // Stale (dead holder or malformed): remove and retry once. If another
+    // process races us to the re-create, the second attempt sees its live
+    // lock and throws — exactly the wanted outcome.
+    std::remove(path.c_str());
+  }
+  const long holder = read_lock_pid(path);
+  throw StoreLockedError(path, holder);
+}
+
+StoreLock::StoreLock(StoreLock&& other) noexcept
+    : path_(std::move(other.path_)) {
+  other.path_.clear();
+}
+
+StoreLock::~StoreLock() { release(); }
+
+void StoreLock::release() {
+  if (path_.empty()) return;
+  std::remove(path_.c_str());
+  path_.clear();
+}
+
+}  // namespace mhd

@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <cstdio>
+#include <string>
+
 namespace mhd {
 namespace {
 
@@ -11,6 +15,50 @@ TEST(JsonEscape, HandlesSpecials) {
   EXPECT_EQ(json_escape("a\\b"), "a\\\\b");
   EXPECT_EQ(json_escape("a\nb\tc"), "a\\nb\\tc");
   EXPECT_EQ(json_escape(std::string(1, '\x01')), "\\u0001");
+}
+
+TEST(JsonEscape, EveryControlCharacterBecomesAnEscape) {
+  // RFC 8259: U+0000..U+001F must be escaped. \n, \r and \t get their
+  // short forms; everything else the \u00xx form. The daemon's stats and
+  // error strings pass through json_escape, so raw tenant-supplied file
+  // names with control bytes must never reach a JSON consumer verbatim.
+  for (int c = 0x00; c < 0x20; ++c) {
+    const std::string escaped = json_escape(std::string(1, static_cast<char>(c)));
+    ASSERT_GE(escaped.size(), 2u) << "char " << c;
+    EXPECT_EQ(escaped[0], '\\') << "char " << c;
+    switch (c) {
+      case '\n': EXPECT_EQ(escaped, "\\n"); break;
+      case '\r': EXPECT_EQ(escaped, "\\r"); break;
+      case '\t': EXPECT_EQ(escaped, "\\t"); break;
+      default: {
+        char expect[8];
+        std::snprintf(expect, sizeof(expect), "\\u%04x", c);
+        EXPECT_EQ(escaped, expect) << "char " << c;
+      }
+    }
+  }
+}
+
+TEST(JsonEscape, EmbeddedNulAndMixedContent) {
+  std::string s = "a";
+  s.push_back('\0');
+  s += "b";
+  EXPECT_EQ(json_escape(s), "a\\u0000b");
+  EXPECT_EQ(json_escape("tab\there\nquote\"end"),
+            "tab\\there\\nquote\\\"end");
+}
+
+TEST(JsonEscape, PassesThroughPrintableAndHighBytes) {
+  // 0x20..0x7E are literal; DEL and high (UTF-8 continuation) bytes pass
+  // through unmodified — the escaper only owns the C0 range and the two
+  // JSON metacharacters.
+  std::string printable;
+  for (int c = 0x20; c < 0x7F; ++c) {
+    if (c != '"' && c != '\\') printable.push_back(static_cast<char>(c));
+  }
+  EXPECT_EQ(json_escape(printable), printable);
+  EXPECT_EQ(json_escape("\x7F"), "\x7F");
+  EXPECT_EQ(json_escape("gr\xC3\xBC\xC3\x9F"), "gr\xC3\xBC\xC3\x9F");
 }
 
 ExperimentResult sample() {

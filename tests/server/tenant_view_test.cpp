@@ -1,0 +1,112 @@
+// TenantView satellites: namespace-prefix isolation between tenants,
+// list filtering/stripping, stats accounting through the view, and
+// scan_tenant_files recovering file names from FileManifest payloads.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+
+#include "mhd/format/file_manifest.h"
+#include "mhd/hash/sha1.h"
+#include "mhd/server/tenant_view.h"
+#include "mhd/store/memory_backend.h"
+
+namespace mhd::server {
+namespace {
+
+ByteVec bytes_of(const std::string& s) { return to_vec(as_bytes(s)); }
+
+TEST(TenantView, PrefixesEveryNamespaceAndIsolatesTenants) {
+  MemoryBackend mem;
+  TenantView alice(mem, "alice");
+  TenantView bob(mem, "bob");
+
+  for (int n = 0; n < static_cast<int>(Ns::kCount); ++n) {
+    const Ns ns = static_cast<Ns>(n);
+    alice.put(ns, "obj", ByteSpan{as_bytes("from-alice")});
+    bob.put(ns, "obj", ByteSpan{as_bytes("from-bob")});
+
+    // Same logical name, two physical objects.
+    EXPECT_EQ(mem.get(ns, "alice.obj"), bytes_of("from-alice"));
+    EXPECT_EQ(mem.get(ns, "bob.obj"), bytes_of("from-bob"));
+    EXPECT_EQ(alice.get(ns, "obj"), bytes_of("from-alice"));
+    EXPECT_EQ(bob.get(ns, "obj"), bytes_of("from-bob"));
+    EXPECT_FALSE(mem.exists(ns, "obj"));
+  }
+}
+
+TEST(TenantView, ListFiltersAndStripsThePrefix) {
+  MemoryBackend mem;
+  TenantView alice(mem, "alice");
+  TenantView bob(mem, "bob");
+
+  alice.put(Ns::kDiskChunk, "aa", ByteSpan{as_bytes("1")});
+  alice.put(Ns::kDiskChunk, "bb", ByteSpan{as_bytes("2")});
+  bob.put(Ns::kDiskChunk, "aa", ByteSpan{as_bytes("3")});
+  // A tenant id that is a prefix of another must not leak entries.
+  TenantView al(mem, "al");
+  al.put(Ns::kDiskChunk, "zz", ByteSpan{as_bytes("4")});
+
+  auto names = alice.list(Ns::kDiskChunk);
+  std::sort(names.begin(), names.end());
+  EXPECT_EQ(names, (std::vector<std::string>{"aa", "bb"}));
+  EXPECT_EQ(alice.object_count(Ns::kDiskChunk), 2u);
+  EXPECT_EQ(al.list(Ns::kDiskChunk), std::vector<std::string>{"zz"});
+  EXPECT_EQ(mem.object_count(Ns::kDiskChunk), 4u);
+}
+
+TEST(TenantView, MutationsStayInsideTheView) {
+  MemoryBackend mem;
+  TenantView alice(mem, "alice");
+  TenantView bob(mem, "bob");
+
+  alice.put(Ns::kHook, "h", ByteSpan{as_bytes("hook")});
+  bob.put(Ns::kHook, "h", ByteSpan{as_bytes("hook")});
+  EXPECT_TRUE(alice.exists(Ns::kHook, "h"));
+
+  EXPECT_TRUE(alice.remove(Ns::kHook, "h"));
+  EXPECT_FALSE(alice.exists(Ns::kHook, "h"));
+  EXPECT_TRUE(bob.exists(Ns::kHook, "h"));  // bob's copy untouched
+
+  alice.append(Ns::kManifest, "m", ByteSpan{as_bytes("ab")});
+  alice.append(Ns::kManifest, "m", ByteSpan{as_bytes("cd")});
+  EXPECT_EQ(alice.get(Ns::kManifest, "m"), bytes_of("abcd"));
+  EXPECT_EQ(alice.get_range(Ns::kManifest, "m", 1, 2), bytes_of("bc"));
+  EXPECT_EQ(alice.content_bytes(Ns::kManifest), 4u);
+}
+
+TEST(TenantView, ScanTenantFilesRecoversNamesFromManifestPayloads) {
+  MemoryBackend mem;
+  TenantView alice(mem, "alice");
+  TenantView bob(mem, "bob");
+
+  const auto store_file = [](StorageBackend& view, const std::string& name,
+                             std::uint64_t bytes) {
+    FileManifest fm(name);
+    fm.add_range(Sha1::hash(as_bytes(name)), 0, bytes, true);
+    // FileManifest objects are named by the hash of the file name — the
+    // payload is the only place the name survives.
+    view.put(Ns::kFileManifest, Sha1::hash(as_bytes(name)).hex(),
+             ByteSpan{fm.serialize()});
+  };
+  store_file(alice, "vm-b.img", 2048);
+  store_file(alice, "vm-a.img", 1024);
+  store_file(bob, "other.img", 512);
+
+  const auto files = scan_tenant_files(alice);
+  ASSERT_EQ(files.size(), 2u);  // bob's file is invisible
+  EXPECT_EQ(files[0].name, "vm-a.img");  // sorted by name
+  EXPECT_EQ(files[0].bytes, 1024u);
+  EXPECT_EQ(files[1].name, "vm-b.img");
+  EXPECT_EQ(files[1].bytes, 2048u);
+}
+
+TEST(QuotaExceededErrorTest, MessageNamesTenantAndLimit) {
+  const QuotaExceededError err("alice", "logical bytes over 1048576");
+  const std::string what = err.what();
+  EXPECT_NE(what.find("alice"), std::string::npos);
+  EXPECT_NE(what.find("logical bytes"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mhd::server

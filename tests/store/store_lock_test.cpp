@@ -1,0 +1,139 @@
+// StoreLock satellites: single-writer exclusion with a typed error naming
+// the holder, stale-lock adoption after a crash (dead or malformed PID),
+// and release/destructor unlinking.
+#include <gtest/gtest.h>
+
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+#include <optional>
+#include <string>
+
+#include "mhd/store/store_lock.h"
+
+namespace mhd {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    dir_ = fs::temp_directory_path() /
+           ("mhd_lock_" + std::to_string(::getpid()) + "_" +
+            std::to_string(counter_++));
+    fs::create_directories(dir_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(dir_, ec);
+  }
+  const fs::path& path() const { return dir_; }
+  fs::path lock_path() const { return dir_ / StoreLock::kFileName; }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path dir_;
+};
+
+std::string slurp(const fs::path& p) {
+  std::ifstream in(p);
+  return {std::istreambuf_iterator<char>(in),
+          std::istreambuf_iterator<char>()};
+}
+
+TEST(StoreLock, AcquireRecordsOwnPid) {
+  TempDir tmp;
+  StoreLock lock = StoreLock::acquire(tmp.path());
+  ASSERT_TRUE(fs::exists(tmp.lock_path()));
+  EXPECT_EQ(std::stol(slurp(tmp.lock_path())), static_cast<long>(::getpid()));
+  EXPECT_EQ(lock.path(), tmp.lock_path().string());
+}
+
+TEST(StoreLock, SecondAcquireThrowsTypedErrorNamingHolder) {
+  TempDir tmp;
+  StoreLock lock = StoreLock::acquire(tmp.path());
+  try {
+    StoreLock second = StoreLock::acquire(tmp.path());
+    FAIL() << "second acquire must throw";
+  } catch (const StoreLockedError& e) {
+    EXPECT_EQ(e.holder_pid(), static_cast<long>(::getpid()));
+    EXPECT_EQ(e.lock_path(), tmp.lock_path().string());
+    EXPECT_NE(std::string(e.what()).find(std::to_string(::getpid())),
+              std::string::npos);
+  }
+  // The failed attempt must not have stolen or removed the live lock.
+  EXPECT_TRUE(fs::exists(tmp.lock_path()));
+}
+
+TEST(StoreLock, StaleLockFromDeadProcessIsAdopted) {
+  TempDir tmp;
+  // A reaped child is a guaranteed-dead PID.
+  const pid_t child = ::fork();
+  ASSERT_GE(child, 0);
+  if (child == 0) ::_exit(0);
+  int status = 0;
+  ASSERT_EQ(::waitpid(child, &status, 0), child);
+  ASSERT_FALSE(process_alive(child));
+
+  { std::ofstream(tmp.lock_path()) << child << "\n"; }
+  StoreLock lock = StoreLock::acquire(tmp.path());  // no throw
+  EXPECT_EQ(std::stol(slurp(tmp.lock_path())), static_cast<long>(::getpid()));
+}
+
+TEST(StoreLock, MalformedLockFileCountsAsStale) {
+  TempDir tmp;
+  { std::ofstream(tmp.lock_path()) << "not a pid"; }
+  StoreLock lock = StoreLock::acquire(tmp.path());
+  EXPECT_EQ(std::stol(slurp(tmp.lock_path())), static_cast<long>(::getpid()));
+}
+
+TEST(StoreLock, ReleaseAndDestructorUnlink) {
+  TempDir tmp;
+  {
+    StoreLock lock = StoreLock::acquire(tmp.path());
+    ASSERT_TRUE(fs::exists(tmp.lock_path()));
+    lock.release();
+    EXPECT_FALSE(fs::exists(tmp.lock_path()));
+    lock.release();  // idempotent
+  }
+  {
+    StoreLock lock = StoreLock::acquire(tmp.path());
+    ASSERT_TRUE(fs::exists(tmp.lock_path()));
+  }
+  EXPECT_FALSE(fs::exists(tmp.lock_path()));  // destructor unlinked
+
+  // Sequential acquire/release cycles keep working.
+  StoreLock again = StoreLock::acquire(tmp.path());
+  EXPECT_TRUE(fs::exists(tmp.lock_path()));
+}
+
+TEST(StoreLock, MoveTransfersOwnershipWithoutDoubleUnlink) {
+  TempDir tmp;
+  std::optional<StoreLock> moved;
+  {
+    StoreLock lock = StoreLock::acquire(tmp.path());
+    moved.emplace(std::move(lock));
+    // `lock` is inert now; its destructor must not unlink.
+  }
+  EXPECT_TRUE(fs::exists(tmp.lock_path()));
+  moved.reset();
+  EXPECT_FALSE(fs::exists(tmp.lock_path()));
+}
+
+TEST(StoreLock, AcquireCreatesMissingRepositoryDirectory) {
+  TempDir tmp;
+  const fs::path root = tmp.path() / "fresh" / "repo";
+  StoreLock lock = StoreLock::acquire(root);
+  EXPECT_TRUE(fs::exists(root / StoreLock::kFileName));
+}
+
+TEST(ProcessAlive, SelfIsAliveAbsurdPidIsNot) {
+  EXPECT_TRUE(process_alive(::getpid()));
+  EXPECT_FALSE(process_alive(999999999L));
+}
+
+}  // namespace
+}  // namespace mhd
