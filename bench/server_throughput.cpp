@@ -16,12 +16,23 @@
 // row's `errors` column shows what still surfaced).
 //
 // Reported per (sessions, faults, phase): aggregate MB/s over the phase
-// wall clock and exact p50/p99 per-request latency. BENCH_server.json at
-// the repo root is the recorded baseline (see --json).
+// wall clock, exact p50/p99 per-request latency, and two efficiency
+// ratios from process-wide pump counters — payload bytes moved per
+// transport syscall (transport_stats) and fresh slab allocations per MB
+// (chunk_buffer_pool stats: acquires minus free-list reuses). The daemon
+// runs in-process, so both sides of the loopback conversation are
+// counted. BENCH_server.json at the repo root is the recorded baseline
+// (see --json).
+//
+// --floor-mbps=N (or the MHD_PERF_SMOKE_FLOOR_MBPS env var, which wins)
+// turns the run into a pass/fail gate: exit 1 unless the clean
+// single-session ingest sustains at least N MB/s. The `perf-smoke` ctest
+// uses it to catch data-path regressions.
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
 #include <mutex>
 #include <string>
@@ -33,6 +44,7 @@
 #include "mhd/store/fault_backend.h"
 #include "mhd/store/framed_backend.h"
 #include "mhd/store/memory_backend.h"
+#include "mhd/util/buffer_pool.h"
 #include "mhd/util/flags.h"
 
 namespace {
@@ -76,6 +88,34 @@ struct Row {
   double mb_per_s = 0;
   std::uint64_t p50_us = 0, p99_us = 0;
   int errors = 0;
+  double bytes_per_syscall = 0;  ///< transport payload bytes / syscalls
+  double allocs_per_mb = 0;      ///< fresh slab allocations / phase MB
+};
+
+/// Phase-scoped pump counters: transport syscalls (reset at entry) and
+/// chunk-pool allocations (delta of the monotonic counters).
+class PhaseCounters {
+ public:
+  PhaseCounters() : pool_before_(chunk_buffer_pool().stats()) {
+    reset_transport_stats();
+  }
+
+  void finish(double phase_mb, Row& row) const {
+    const auto t = transport_stats();
+    const auto calls = t.read_calls + t.write_calls;
+    row.bytes_per_syscall =
+        calls == 0 ? 0.0
+                   : static_cast<double>(t.read_bytes + t.write_bytes) /
+                         static_cast<double>(calls);
+    const auto pool = chunk_buffer_pool().stats();
+    const auto fresh = (pool.acquires - pool_before_.acquires) -
+                       (pool.reuses - pool_before_.reuses);
+    row.allocs_per_mb =
+        phase_mb == 0 ? 0.0 : static_cast<double>(fresh) / phase_mb;
+  }
+
+ private:
+  BufferPool::Stats pool_before_;
 };
 
 std::uint64_t pct(std::vector<std::uint64_t>& v, double q) {
@@ -110,6 +150,11 @@ void run_config(int sessions, const FaultPlan& plan, int files,
   const std::uint64_t bytes_per_phase =
       static_cast<std::uint64_t>(sessions) * files * file_bytes;
 
+  const double mb = static_cast<double>(bytes_per_phase) / (1024.0 * 1024.0);
+  Row ingest_row{sessions, !plan.empty(), "ingest"};
+  Row restore_row{sessions, !plan.empty(), "restore"};
+
+  const PhaseCounters ingest_counters;
   const auto ingest_start = Clock::now();
   {
     std::vector<std::thread> workers;
@@ -141,7 +186,9 @@ void run_config(int sessions, const FaultPlan& plan, int files,
   }
   const double ingest_s =
       std::chrono::duration<double>(Clock::now() - ingest_start).count();
+  ingest_counters.finish(mb, ingest_row);
 
+  const PhaseCounters restore_counters;
   const auto restore_start = Clock::now();
   {
     std::vector<std::thread> workers;
@@ -174,13 +221,19 @@ void run_config(int sessions, const FaultPlan& plan, int files,
   }
   const double restore_s =
       std::chrono::duration<double>(Clock::now() - restore_start).count();
+  restore_counters.finish(mb, restore_row);
   daemon.stop();
 
-  const double mb = static_cast<double>(bytes_per_phase) / (1024.0 * 1024.0);
-  rows.push_back({sessions, !plan.empty(), "ingest", mb / ingest_s,
-                  pct(put_us, 0.50), pct(put_us, 0.99), put_errors.load()});
-  rows.push_back({sessions, !plan.empty(), "restore", mb / restore_s,
-                  pct(get_us, 0.50), pct(get_us, 0.99), get_errors.load()});
+  ingest_row.mb_per_s = mb / ingest_s;
+  ingest_row.p50_us = pct(put_us, 0.50);
+  ingest_row.p99_us = pct(put_us, 0.99);
+  ingest_row.errors = put_errors.load();
+  restore_row.mb_per_s = mb / restore_s;
+  restore_row.p50_us = pct(get_us, 0.50);
+  restore_row.p99_us = pct(get_us, 0.99);
+  restore_row.errors = get_errors.load();
+  rows.push_back(ingest_row);
+  rows.push_back(restore_row);
 }
 
 }  // namespace
@@ -211,13 +264,15 @@ int main(int argc, char** argv) {
     }
   }
 
-  std::printf("%9s %7s %8s %10s %9s %9s %7s\n", "sessions", "faults",
-              "phase", "MB/s", "p50_us", "p99_us", "errors");
+  std::printf("%9s %7s %8s %10s %9s %9s %7s %11s %9s\n", "sessions",
+              "faults", "phase", "MB/s", "p50_us", "p99_us", "errors",
+              "B/syscall", "alloc/MB");
   for (const auto& r : rows) {
-    std::printf("%9d %7s %8s %10.1f %9llu %9llu %7d\n", r.sessions,
-                r.faults ? "yes" : "no", r.phase, r.mb_per_s,
+    std::printf("%9d %7s %8s %10.1f %9llu %9llu %7d %11.0f %9.2f\n",
+                r.sessions, r.faults ? "yes" : "no", r.phase, r.mb_per_s,
                 static_cast<unsigned long long>(r.p50_us),
-                static_cast<unsigned long long>(r.p99_us), r.errors);
+                static_cast<unsigned long long>(r.p99_us), r.errors,
+                r.bytes_per_syscall, r.allocs_per_mb);
   }
 
   const std::string json = flags.get("json", "");
@@ -226,24 +281,53 @@ int main(int argc, char** argv) {
     out << "{\n  \"bench\": \"server_throughput\",\n";
     out << "  \"files_per_session\": " << files << ",\n";
     out << "  \"file_kb\": " << (file_bytes >> 10) << ",\n";
+    out << "  \"host_cpus\": " << std::thread::hardware_concurrency()
+        << ",\n";
     out << "  \"fault_plan\": \""
         << (fault_spec == "none" ? "" : fault_spec) << "\",\n";
     out << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
-      char buf[256];
+      char buf[320];
       std::snprintf(buf, sizeof(buf),
                     "    {\"sessions\": %d, \"faults\": %s, \"phase\": "
                     "\"%s\", \"mb_per_s\": %.1f, \"p50_us\": %llu, "
-                    "\"p99_us\": %llu, \"errors\": %d}%s\n",
+                    "\"p99_us\": %llu, \"errors\": %d, "
+                    "\"bytes_per_syscall\": %.0f, "
+                    "\"allocs_per_mb\": %.2f}%s\n",
                     r.sessions, r.faults ? "true" : "false", r.phase,
                     r.mb_per_s, static_cast<unsigned long long>(r.p50_us),
                     static_cast<unsigned long long>(r.p99_us), r.errors,
+                    r.bytes_per_syscall, r.allocs_per_mb,
                     i + 1 < rows.size() ? "," : "");
       out << buf;
     }
     out << "  ]\n}\n";
     std::printf("wrote %s\n", json.c_str());
+  }
+
+  // Perf-smoke gate: fail the run when the clean single-session ingest
+  // falls under the floor. The env var outranks the flag so a slow CI
+  // host can loosen the bar without editing the test definition.
+  double floor_mbps = static_cast<double>(flags.get_int("floor-mbps", 0));
+  if (const char* env = std::getenv("MHD_PERF_SMOKE_FLOOR_MBPS")) {
+    floor_mbps = std::atof(env);
+  }
+  if (floor_mbps > 0) {
+    for (const auto& r : rows) {
+      if (r.sessions != 1 || r.faults || std::string(r.phase) != "ingest") {
+        continue;
+      }
+      if (r.errors != 0 || r.mb_per_s < floor_mbps) {
+        std::printf(
+            "perf-smoke FAIL: single-session ingest %.1f MB/s "
+            "(errors=%d) under floor %.1f MB/s\n",
+            r.mb_per_s, r.errors, floor_mbps);
+        return 1;
+      }
+      std::printf("perf-smoke OK: %.1f MB/s >= floor %.1f MB/s\n",
+                  r.mb_per_s, floor_mbps);
+    }
   }
   return 0;
 }

@@ -17,13 +17,17 @@
 //
 //   ./dedup_cli serve <repo_dir>                 run the dedup daemon
 //       --listen=unix:<path>|tcp:<port>  (default unix:<repo>/daemon.sock)
-//       --max-sessions=8 --session-queue-depth=16 --retry-after-ms=100
+//       --max-sessions=8 --retry-after-ms=100
+//       --session-queue-depth=16  (accepted; inert since the engine
+//                                  reads the socket directly)
 //       --tenant-quota-mb=N --tenant-quota-files=N   per-tenant limits
 //       --serve-seconds=N                stop after N seconds (tests)
 //   ./dedup_cli put   <spec> <tenant> <file...>  ingest via a daemon
 //   ./dedup_cli get   <spec> <tenant> <name> <out>
 //   ./dedup_cli ls    <spec> <tenant>            tenant's files (JSON)
-//   ./dedup_cli dstats   <spec>                  daemon stats (JSON)
+//   ./dedup_cli dstats <spec> [--reset]          daemon stats (JSON);
+//                                                --reset zeroes latency
+//                                                histograms atomically
 //   ./dedup_cli maintain <spec> <gc|fsck>        online maintenance
 //   (<spec> is the daemon's listen spec, e.g. unix:/repo/daemon.sock)
 //
@@ -486,10 +490,8 @@ int cmd_serve(const Flags& flags) {
 
   server::DedupDaemon daemon(stack.active(), stack.file(), dc);
   daemon.start();
-  std::printf("dedup daemon listening on %s (max %u sessions, queue depth "
-              "%u)\n",
-              daemon.listen_spec().c_str(), dc.max_sessions,
-              dc.session_queue_depth);
+  std::printf("dedup daemon listening on %s (max %u sessions)\n",
+              daemon.listen_spec().c_str(), dc.max_sessions);
   std::fflush(stdout);
 
   std::signal(SIGINT, on_stop_signal);
@@ -597,7 +599,9 @@ int cmd_client_simple(const Flags& flags, const char* what) {
     std::fprintf(stderr, "unknown maintenance op: %s\n", args[2].c_str());
     return 2;
   }
-  return report(client->stats());
+  // --reset atomically zeroes the latency histograms with the snapshot
+  // (bench phase boundaries); counters stay monotonic.
+  return report(client->stats(flags.get_bool("reset", false)));
 }
 
 }  // namespace

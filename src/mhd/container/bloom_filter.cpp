@@ -37,11 +37,20 @@ BloomFilter BloomFilter::for_items(std::uint64_t expected_items,
 void BloomFilter::insert(std::uint64_t key) {
   const std::uint64_t h1 = mix64(key, 0x9E3779B97F4A7C15ULL);
   const std::uint64_t h2 = mix64(key, 0xC2B2AE3D27D4EB4FULL) | 1;
+  bool changed = false;
   for (int i = 0; i < k_; ++i) {
     const std::uint64_t bit = (h1 + static_cast<std::uint64_t>(i) * h2) % bit_count_;
-    bits_[bit >> 6] |= (1ULL << (bit & 63));
+    const std::uint64_t mask = 1ULL << (bit & 63);
+    changed = changed || (bits_[bit >> 6] & mask) == 0;
+    bits_[bit >> 6] |= mask;
   }
-  ++inserted_;
+  // Count only inserts that set a new bit: the load estimate then depends
+  // solely on the SET of keys ever inserted, not on how many times each
+  // was re-inserted. That determinism is load-bearing — a journal replay
+  // or warm-restart re-learn re-inserts known keys, and the serialized
+  // filter must stay bit-identical to one that never went through the
+  // replay (the daemon's warm-engine-vs-fresh-engine equivalence).
+  if (changed) ++inserted_;
 }
 
 bool BloomFilter::maybe_contains(std::uint64_t key) const {

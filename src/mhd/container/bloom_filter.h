@@ -30,6 +30,10 @@ class BloomFilter {
   void clear();
 
   std::size_t size_bytes() const { return bits_.size() * sizeof(std::uint64_t); }
+  /// Inserts that set at least one new bit — effectively the distinct-key
+  /// load. Re-inserting a known key (journal replay, warm-restart
+  /// re-learn) does not move it, so the serialized filter is a pure
+  /// function of the key set.
   std::uint64_t inserted_count() const { return inserted_; }
   int probes() const { return k_; }
 

@@ -151,6 +151,12 @@ void ManifestCache::flush() {
   });
 }
 
+void ManifestCache::reset() {
+  // The eviction callback writes dirty manifests back and drops their
+  // entries from the index, so a full flush leaves the index empty.
+  lru_.flush();
+}
+
 std::vector<Digest> ManifestCache::resident_names() {
   std::vector<Digest> names;
   names.reserve(lru_.size());

@@ -81,6 +81,13 @@ class ManifestCache {
   /// Writes every dirty manifest back to the store (end of run).
   void flush();
 
+  /// Evicts everything: dirty manifests are written back and every entry
+  /// leaves the fingerprint index (the mirror invariant empties it). After
+  /// reset() the cache is indistinguishable from a freshly constructed one
+  /// over the same store — the session flush boundary the daemon's warm
+  /// per-tenant engines use to stay bit-identical to fresh-engine runs.
+  void reset();
+
   /// Cached manifest names, most-recently-used first (the persistent
   /// index's warm-restart list).
   std::vector<Digest> resident_names();

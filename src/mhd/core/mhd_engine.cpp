@@ -253,4 +253,23 @@ void MhdEngine::finish() {
   persist_index_state(cache_);
 }
 
+bool MhdEngine::flush_session() {
+  if (rewrite_controller() != nullptr) {
+    finish();
+    return false;
+  }
+  if (cfg_.index_impl == IndexImpl::kDisk) {
+    // Keep the cache resident: the fresh-engine baseline warm-loads the
+    // persisted residency list anyway, so staying warm IS the baseline.
+    cache_.flush();
+    persist_index_state(cache_);
+  } else {
+    // A fresh mem-index engine starts with an empty cache and index;
+    // evict-all reproduces that exactly (the mirror invariant drains the
+    // MemIndex with the cache).
+    cache_.reset();
+  }
+  return true;
+}
+
 }  // namespace mhd

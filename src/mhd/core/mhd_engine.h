@@ -33,6 +33,24 @@ class MhdEngine final : public DedupEngine {
 
   void finish() override;
 
+  /// Warm-session flush (see DedupEngine::flush_session). Reuse after the
+  /// flush is bit-identical to a fresh engine because each piece of state
+  /// either equals what a fresh construction would rebuild or is reset:
+  ///  * bloom: flush_pending inserted every written hook's prefix64, so
+  ///    the warm filter bit-equals seed_bloom_from_hooks over the on-disk
+  ///    hook set (a bloom is an order-independent OR-set);
+  ///  * mem index: the cache is reset — eviction write-back empties the
+  ///    mirror MemIndex, matching a fresh engine's empty cache/index;
+  ///  * disk index: the cache is flushed and the index persisted while
+  ///    both stay resident — PR 5's warm-restart proof shows a reopened
+  ///    index + warm_load of the residency list reconstructs exactly this
+  ///    state (warm_load's re-puts are no-op on disk);
+  ///  * per-file state (FileCtx, MatchExtender) never outlives add_file.
+  /// Returns false (discard) with a rewrite controller: its segment and
+  /// utilization history is cross-session state a fresh engine would not
+  /// have.
+  bool flush_session() override;
+
   /// Manifests loaded from disk (paper TABLE V).
   std::uint64_t manifest_loads() const override {
     return cache_.manifest_loads();

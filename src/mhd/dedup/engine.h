@@ -185,6 +185,21 @@ class DedupEngine {
   /// Must be called once after the last add_file.
   virtual void finish() = 0;
 
+  /// Session flush boundary for long-lived engines (the daemon's warm
+  /// per-tenant sessions): makes every byte of this session durable and
+  /// brings the engine into a state where continuing with the SAME engine
+  /// object is bit-identical — on disk and in dedup decisions — to
+  /// destroying it and constructing a fresh engine over the same store.
+  /// Returns true when the engine may be reused after the flush; false
+  /// means the caller must discard it (the engine carries cross-session
+  /// state a fresh engine would not reconstruct, e.g. a rewrite
+  /// controller's segment history). The default is the conservative
+  /// finish()-and-discard.
+  virtual bool flush_session() {
+    finish();
+    return false;
+  }
+
   /// Restores a previously added file byte-exactly from the store.
   /// Reads bypass access accounting (restore is not deduplication work).
   std::optional<ByteVec> reconstruct(const std::string& file_name) const;

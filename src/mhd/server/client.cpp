@@ -14,14 +14,17 @@ DedupClient::~DedupClient() {
   if (fd_ >= 0) ::close(fd_);
 }
 
-DedupClient::DedupClient(DedupClient&& other) noexcept : fd_(other.fd_) {
+DedupClient::DedupClient(DedupClient&& other) noexcept
+    : fd_(other.fd_),
+      reader_(std::move(other.reader_)),
+      put_buf_(std::move(other.put_buf_)) {
   other.fd_ = -1;
 }
 
 DedupClient::Result DedupClient::read_response() {
   Result r;
   Frame frame;
-  if (!read_frame(fd_, frame)) {
+  if (!reader_->read_frame(frame)) {
     r.message = "connection closed by daemon";
     return r;
   }
@@ -58,10 +61,12 @@ DedupClient::Result DedupClient::put(const std::string& tenant,
     append_string(begin, tenant);
     append_string(begin, name);
     write_frame(fd_, MsgType::kPutBegin, ByteSpan{begin});
-    ByteVec buf(kStreamFrameBytes);
+    // One staging slab for the client's lifetime; write_frame sends the
+    // header and this payload in a single vectored syscall.
+    put_buf_.resize(kStreamFrameBytes);
     std::size_t n;
-    while ((n = src.read({buf.data(), buf.size()})) > 0) {
-      write_frame(fd_, MsgType::kPutData, ByteSpan{buf.data(), n});
+    while ((n = src.read({put_buf_.data(), put_buf_.size()})) > 0) {
+      write_frame(fd_, MsgType::kPutData, ByteSpan{put_buf_.data(), n});
     }
     write_frame(fd_, MsgType::kPutEnd, ByteSpan{});
   } catch (const ProtocolError&) {
@@ -94,7 +99,7 @@ DedupClient::GetResult DedupClient::get(
     append_string(req, name);
     write_frame(fd_, MsgType::kGet, ByteSpan{req});
     Frame frame;
-    while (read_frame(fd_, frame)) {
+    while (reader_->read_frame(frame)) {
       if (frame.type == MsgType::kData) {
         if (sink) sink(ByteSpan{frame.payload});
         continue;
@@ -140,9 +145,11 @@ DedupClient::Result DedupClient::ls(const std::string& tenant) {
   }
 }
 
-DedupClient::Result DedupClient::stats() {
+DedupClient::Result DedupClient::stats(bool reset) {
   try {
-    write_frame(fd_, MsgType::kStats, ByteSpan{});
+    ByteVec req;
+    if (reset) req.push_back(Byte{1});
+    write_frame(fd_, MsgType::kStats, ByteSpan{req});
     return read_response();
   } catch (const ProtocolError& e) {
     Result r;

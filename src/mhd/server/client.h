@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <optional>
 #include <string>
 
@@ -54,15 +55,23 @@ class DedupClient {
                 const std::function<void(ByteSpan)>& sink);
 
   Result ls(const std::string& tenant);  ///< message: JSON file array
-  Result stats();                        ///< message: JSON daemon stats
+  /// message: JSON daemon stats. `reset` atomically zeroes the latency
+  /// histograms with the snapshot (bench phase boundaries).
+  Result stats(bool reset = false);
   Result maintain(MaintainOp op);        ///< message: JSON report
   Result ping();
 
  private:
-  explicit DedupClient(int fd) : fd_(fd) {}
+  explicit DedupClient(int fd)
+      : fd_(fd), reader_(std::make_unique<FrameReader>(fd)) {}
   Result read_response();
 
   int fd_ = -1;
+  /// Owns the connection's read side (coalesced reads); behind a pointer
+  /// because FrameReader is non-movable and DedupClient moves.
+  std::unique_ptr<FrameReader> reader_;
+  /// Staging slab reused by every put() of this client's lifetime.
+  ByteVec put_buf_;
 };
 
 }  // namespace mhd::server

@@ -10,12 +10,12 @@
 
 #include "mhd/core/mhd_engine.h"
 #include "mhd/metrics/json_export.h"
-#include "mhd/pipeline/bounded_queue.h"
 #include "mhd/server/protocol.h"
 #include "mhd/store/maintenance.h"
 #include "mhd/store/object_store.h"
 #include "mhd/store/restore_reader.h"
 #include "mhd/store/scrub.h"
+#include "mhd/util/buffer_pool.h"
 
 namespace mhd::server {
 
@@ -30,35 +30,69 @@ std::uint64_t elapsed_us(Clock::time_point start) {
           .count());
 }
 
-/// ByteSource over the PUT session's BoundedQueue: the dedup worker pulls
-/// from here while the socket pump pushes PutData payloads in.
-class QueueSource final : public ByteSource {
+/// ByteSource that pulls PutData payload bytes straight out of the
+/// connection's FrameReader — the dedup engine consumes the socket
+/// directly on the session thread. No worker thread, no frame queue, no
+/// per-frame ByteVec: payload bytes land in whatever buffer the chunker
+/// hands down. Backpressure is transport flow control (when the engine
+/// stalls, reads stop).
+///
+/// The stream ends at the PutEnd frame (read() returns 0 from then on).
+/// A mid-stream byte-quota breach throws QuotaExceededError; EOF or a
+/// non-PutData frame inside the stream throws ProtocolError.
+class SocketFrameSource final : public ByteSource {
  public:
-  explicit QueueSource(BoundedQueue<ByteVec>& queue) : queue_(&queue) {}
+  static constexpr std::uint64_t kUnlimited = ~0ull;
+
+  /// read() throws QuotaExceededError once more than `byte_budget` bytes
+  /// have streamed (kUnlimited disables the check; 0 aborts on the first
+  /// payload byte — a tenant already at its limit may still PUT an empty
+  /// file, matching the historical base + streamed > max semantics).
+  SocketFrameSource(FrameReader& reader, std::string tenant,
+                    std::uint64_t byte_budget)
+      : reader_(&reader),
+        tenant_(std::move(tenant)),
+        byte_budget_(byte_budget) {}
 
   std::size_t read(MutByteSpan out) override {
     std::size_t done = 0;
-    while (done < out.size()) {
-      if (pos_ == current_.size()) {
-        if (!queue_->pop(current_)) return done;  // closed and drained
-        pos_ = 0;
-        continue;
+    while (done < out.size() && !ended_) {
+      if (reader_->payload_remaining() == 0) {
+        MsgType type;
+        std::uint32_t len;
+        if (!reader_->next_header(type, len)) {
+          throw ProtocolError("connection closed mid-PUT");
+        }
+        if (type == MsgType::kPutEnd) {
+          if (len != 0) throw ProtocolError("malformed PutEnd");
+          ended_ = true;
+          break;
+        }
+        if (type != MsgType::kPutData) {
+          throw ProtocolError("unexpected frame inside PUT");
+        }
+        continue;  // 0-length PutData is legal; fetch the next header
       }
       const std::size_t n =
-          std::min(out.size() - done, current_.size() - pos_);
-      std::copy(current_.begin() + static_cast<std::ptrdiff_t>(pos_),
-                current_.begin() + static_cast<std::ptrdiff_t>(pos_ + n),
-                out.begin() + static_cast<std::ptrdiff_t>(done));
-      pos_ += n;
+          reader_->read_payload({out.data() + done, out.size() - done});
       done += n;
+      streamed_ += n;
+      if (streamed_ > byte_budget_) {
+        throw QuotaExceededError(tenant_, "aborted mid-stream");
+      }
     }
     return done;
   }
 
+  std::uint64_t streamed() const { return streamed_; }
+  bool ended() const { return ended_; }
+
  private:
-  BoundedQueue<ByteVec>* queue_;
-  ByteVec current_;
-  std::size_t pos_ = 0;
+  FrameReader* reader_;
+  std::string tenant_;
+  std::uint64_t byte_budget_;
+  std::uint64_t streamed_ = 0;
+  bool ended_ = false;
 };
 
 /// Graceful rejection: the response frame is already queued; FIN our write
@@ -74,6 +108,21 @@ void drain_rejected(int fd) {
 }
 
 }  // namespace
+
+/// The warm per-tenant engine stack. Constructed on a tenant's first PUT
+/// and reused by later PUTs (under the tenant's write_mu) until the
+/// maintenance gate, an ingest error, or daemon stop drops it. Member
+/// order is the dependency order: view over the shared synchronized
+/// backend, store over the view, engine over the store.
+struct DedupDaemon::EngineSession {
+  TenantView view;
+  ObjectStore store;
+  MhdEngine engine;
+
+  EngineSession(SyncBackend& sync, const std::string& tenant,
+                const EngineConfig& cfg)
+      : view(sync, tenant), store(view), engine(store, cfg) {}
+};
 
 DedupDaemon::DedupDaemon(StorageBackend& active, StorageBackend& raw,
                          DaemonConfig cfg)
@@ -114,6 +163,15 @@ void DedupDaemon::stop() {
     if (slot->thread.joinable()) slot->thread.join();
   }
   listener_.close();
+  // Drain flush boundary: every PUT already ended with flush_session(),
+  // so dropping the warm engines here releases their RAM without any
+  // further writes.
+  drop_engine_sessions();
+}
+
+void DedupDaemon::drop_engine_sessions() {
+  std::lock_guard<std::mutex> lock(reg_mu_);
+  for (auto& [id, ts] : tenants_) ts->session.reset();
 }
 
 std::string DedupDaemon::listen_spec() const {
@@ -189,9 +247,13 @@ void DedupDaemon::accept_loop() {
 
 void DedupDaemon::serve_connection(SessionSlot& slot) {
   const int fd = slot.fd;
+  tune_stream_socket(fd);
+  // The reader owns the connection's read side for its whole life; every
+  // handler that consumes frames (the PUT data path) goes through it.
+  FrameReader reader(fd);
   try {
     Frame frame;
-    while (read_frame(fd, frame)) {
+    while (reader.read_frame(frame)) {
       switch (frame.type) {
         case MsgType::kPing: {
           std::shared_lock<std::shared_mutex> maint(maint_mu_);
@@ -200,12 +262,17 @@ void DedupDaemon::serve_connection(SessionSlot& slot) {
         }
         case MsgType::kStats: {
           std::shared_lock<std::shared_mutex> maint(maint_mu_);
-          write_frame(fd, MsgType::kOk, stats_json());
+          // A 1-byte payload of 0x01 atomically resets the latency
+          // histograms with the snapshot (bench phase boundaries).
+          const bool reset =
+              frame.payload.size() == 1 && frame.payload[0] == Byte{1};
+          write_frame(fd, MsgType::kOk,
+                      reset ? stats_json_and_reset() : stats_json());
           break;
         }
         case MsgType::kPutBegin: {
           std::shared_lock<std::shared_mutex> maint(maint_mu_);
-          handle_put(fd, ByteSpan{frame.payload});
+          handle_put(fd, reader, ByteSpan{frame.payload});
           break;
         }
         case MsgType::kGet: {
@@ -261,7 +328,7 @@ void DedupDaemon::seed_tenant(const std::string& id, TenantState& ts) {
   ts.logical_bytes = bytes;
 }
 
-void DedupDaemon::handle_put(int fd, ByteSpan payload) {
+void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
   const auto start = Clock::now();
   std::size_t pos = 0;
   const auto tenant_id = read_string(payload, pos);
@@ -297,72 +364,35 @@ void DedupDaemon::handle_put(int fd, ByteSpan payload) {
     throw ProtocolError("quota: file count");
   }
 
-  // Dedup worker: per-tenant engine over the shared synchronized stack.
-  BoundedQueue<ByteVec> queue(cfg_.session_queue_depth);
-  EngineCounters counters;
-  std::exception_ptr worker_error;
-  std::thread worker([&] {
-    try {
-      TenantView view(sync_, *tenant_id);
-      ObjectStore store(view);
-      MhdEngine engine(store, cfg_.engine);
-      QueueSource src(queue);
-      engine.add_file(*file_name, src);
-      engine.end_snapshot();
-      engine.finish();
-      counters = engine.counters();
-    } catch (...) {
-      worker_error = std::current_exception();
-      // Unblock the pump if it is mid-push.
-      queue.fail(std::make_exception_ptr(
-          ProtocolError("ingest worker failed")));
-    }
-  });
+  // Warm per-tenant engine: built on first use, reused across PUTs.
+  if (!ts.session) {
+    ts.session =
+        std::make_unique<EngineSession>(sync_, *tenant_id, cfg_.engine);
+  }
+  EngineSession& sess = *ts.session;
+  const EngineCounters before = sess.engine.counters();
 
-  // Socket pump: stream PutData frames into the queue until PutEnd. The
-  // bounded queue is the backpressure point — when the worker lags, push
-  // blocks, we stop reading, and transport flow control reaches the peer.
-  std::uint64_t streamed = 0;
-  bool over_quota = false;
-  std::string pump_error;
+  // Remaining byte budget for this PUT (base + streamed > max aborts).
+  const std::uint64_t budget =
+      quota.max_logical_bytes == 0
+          ? SocketFrameSource::kUnlimited
+          : (quota.max_logical_bytes > base_bytes
+                 ? quota.max_logical_bytes - base_bytes
+                 : 0);
+  SocketFrameSource src(reader, *tenant_id, budget);
+
+  // The engine consumes the socket inline. Any exception invalidates the
+  // warm session (a half-ingested engine's cache/bloom state is no longer
+  // derivable from disk) — the next PUT rebuilds it fresh, which is
+  // exactly the baseline's behavior over the same on-disk state.
+  EngineCounters after;
   try {
-    Frame frame;
-    while (true) {
-      if (!read_frame(fd, frame)) {
-        pump_error = "connection closed mid-PUT";
-        break;
-      }
-      if (frame.type == MsgType::kPutEnd) break;
-      if (frame.type != MsgType::kPutData) {
-        pump_error = "unexpected frame inside PUT";
-        break;
-      }
-      streamed += frame.payload.size();
-      if (quota.max_logical_bytes != 0 &&
-          base_bytes + streamed > quota.max_logical_bytes) {
-        over_quota = true;
-        break;
-      }
-      try {
-        queue.push(std::move(frame.payload));
-      } catch (const ProtocolError&) {
-        break;  // worker already failed; its error is authoritative
-      }
-    }
-  } catch (const ProtocolError& e) {
-    pump_error = e.what();
-  }
-
-  if (over_quota || !pump_error.empty()) {
-    queue.fail(std::make_exception_ptr(QuotaExceededError(
-        *tenant_id, over_quota ? "aborted mid-stream" : pump_error)));
-  } else {
-    queue.close();
-  }
-  worker.join();
-
-  const std::uint64_t us = elapsed_us(start);
-  if (over_quota) {
+    sess.engine.add_file(*file_name, src);
+    sess.engine.end_snapshot();
+    after = sess.engine.counters();
+    if (!sess.engine.flush_session()) ts.session.reset();
+  } catch (const QuotaExceededError&) {
+    ts.session.reset();
     std::lock_guard<std::mutex> lock(reg_mu_);
     ++ts.counters.quota_rejections;
     write_frame(fd, MsgType::kQuota,
@@ -372,35 +402,35 @@ void DedupDaemon::handle_put(int fd, ByteSpan payload) {
     // maintenance pass reclaims them.
     drain_rejected(fd);
     throw ProtocolError("quota: logical bytes");
-  }
-  if (!pump_error.empty()) throw ProtocolError(pump_error);
-  if (worker_error) {
-    try {
-      std::rethrow_exception(worker_error);
-    } catch (const std::exception& e) {
-      write_frame(fd, MsgType::kErr, std::string(e.what()));
-      return;
-    }
+  } catch (const ProtocolError&) {
+    ts.session.reset();
+    throw;  // connection-level failure: serve loop drops the connection
+  } catch (const std::exception& e) {
+    ts.session.reset();
+    write_frame(fd, MsgType::kErr, std::string(e.what()));
+    return;  // stray PutData frames will end the serve loop
   }
 
+  const std::uint64_t input_bytes = after.input_bytes - before.input_bytes;
+  const std::uint64_t dup_bytes = after.dup_bytes - before.dup_bytes;
+
+  const std::uint64_t us = elapsed_us(start);
   {
     std::lock_guard<std::mutex> lock(reg_mu_);
     ts.files += 1;
-    ts.logical_bytes += counters.input_bytes;
+    ts.logical_bytes += input_bytes;
     ++ts.counters.puts;
     ts.counters.files = ts.files;
     ts.counters.logical_bytes = ts.logical_bytes;
-    ts.counters.ingest_bytes += counters.input_bytes;
-    ts.counters.dup_bytes += counters.dup_bytes;
-    ts.counters.queue_high_water =
-        std::max<std::uint64_t>(ts.counters.queue_high_water,
-                                queue.high_water());
+    ts.counters.ingest_bytes += input_bytes;
+    ts.counters.dup_bytes += dup_bytes;
+    ts.counters.queue_high_water = std::max<std::uint64_t>(
+        ts.counters.queue_high_water, reader.buffer_high_water());
     ts.put_us.record(us);
   }
   std::string summary = "{\"file\":\"" + json_escape(*file_name) +
-                        "\",\"input_bytes\":" +
-                        std::to_string(counters.input_bytes) +
-                        ",\"dup_bytes\":" + std::to_string(counters.dup_bytes) +
+                        "\",\"input_bytes\":" + std::to_string(input_bytes) +
+                        ",\"dup_bytes\":" + std::to_string(dup_bytes) +
                         ",\"micros\":" + std::to_string(us) + "}";
   write_frame(fd, MsgType::kOk, summary);
 }
@@ -420,27 +450,43 @@ void DedupDaemon::handle_get(int fd, ByteSpan payload) {
   // read-only stream over the tenant view, safe concurrently with
   // everything (the synchronized stack linearizes the object reads).
   TenantView view(sync_, *tenant_id);
+  TenantState& ts = tenant(*tenant_id);
   auto reader = RestoreReader::open(view, *file_name);
   if (!reader) {
     write_frame(fd, MsgType::kErr,
                 "no such file in tenant '" + *tenant_id + "': " + *file_name);
+    // Failed GETs get their own histogram — a fast "no such file" must
+    // not drag the success percentiles down.
+    std::lock_guard<std::mutex> lock(reg_mu_);
+    ++ts.counters.get_errors;
+    ts.get_err_us.record(elapsed_us(start));
     return;
   }
-  ByteVec buf(kStreamFrameBytes);
+  // Recycled staging slab: steady-state restore streaming allocates
+  // nothing per GET after warm-up.
+  ByteVec buf = chunk_buffer_pool().acquire();
+  buf.resize(kStreamFrameBytes);
   std::size_t n;
   while ((n = reader->read({buf.data(), buf.size()})) > 0) {
     write_frame(fd, MsgType::kData, ByteSpan{buf.data(), n});
   }
+  chunk_buffer_pool().release(std::move(buf));
   ByteVec tail;
   append_le(tail, reader->produced());
   tail.push_back(reader->ok() ? Byte{1} : Byte{0});
   write_frame(fd, MsgType::kDataEnd, ByteSpan{tail});
 
-  TenantState& ts = tenant(*tenant_id);
   std::lock_guard<std::mutex> lock(reg_mu_);
   ++ts.counters.gets;
   ts.counters.restore_bytes += reader->produced();
-  ts.get_us.record(elapsed_us(start));
+  // A stream that ended short (damaged objects) is a failure: record it
+  // apart from the successes even though DataEnd was delivered.
+  if (reader->ok()) {
+    ts.get_us.record(elapsed_us(start));
+  } else {
+    ++ts.counters.get_errors;
+    ts.get_err_us.record(elapsed_us(start));
+  }
 }
 
 void DedupDaemon::handle_ls(int fd, ByteSpan payload) {
@@ -485,9 +531,12 @@ void DedupDaemon::handle_maintain(int fd, ByteSpan payload) {
   if (payload.size() != 1) throw ProtocolError("malformed Maintain");
   const auto op = static_cast<MaintainOp>(payload[0]);
   // Quiesce: wait for in-flight requests to drain, hold off new ones.
-  // Engines exist only for the duration of a PUT, so a quiesced daemon
-  // has no live index/container state to invalidate.
+  // Every PUT ends with flush_session(), so the quiesced store is fully
+  // durable; the warm engine sessions are then dropped because gc/fsck
+  // rewrite the hooks, manifests and index objects beneath them — the
+  // next PUT rebuilds from the post-maintenance disk state.
   std::unique_lock<std::shared_mutex> maint(maint_mu_);
+  drop_engine_sessions();
   maintenance_runs_.fetch_add(1);
   // Maintenance runs PER TENANT, through the same namespace view the
   // sessions use: hooks, manifests and index objects reference each other
@@ -546,6 +595,17 @@ void DedupDaemon::handle_maintain(int fd, ByteSpan payload) {
 }
 
 std::string DedupDaemon::stats_json() const {
+  return build_stats_json(/*reset_histograms=*/false);
+}
+
+std::string DedupDaemon::stats_json_and_reset() {
+  return build_stats_json(/*reset_histograms=*/true);
+}
+
+std::string DedupDaemon::build_stats_json(bool reset_histograms) const {
+  // One reg_mu_ hold for the whole snapshot (and the optional reset): a
+  // reader either sees every sample of a PUT/GET or none of it, and a
+  // reset can never lose a sample recorded between snapshot and zeroing.
   std::lock_guard<std::mutex> lock(reg_mu_);
   std::string json = "{";
   json += "\"active_sessions\":" + std::to_string(active_sessions_.load());
@@ -571,11 +631,21 @@ std::string DedupDaemon::stats_json() const {
     json += ",\"dup_bytes\":" + std::to_string(c.dup_bytes);
     json += ",\"queue_high_water\":" + std::to_string(c.queue_high_water);
     json += ",\"quota_rejections\":" + std::to_string(c.quota_rejections);
+    json += ",\"get_errors\":" + std::to_string(c.get_errors);
     json += ",\"put_p50_us\":" + std::to_string(ts->put_us.quantile(0.5));
     json += ",\"put_p99_us\":" + std::to_string(ts->put_us.quantile(0.99));
     json += ",\"get_p50_us\":" + std::to_string(ts->get_us.quantile(0.5));
     json += ",\"get_p99_us\":" + std::to_string(ts->get_us.quantile(0.99));
+    json += ",\"get_err_p99_us\":" +
+            std::to_string(ts->get_err_us.quantile(0.99));
     json += "}";
+    if (reset_histograms) {
+      // unique_ptr's shallow const lets the snapshot-and-reset flavour
+      // share this builder; reg_mu_ serializes it against recorders.
+      ts->put_us.reset();
+      ts->get_us.reset();
+      ts->get_err_us.reset();
+    }
   }
   json += "}}";
   return json;

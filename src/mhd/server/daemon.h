@@ -5,31 +5,47 @@
 // protocol.h. Architecture, per connection:
 //
 //   accept thread ── admission check ──▶ session thread
-//                                         PUT: socket pump ─▶ BoundedQueue
-//                                              ─▶ dedup worker thread
+//                                         PUT: engine pulls PutData frames
+//                                              inline (SocketFrameSource)
 //                                         GET: RestoreReader streaming
+//
+// PUT data path (see DESIGN.md §8 "Data path"): the session thread runs
+// the dedup engine directly and the engine PULLS payload bytes out of the
+// connection's FrameReader — no per-PUT worker thread, no frame queue, no
+// per-frame allocation. Backpressure is the transport itself: when dedup
+// stalls, the daemon stops reading and TCP/Unix flow control reaches the
+// client.
+//
+// Engines are per-tenant and PERSISTENT (EngineSession): the first PUT
+// constructs the tenant's TenantView → ObjectStore → engine stack and
+// later PUTs reuse it with the manifest cache, bloom filter and index
+// handles warm. Every PUT ends with DedupEngine::flush_session(), which
+// makes the session state bit-identical — on disk and in future dedup
+// decisions — to tearing the engine down and rebuilding it (the fresh-
+// engine baseline the equivalence tests compare against). Sessions are
+// dropped at the maintenance gate (gc rewrites hooks/manifests/index
+// beneath them), on any ingest error (a half-run engine's cache state is
+// not derivable from disk), and at daemon stop.
 //
 // Sharing and isolation:
 //   * every session sees the repository through a TenantView (namespace
 //     prefix, see tenant_view.h) stacked on ONE SyncBackend that
 //     linearizes the physical store;
-//   * engines are per-PUT and per-tenant: a tenant's PUTs serialize on
-//     the tenant's write mutex (one writer per namespace), while PUTs of
-//     different tenants and all GETs run concurrently;
+//   * a tenant's PUTs serialize on the tenant's write mutex (one writer
+//     per namespace), while PUTs of different tenants and all GETs run
+//     concurrently;
 //   * GETs never construct an engine — RestoreReader streams straight
 //     from the (read-only) tenant view, so restore storms scale with
 //     sessions, not with engine state.
 //
 // Admission control: at most max_sessions concurrent sessions; a rejected
 // connection receives Busy(retry_after_ms) and is closed, and the
-// rejection is counted. Within a PUT, the BoundedQueue between the socket
-// pump and the dedup worker bounds buffered data; a full queue stops the
-// socket reads and lets transport flow control push back to the client.
+// rejection is counted.
 //
 // Online maintenance: gc/fsck take the maintenance lock exclusively —
-// they wait for in-flight requests to drain and hold off new ones, run
-// against the quiesced store, then resume. Safe because engines only live
-// for the duration of a PUT (nothing holds index state across requests).
+// they wait for in-flight requests to drain (each request holds it
+// shared, and every PUT flushes at its end), drop all warm engine
+// sessions, run against the quiesced store, then resume.
 //
 // Quotas: per-tenant logical-byte and file-count limits, seeded from the
 // repository on the tenant's first touch and enforced during streaming;
@@ -58,7 +74,9 @@ struct DaemonConfig {
   /// "unix:<path>" or "tcp:<port>" (loopback; 0 = ephemeral, see port()).
   std::string listen = "tcp:0";
   std::uint32_t max_sessions = 8;
-  /// PutData frames buffered between socket pump and dedup worker.
+  /// Legacy knob from the queue-based data path. Ingest now pulls frames
+  /// inline (transport flow control IS the backpressure), so this only
+  /// survives for CLI/config compatibility and the stats report.
   std::uint32_t session_queue_depth = 16;
   /// Suggested client back-off returned with Busy responses.
   std::uint32_t retry_after_ms = 100;
@@ -75,8 +93,15 @@ struct TenantCounters {
   std::uint64_t ingest_bytes = 0;
   std::uint64_t restore_bytes = 0;
   std::uint64_t dup_bytes = 0;
-  std::uint64_t queue_high_water = 0;  ///< max PutData queue depth seen
+  /// Peak bytes held in the connection FrameReaders' coalescing buffers
+  /// during this tenant's PUTs (was the PutData queue depth before the
+  /// inline data path).
+  std::uint64_t queue_high_water = 0;
   std::uint64_t quota_rejections = 0;
+  /// GETs that failed: no such file, or the stream ended short because of
+  /// damaged objects. Their latencies live in a separate histogram so
+  /// fast failures cannot pollute the success percentiles.
+  std::uint64_t get_errors = 0;
   std::uint64_t put_p50_us = 0, put_p99_us = 0;
   std::uint64_t get_p50_us = 0, get_p99_us = 0;
 };
@@ -105,12 +130,18 @@ class DedupDaemon {
 
   /// The stats RPC's payload (also reachable without a connection).
   std::string stats_json() const;
+  /// Same snapshot, but atomically resets every latency histogram under
+  /// the same lock hold — the stats RPC's reset flag, for benchmarks that
+  /// measure phases without restarting the daemon.
+  std::string stats_json_and_reset();
 
   std::uint64_t sessions_served() const { return sessions_served_.load(); }
   std::uint64_t busy_rejections() const { return busy_rejections_.load(); }
   std::uint32_t active_sessions() const { return active_sessions_.load(); }
 
  private:
+  struct EngineSession;  ///< warm TenantView→ObjectStore→engine stack
+
   struct TenantState {
     std::mutex write_mu;  ///< one writer per tenant namespace
     bool seeded = false;
@@ -119,6 +150,11 @@ class DedupDaemon {
     TenantCounters counters;
     LatencyHistogram put_us;
     LatencyHistogram get_us;
+    LatencyHistogram get_err_us;  ///< failed GETs, kept out of get_us
+    /// Warm engine stack, reused across PUTs. Touched only under write_mu,
+    /// except the maintenance gate / stop, which hold the exclusive
+    /// maintenance lock (no PUT can be in flight then).
+    std::unique_ptr<EngineSession> session;
   };
 
   struct SessionSlot {
@@ -130,10 +166,15 @@ class DedupDaemon {
   void accept_loop();
   void serve_connection(SessionSlot& slot);
   /// Request handlers; each runs under the maintenance lock (shared).
-  void handle_put(int fd, ByteSpan payload);
+  void handle_put(int fd, FrameReader& reader, ByteSpan payload);
   void handle_get(int fd, ByteSpan payload);
   void handle_ls(int fd, ByteSpan payload);
   void handle_maintain(int fd, ByteSpan payload);
+  /// Flush boundary: destroys every tenant's warm engine session. Caller
+  /// must guarantee no PUT is in flight (exclusive maintenance lock, or
+  /// all session threads joined).
+  void drop_engine_sessions();
+  std::string build_stats_json(bool reset_histograms) const;
 
   TenantState& tenant(const std::string& id);
   /// Tenant ids present in the repository (from object-name prefixes).

@@ -27,6 +27,13 @@ class LatencyHistogram {
 
   std::uint64_t count() const { return count_; }
 
+  /// Zeroes every bucket (the stats RPC's atomic snapshot-and-reset; the
+  /// caller holds whatever lock guards record()).
+  void reset() {
+    buckets_.fill(0);
+    count_ = 0;
+  }
+
   /// Upper bound (µs) of the bucket holding the q-th quantile sample;
   /// 0 when empty. q in [0,1].
   std::uint64_t quantile(double q) const {

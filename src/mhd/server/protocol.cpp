@@ -2,11 +2,14 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/uio.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -15,11 +18,26 @@ namespace mhd::server {
 
 namespace {
 
+std::atomic<std::uint64_t> g_read_calls{0};
+std::atomic<std::uint64_t> g_read_bytes{0};
+std::atomic<std::uint64_t> g_write_calls{0};
+std::atomic<std::uint64_t> g_write_bytes{0};
+
+ssize_t counted_read(int fd, void* buf, std::size_t len) {
+  const ssize_t n = ::read(fd, buf, len);
+  g_read_calls.fetch_add(1, std::memory_order_relaxed);
+  if (n > 0) {
+    g_read_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                           std::memory_order_relaxed);
+  }
+  return n;
+}
+
 bool read_exact(int fd, void* buf, std::size_t len) {
   auto* p = static_cast<unsigned char*>(buf);
   std::size_t done = 0;
   while (done < len) {
-    const ssize_t n = ::read(fd, p + done, len - done);
+    const ssize_t n = counted_read(fd, p + done, len - done);
     if (n == 0) {
       if (done == 0) return false;  // clean EOF between frames
       throw ProtocolError("connection closed mid-frame");
@@ -34,22 +52,63 @@ bool read_exact(int fd, void* buf, std::size_t len) {
   return true;
 }
 
-void write_exact(int fd, const void* buf, std::size_t len) {
-  const auto* p = static_cast<const unsigned char*>(buf);
-  std::size_t done = 0;
-  while (done < len) {
-    // MSG_NOSIGNAL: a peer that vanished mid-write must surface as EPIPE,
-    // not kill the daemon with SIGPIPE.
-    const ssize_t n = ::send(fd, p + done, len - done, MSG_NOSIGNAL);
+/// Vectored exact write: header + payload leave in one sendmsg. Partial
+/// sends advance through the iovec array. MSG_NOSIGNAL: a peer that
+/// vanished mid-write must surface as EPIPE, not kill the daemon with
+/// SIGPIPE.
+void writev_exact(int fd, iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<std::size_t>(iovcnt);
+    const ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    g_write_calls.fetch_add(1, std::memory_order_relaxed);
     if (n < 0) {
       if (errno == EINTR) continue;
       throw ProtocolError(std::string("write: ") + std::strerror(errno));
     }
-    done += static_cast<std::size_t>(n);
+    g_write_bytes.fetch_add(static_cast<std::uint64_t>(n),
+                            std::memory_order_relaxed);
+    std::size_t advanced = static_cast<std::size_t>(n);
+    while (iovcnt > 0 && advanced >= iov->iov_len) {
+      advanced -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0) {
+      iov->iov_base = static_cast<unsigned char*>(iov->iov_base) + advanced;
+      iov->iov_len -= advanced;
+    }
   }
 }
 
 }  // namespace
+
+TransportStats transport_stats() {
+  TransportStats s;
+  s.read_calls = g_read_calls.load(std::memory_order_relaxed);
+  s.read_bytes = g_read_bytes.load(std::memory_order_relaxed);
+  s.write_calls = g_write_calls.load(std::memory_order_relaxed);
+  s.write_bytes = g_write_bytes.load(std::memory_order_relaxed);
+  return s;
+}
+
+void reset_transport_stats() {
+  g_read_calls.store(0, std::memory_order_relaxed);
+  g_read_bytes.store(0, std::memory_order_relaxed);
+  g_write_calls.store(0, std::memory_order_relaxed);
+  g_write_bytes.store(0, std::memory_order_relaxed);
+}
+
+void tune_stream_socket(int fd) {
+  const int one = 1;
+  // Fails with ENOTSUP/EOPNOTSUPP on Unix sockets — fine, they have no
+  // Nagle to disable.
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  const int buf = kSocketBufferBytes;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &buf, sizeof(buf));
+  ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &buf, sizeof(buf));
+}
 
 std::optional<std::string> validate_tenant(const std::string& tenant) {
   if (tenant.empty()) return "tenant id is empty";
@@ -97,14 +156,114 @@ void write_frame(int fd, MsgType type, ByteSpan payload) {
       static_cast<unsigned char>((len >> 24) & 0xff),
       static_cast<unsigned char>(type),
   };
-  write_exact(fd, header, sizeof(header));
-  if (len != 0) write_exact(fd, payload.data(), payload.size());
+  iovec iov[2];
+  iov[0].iov_base = header;
+  iov[0].iov_len = sizeof(header);
+  int iovcnt = 1;
+  if (len != 0) {
+    iov[1].iov_base = const_cast<Byte*>(payload.data());
+    iov[1].iov_len = payload.size();
+    iovcnt = 2;
+  }
+  writev_exact(fd, iov, iovcnt);
 }
 
 void write_frame(int fd, MsgType type, const std::string& text) {
   write_frame(fd, type,
               ByteSpan{reinterpret_cast<const Byte*>(text.data()),
                        text.size()});
+}
+
+FrameReader::FrameReader(int fd, std::size_t buffer_bytes)
+    : fd_(fd), buf_(buffer_bytes) {}
+
+bool FrameReader::fill(std::size_t need) {
+  const std::size_t have = end_ - pos_;
+  if (have >= need) return true;
+  // Compact so the tail of the buffer is free for one large read().
+  if (pos_ != 0) {
+    std::memmove(buf_.data(), buf_.data() + pos_, have);
+    end_ = have;
+    pos_ = 0;
+  }
+  while (end_ - pos_ < need) {
+    const ssize_t n = counted_read(fd_, buf_.data() + end_, buf_.size() - end_);
+    if (n == 0) {
+      if (end_ == pos_) return false;  // clean EOF at a frame boundary
+      throw ProtocolError("connection closed mid-frame");
+    }
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (end_ == pos_ && (errno == ECONNRESET || errno == EPIPE)) {
+        return false;
+      }
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    end_ += static_cast<std::size_t>(n);
+    if (end_ > high_water_) high_water_ = end_;
+  }
+  return true;
+}
+
+bool FrameReader::next_header(MsgType& type, std::uint32_t& len) {
+  if (remaining_ != 0) {
+    throw ProtocolError("frame header requested with payload unconsumed");
+  }
+  if (!fill(5)) return false;
+  const Byte* h = buf_.data() + pos_;
+  len = static_cast<std::uint32_t>(h[0]) |
+        (static_cast<std::uint32_t>(h[1]) << 8) |
+        (static_cast<std::uint32_t>(h[2]) << 16) |
+        (static_cast<std::uint32_t>(h[3]) << 24);
+  if (len > kMaxFramePayload) {
+    throw ProtocolError("frame payload exceeds " +
+                        std::to_string(kMaxFramePayload) + " bytes");
+  }
+  type = static_cast<MsgType>(h[4]);
+  pos_ += 5;
+  remaining_ = len;
+  return true;
+}
+
+std::size_t FrameReader::read_payload(MutByteSpan out) {
+  if (remaining_ == 0 || out.empty()) return 0;
+  std::size_t want = out.size() < remaining_ ? out.size() : remaining_;
+  std::size_t done = 0;
+  // Drain whatever the coalescing buffer already holds.
+  const std::size_t buffered = end_ - pos_;
+  if (buffered != 0) {
+    const std::size_t take = buffered < want ? buffered : want;
+    std::memcpy(out.data(), buf_.data() + pos_, take);
+    pos_ += take;
+    done = take;
+  }
+  // Large remainders go straight into the caller's memory — no double
+  // buffering for bulk payload bytes.
+  while (done < want) {
+    const ssize_t n = counted_read(fd_, out.data() + done, want - done);
+    if (n == 0) throw ProtocolError("connection closed mid-frame");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+    }
+    done += static_cast<std::size_t>(n);
+  }
+  remaining_ -= static_cast<std::uint32_t>(done);
+  return done;
+}
+
+bool FrameReader::read_frame(Frame& out) {
+  MsgType type;
+  std::uint32_t len;
+  if (!next_header(type, len)) return false;
+  out.type = type;
+  out.payload.resize(len);
+  std::size_t done = 0;
+  while (done < len) {
+    done += read_payload(
+        MutByteSpan{out.payload.data() + done, len - done});
+  }
+  return true;
 }
 
 void append_string(ByteVec& out, const std::string& s) {
@@ -234,6 +393,7 @@ int connect_to(const std::string& spec) {
       ::close(fd);
       return -1;
     }
+    tune_stream_socket(fd);
     return fd;
   }
   if (spec.rfind("tcp:", 0) == 0) {
@@ -248,6 +408,7 @@ int connect_to(const std::string& spec) {
       ::close(fd);
       return -1;
     }
+    tune_stream_socket(fd);
     return fd;
   }
   return -1;

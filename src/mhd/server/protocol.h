@@ -21,9 +21,9 @@
 //
 // Backpressure has two layers: admission (a daemon at max-sessions answers
 // the first request frame with Busy(retry_after_ms) and closes) and
-// streaming (PutData frames land in a BoundedQueue; when the dedup worker
-// falls behind, the daemon simply stops reading the socket and TCP/Unix
-// flow control pushes back to the client).
+// streaming (the dedup engine consumes PutData payload bytes straight off
+// the connection on the session thread; when it falls behind, reads stop
+// and TCP/Unix flow control pushes back to the client).
 //
 // Tenant ids are validated at this boundary (validate_tenant): they become
 // object-name prefixes in the store, so path separators, dots and empties
@@ -43,7 +43,17 @@ namespace mhd::server {
 constexpr std::uint32_t kMaxFramePayload = 8u << 20;
 
 /// Preferred PutData/Data frame size for streaming (well under the cap).
-constexpr std::uint32_t kStreamFrameBytes = 256u << 10;
+/// Large frames amortize the per-frame header + syscall cost: at 1 MB a
+/// stream pays ~2 syscalls per MB on each side instead of dozens.
+constexpr std::uint32_t kStreamFrameBytes = 1u << 20;
+
+/// FrameReader's coalescing buffer: small frames (headers, control
+/// messages, short payloads) are parsed out of one buffered read() instead
+/// of costing two exact-size reads each.
+constexpr std::size_t kReadBufferBytes = 256u << 10;
+
+/// SO_SNDBUF/SO_RCVBUF hint applied to every stream socket.
+constexpr int kSocketBufferBytes = 1 << 20;
 
 enum class MsgType : std::uint8_t {
   // requests
@@ -78,10 +88,81 @@ std::optional<std::string> validate_tenant(const std::string& tenant);
 
 /// Blocking exact-size frame IO on a connected socket. read_frame returns
 /// false on clean EOF and throws ProtocolError on a malformed or oversized
-/// frame; write_frame throws on a broken pipe.
+/// frame; write_frame throws on a broken pipe. write_frame sends header
+/// and payload as ONE vectored syscall (sendmsg with MSG_NOSIGNAL).
 bool read_frame(int fd, Frame& out);
 void write_frame(int fd, MsgType type, ByteSpan payload);
 void write_frame(int fd, MsgType type, const std::string& text);
+
+/// Transport tuning for a connected stream socket: TCP_NODELAY (the
+/// request/response protocol must never sit out a Nagle/delayed-ACK
+/// window — that alone was a ~40 ms stall per RPC) and larger kernel
+/// buffers. A no-op where an option does not apply (Unix sockets).
+void tune_stream_socket(int fd);
+
+/// Process-wide transport counters (bench attribution: bytes-per-syscall).
+/// Monotonic; covers every FrameReader read and write_frame send in the
+/// process. reset_transport_stats() zeroes them between bench phases.
+struct TransportStats {
+  std::uint64_t read_calls = 0;
+  std::uint64_t read_bytes = 0;
+  std::uint64_t write_calls = 0;
+  std::uint64_t write_bytes = 0;
+};
+TransportStats transport_stats();
+void reset_transport_stats();
+
+/// Buffered frame reads over one connected socket. A FrameReader owns the
+/// read side of its fd: it issues large read()s into a coalescing buffer
+/// and parses frames out of it, so a run of small frames costs one
+/// syscall, not two each. Payloads larger than the buffer are read
+/// straight into the caller's memory (no double buffering). Once a
+/// FrameReader is attached to an fd, every read on that fd must go
+/// through it (it over-reads by design).
+///
+/// Two access styles:
+///  * read_frame(Frame&): whole frames, same semantics as the free
+///    function (false on clean EOF at a frame boundary, ProtocolError on
+///    tears/oversize);
+///  * next_header() + read_payload(): streaming consumption — the PUT
+///    data path pulls payload bytes directly into the chunker's buffer
+///    without materializing a frame.
+class FrameReader {
+ public:
+  explicit FrameReader(int fd, std::size_t buffer_bytes = kReadBufferBytes);
+
+  FrameReader(const FrameReader&) = delete;
+  FrameReader& operator=(const FrameReader&) = delete;
+
+  /// Reads one whole frame. False on clean EOF at a frame boundary.
+  bool read_frame(Frame& out);
+
+  /// Reads the next frame header. False on clean EOF at a frame boundary.
+  /// Must not be called while the previous frame's payload is unconsumed.
+  bool next_header(MsgType& type, std::uint32_t& len);
+
+  /// Consumes up to out.size() bytes of the current frame's payload;
+  /// returns the count (0 when the payload is fully consumed).
+  std::size_t read_payload(MutByteSpan out);
+
+  std::uint32_t payload_remaining() const { return remaining_; }
+
+  /// High-water of bytes held in the coalescing buffer (observability:
+  /// the stats RPC reports it as the session's buffered high-water).
+  std::size_t buffer_high_water() const { return high_water_; }
+
+ private:
+  /// Ensures at least `need` buffered bytes. Returns false on clean EOF
+  /// with an empty buffer; throws ProtocolError on EOF mid-datum.
+  bool fill(std::size_t need);
+
+  int fd_;
+  ByteVec buf_;
+  std::size_t pos_ = 0;   ///< next unconsumed byte
+  std::size_t end_ = 0;   ///< one past the last buffered byte
+  std::uint32_t remaining_ = 0;  ///< unconsumed payload of the open frame
+  std::size_t high_water_ = 0;
+};
 
 /// Payload helpers ([u16 len][bytes] strings).
 void append_string(ByteVec& out, const std::string& s);

@@ -21,6 +21,7 @@
 #include "mhd/server/daemon.h"
 #include "mhd/server/tenant_view.h"
 #include "mhd/store/framed_backend.h"
+#include "mhd/store/maintenance.h"
 #include "mhd/store/memory_backend.h"
 #include "mhd/store/object_store.h"
 
@@ -51,18 +52,27 @@ std::vector<std::pair<std::string, ByteVec>> tenant_files(std::uint64_t t) {
   return {{"disk0.img", base}, {"disk1.img", std::move(second)}};
 }
 
+/// One daemon PUT replayed serially: fresh per-PUT engine over a
+/// per-tenant view, torn down with finish(). The warm-session daemon must
+/// be bit-indistinguishable from this on every stored object.
+void serial_put(StorageBackend& repo, const std::string& tenant,
+                const std::string& name, const ByteVec& data,
+                const EngineConfig& cfg) {
+  TenantView view(repo, tenant);
+  ObjectStore store(view);
+  MhdEngine engine(store, cfg);
+  MemorySource src(ByteSpan{data});
+  engine.add_file(name, src);
+  engine.end_snapshot();
+  engine.finish();
+}
+
 /// What the daemon does per PUT, replayed serially: per-tenant view,
 /// per-PUT engine. Bit-level reference for the parallel runs.
 void serial_ingest(StorageBackend& repo, const std::string& tenant,
                    const EngineConfig& cfg) {
   for (const auto& [name, data] : tenant_files(std::stoull(tenant.substr(1)))) {
-    TenantView view(repo, tenant);
-    ObjectStore store(view);
-    MhdEngine engine(store, cfg);
-    MemorySource src(ByteSpan{data});
-    engine.add_file(name, src);
-    engine.end_snapshot();
-    engine.finish();
+    serial_put(repo, tenant, name, data, cfg);
   }
 }
 
@@ -204,6 +214,192 @@ TEST(DaemonTest, DiskIndexTenantsBitIdenticalToSerial) {
     serial_ingest(reference, "t" + std::to_string(t), dc.engine);
   }
   // Includes Ns::kIndex: per-tenant meta/shard/journal objects match too.
+  expect_backends_identical(repo, reference);
+}
+
+/// PUT over a fresh connection with the protocol's back-off-and-retry on
+/// Busy (session slots release asynchronously after a peer closes).
+bool client_put_retry(const std::string& spec, const std::string& tenant,
+                      const std::string& name, const ByteVec& data) {
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto client = DedupClient::connect(spec);
+    if (!client) return false;
+    const auto r = client->put_bytes(tenant, name, ByteSpan{data});
+    if (r.busy) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+      continue;
+    }
+    return r.ok;
+  }
+  return false;
+}
+
+/// Maintain(gc) over a fresh connection, retrying Busy.
+DedupClient::Result maintain_gc_retry(const std::string& spec) {
+  DedupClient::Result r;
+  for (int attempt = 0; attempt < 200; ++attempt) {
+    auto client = DedupClient::connect(spec);
+    if (!client) {
+      r.message = "connect failed";
+      return r;
+    }
+    r = client->maintain(MaintainOp::kGc);
+    if (!r.busy) return r;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return r;
+}
+
+/// The serial reference for the interleaved tests: per tenant a fresh
+/// engine for the first file, gc through the tenant view (what the
+/// daemon's Maintain(gc) runs), then a fresh engine for the second file.
+void serial_interleaved_reference(StorageBackend& reference, int tenants,
+                                  const EngineConfig& cfg) {
+  for (int t = 0; t < tenants; ++t) {
+    const auto files = tenant_files(t);
+    serial_put(reference, "t" + std::to_string(t), files[0].first,
+               files[0].second, cfg);
+  }
+  for (int t = 0; t < tenants; ++t) {
+    TenantView view(reference, "t" + std::to_string(t));
+    collect_garbage(view);
+  }
+  for (int t = 0; t < tenants; ++t) {
+    const auto files = tenant_files(t);
+    serial_put(reference, "t" + std::to_string(t), files[1].first,
+               files[1].second, cfg);
+  }
+}
+
+/// Warm engine sessions across an interleaved PUT → maintain(gc) → PUT
+/// schedule. The first round builds the per-tenant warm engines, the
+/// maintenance gate drops them all (gc rewrites hooks/manifests/index
+/// beneath them), and the second round rebuilds them from post-gc disk
+/// state — all of which must be bit-identical to the fresh-engine serial
+/// baseline running the same schedule.
+TEST(DaemonTest, WarmSessionsInterleavedWithGcBitIdenticalToSerial) {
+  constexpr int kTenants = 8;
+  DaemonConfig dc;
+  dc.listen = "tcp:0";
+  dc.max_sessions = kTenants + 1;  // +1: the maintenance client
+
+  MemoryBackend repo;
+  DedupDaemon daemon(repo, repo, dc);
+  daemon.start();
+  const std::string spec = daemon.listen_spec();
+
+  // Persistent connections: the second round reuses them, so each
+  // tenant's PUTs land on one session thread with no re-admission races.
+  std::vector<DedupClient> clients;
+  clients.reserve(kTenants);
+  for (int t = 0; t < kTenants; ++t) {
+    auto c = DedupClient::connect(spec);
+    ASSERT_TRUE(c);
+    clients.push_back(std::move(*c));
+  }
+
+  std::atomic<int> failures{0};
+  const auto put_round = [&](int file_idx) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kTenants; ++t) {
+      workers.emplace_back([&, t] {
+        const auto files = tenant_files(t);
+        const auto& [name, data] = files[file_idx];
+        if (!clients[t].put_bytes("t" + std::to_string(t), name,
+                                  ByteSpan{data})
+                 .ok) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
+  put_round(0);
+  ASSERT_EQ(failures.load(), 0);
+  {
+    const auto gc = maintain_gc_retry(spec);
+    ASSERT_TRUE(gc.ok) << gc.message;
+    // Everything is referenced; gc must delete nothing.
+    EXPECT_NE(gc.message.find("\"deleted_chunks\":0"), std::string::npos)
+        << gc.message;
+  }
+  put_round(1);
+  ASSERT_EQ(failures.load(), 0);
+
+  for (int t = 0; t < kTenants; ++t) {
+    for (const auto& [name, data] : tenant_files(t)) {
+      EXPECT_EQ(client_get(spec, "t" + std::to_string(t), name), data)
+          << "tenant " << t << " file " << name;
+    }
+  }
+  daemon.stop();
+
+  MemoryBackend reference;
+  serial_interleaved_reference(reference, kTenants, dc.engine);
+  expect_backends_identical(repo, reference);
+}
+
+/// Same interleaved schedule on the persistent (disk) index, with a full
+/// daemon restart between the gc and the second PUT round: the restarted
+/// daemon's engines warm-load the on-disk index, append to it, and the
+/// final repository — including every Ns::kIndex meta/shard/journal/bloom
+/// object — must match the serial fresh-engine baseline that never had a
+/// warm engine or a restart.
+TEST(DaemonTest, DiskIndexInterleavedGcAndRestartBitIdenticalToSerial) {
+  constexpr int kTenants = 8;
+  DaemonConfig dc;
+  dc.listen = "tcp:0";
+  dc.max_sessions = kTenants + 1;
+  dc.engine.index_impl = IndexImpl::kDisk;
+  dc.engine.index_shards = 4;
+  dc.engine.index_journal_batch = 8;
+  dc.engine.index_compact_threshold = 16;
+
+  MemoryBackend repo;
+  std::atomic<int> failures{0};
+  const auto put_round = [&](const std::string& spec, int file_idx) {
+    std::vector<std::thread> workers;
+    for (int t = 0; t < kTenants; ++t) {
+      workers.emplace_back([&, t] {
+        const auto files = tenant_files(t);
+        const auto& [name, data] = files[file_idx];
+        if (!client_put_retry(spec, "t" + std::to_string(t), name, data)) {
+          ++failures;
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+  };
+
+  {
+    DedupDaemon daemon(repo, repo, dc);
+    daemon.start();
+    put_round(daemon.listen_spec(), 0);
+    ASSERT_EQ(failures.load(), 0);
+    const auto gc = maintain_gc_retry(daemon.listen_spec());
+    ASSERT_TRUE(gc.ok) << gc.message;
+    daemon.stop();
+  }
+  {
+    // Restart over the same repository: nothing carries over but disk.
+    DedupDaemon daemon(repo, repo, dc);
+    daemon.start();
+    put_round(daemon.listen_spec(), 1);
+    ASSERT_EQ(failures.load(), 0);
+    for (int t = 0; t < kTenants; ++t) {
+      for (const auto& [name, data] : tenant_files(t)) {
+        EXPECT_EQ(client_get(daemon.listen_spec(), "t" + std::to_string(t),
+                             name),
+                  data)
+            << "tenant " << t << " file " << name;
+      }
+    }
+    daemon.stop();
+  }
+
+  MemoryBackend reference;
+  serial_interleaved_reference(reference, kTenants, dc.engine);
   expect_backends_identical(repo, reference);
 }
 
@@ -449,6 +645,47 @@ TEST(DaemonTest, StatsRpcReportsPerTenantCountersAndLatency) {
         "\"busy_rejections\":0", "\"max_sessions\":8"}) {
     EXPECT_NE(stats.message.find(key), std::string::npos)
         << key << " missing in " << stats.message;
+  }
+  daemon.stop();
+}
+
+TEST(DaemonTest, StatsSeparateFailedGetsAndSupportResettingHistograms) {
+  DaemonConfig dc;
+  dc.listen = "tcp:0";
+  MemoryBackend repo;
+  DedupDaemon daemon(repo, repo, dc);
+  daemon.start();
+
+  const ByteVec data = make_blob(12, 32 << 10);
+  auto client = DedupClient::connect(daemon.listen_spec());
+  ASSERT_TRUE(client);
+  ASSERT_TRUE(client->put_bytes("beta", "f.img", ByteSpan{data}).ok);
+  ASSERT_TRUE(client->get("beta", "f.img", [](ByteSpan) {}).ok);
+  // A missing file fails fast; it must land in the error histogram, not
+  // drag the success percentiles down.
+  EXPECT_FALSE(client->get("beta", "missing.img", [](ByteSpan) {}).ok);
+
+  const auto before = client->stats(/*reset=*/true);  // snapshot-and-reset
+  ASSERT_TRUE(before.ok);
+  for (const char* key : {"\"gets\":1", "\"get_errors\":1", "\"puts\":1",
+                          "\"get_err_p99_us\""}) {
+    EXPECT_NE(before.message.find(key), std::string::npos)
+        << key << " missing in " << before.message;
+  }
+  // Non-empty histograms quantize to >= 2 µs, so ":0" proves the reset.
+  EXPECT_EQ(before.message.find("\"put_p50_us\":0"), std::string::npos)
+      << before.message;
+
+  const auto after = client->stats();
+  ASSERT_TRUE(after.ok);
+  for (const char* key :
+       {"\"put_p50_us\":0", "\"put_p99_us\":0", "\"get_p50_us\":0",
+        "\"get_err_p99_us\":0",
+        // The reset clears latency histograms ONLY; counters are
+        // monotonic for the daemon's lifetime.
+        "\"gets\":1", "\"get_errors\":1", "\"puts\":1"}) {
+    EXPECT_NE(after.message.find(key), std::string::npos)
+        << key << " missing in " << after.message;
   }
   daemon.stop();
 }

@@ -6,6 +6,7 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cstring>
 #include <filesystem>
 #include <string>
@@ -138,6 +139,128 @@ TEST(FrameIo, OversizedFrameIsRejectedBeforeAllocation) {
             static_cast<ssize_t>(sizeof(header)));
   Frame frame;
   EXPECT_THROW(read_frame(pair.b(), frame), ProtocolError);
+}
+
+TEST(FrameReaderTest, StreamsPayloadsAcrossCoalescedFrames) {
+  SocketPair pair;
+  ByteVec d0(32), d1(48);
+  for (std::size_t i = 0; i < d0.size(); ++i) d0[i] = static_cast<Byte>(i);
+  for (std::size_t i = 0; i < d1.size(); ++i) d1[i] = static_cast<Byte>(200 - i);
+  write_frame(pair.a(), MsgType::kPutData, ByteSpan{d0});
+  write_frame(pair.a(), MsgType::kPutData, ByteSpan{d1});
+  write_frame(pair.a(), MsgType::kPutEnd, ByteSpan{});
+  pair.close_a();
+
+  FrameReader reader(pair.b());
+  MsgType type;
+  std::uint32_t len;
+  ASSERT_TRUE(reader.next_header(type, len));
+  EXPECT_EQ(type, MsgType::kPutData);
+  ASSERT_EQ(len, d0.size());
+  // Streaming style: drain the payload in odd-sized pieces.
+  ByteVec got(len);
+  std::size_t off = 0;
+  while (off < got.size()) {
+    const std::size_t want = std::min<std::size_t>(7, got.size() - off);
+    const std::size_t n = reader.read_payload({got.data() + off, want});
+    ASSERT_GT(n, 0u);
+    off += n;
+  }
+  EXPECT_EQ(got, d0);
+  EXPECT_EQ(reader.payload_remaining(), 0u);
+
+  // Whole-frame style interoperates on the same reader.
+  Frame frame;
+  ASSERT_TRUE(reader.read_frame(frame));
+  EXPECT_EQ(frame.type, MsgType::kPutData);
+  EXPECT_EQ(frame.payload, d1);
+
+  ASSERT_TRUE(reader.next_header(type, len));
+  EXPECT_EQ(type, MsgType::kPutEnd);
+  EXPECT_EQ(len, 0u);
+  EXPECT_FALSE(reader.next_header(type, len));  // clean EOF at boundary
+  // All three frames were written before the first read; the coalescing
+  // buffer held more than a lone 5-byte header at its peak.
+  EXPECT_GE(reader.buffer_high_water(), 5u);
+}
+
+TEST(FrameReaderTest, NextHeaderWithUnconsumedPayloadThrows) {
+  SocketPair pair;
+  const ByteVec data(16, Byte{0xAB});
+  write_frame(pair.a(), MsgType::kPutData, ByteSpan{data});
+  FrameReader reader(pair.b());
+  MsgType type;
+  std::uint32_t len;
+  ASSERT_TRUE(reader.next_header(type, len));
+  Byte half[8];
+  ASSERT_EQ(reader.read_payload({half, sizeof(half)}), sizeof(half));
+  EXPECT_THROW(reader.next_header(type, len), ProtocolError);
+}
+
+TEST(FrameReaderTest, LargePayloadBypassesTheCoalescingBuffer) {
+  SocketPair pair;
+  ByteVec big(4096);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<Byte>(i * 31);
+  }
+  write_frame(pair.a(), MsgType::kData, ByteSpan{big});
+  // A 64-byte buffer cannot hold the payload: after the buffered prefix
+  // is drained, the rest must be read straight into the caller's memory.
+  FrameReader reader(pair.b(), /*buffer_bytes=*/64);
+  Frame frame;
+  ASSERT_TRUE(reader.read_frame(frame));
+  EXPECT_EQ(frame.payload, big);
+  EXPECT_LE(reader.buffer_high_water(), 64u);
+}
+
+TEST(FrameReaderTest, EofMidPayloadThrows) {
+  SocketPair pair;
+  Byte header[5];
+  store_le(header, std::uint32_t{100});
+  header[4] = static_cast<Byte>(MsgType::kPutData);
+  ASSERT_EQ(::send(pair.a(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  const char some[10] = {};
+  ASSERT_EQ(::send(pair.a(), some, sizeof(some), 0),
+            static_cast<ssize_t>(sizeof(some)));
+  pair.close_a();
+  FrameReader reader(pair.b());
+  Frame frame;
+  EXPECT_THROW(reader.read_frame(frame), ProtocolError);
+}
+
+TEST(FrameReaderTest, OversizedFrameIsRejectedBeforeAllocation) {
+  SocketPair pair;
+  Byte header[5];
+  store_le(header, kMaxFramePayload + 1);
+  header[4] = static_cast<Byte>(MsgType::kPutData);
+  ASSERT_EQ(::send(pair.a(), header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  FrameReader reader(pair.b());
+  MsgType type;
+  std::uint32_t len;
+  EXPECT_THROW(reader.next_header(type, len), ProtocolError);
+}
+
+TEST(TransportStatsTest, WriteFrameIsOneVectoredSyscall) {
+  SocketPair pair;
+  reset_transport_stats();
+  const std::string text = "hello transport";
+  write_frame(pair.a(), MsgType::kOk, text);
+  const auto after_write = transport_stats();
+  // Header + payload leave in a single sendmsg — the bytes-per-syscall
+  // contract the bench report is built on.
+  EXPECT_EQ(after_write.write_calls, 1u);
+  EXPECT_EQ(after_write.write_bytes, 5u + text.size());
+
+  FrameReader reader(pair.b());
+  Frame frame;
+  ASSERT_TRUE(reader.read_frame(frame));
+  EXPECT_EQ(std::string(frame.payload.begin(), frame.payload.end()), text);
+  const auto after_read = transport_stats();
+  // The whole frame arrives in one coalesced read.
+  EXPECT_EQ(after_read.read_calls, 1u);
+  EXPECT_EQ(after_read.read_bytes, 5u + text.size());
 }
 
 TEST(ListenerTest, TcpEphemeralAcceptAndConnect) {
