@@ -3,6 +3,7 @@
 //
 //   server_throughput [--sessions=1,4,8] [--files=4] [--file_kb=512]
 //                     [--fault-plan=SPEC|none] [--seed=N]
+//                     [--net-fault-plan=SPEC|none]
 //                     [--json=BENCH_server.json]
 //
 // For each session count S the harness starts a fresh in-process daemon
@@ -14,6 +15,15 @@
 // storage fault plan injected below the framing layer (restores absorb
 // the transient read errors through the bounded in-stream retry — the
 // row's `errors` column shows what still surfaced).
+//
+// A final chaos row (largest session count) replaces storage faults with
+// NETWORK faults — a seeded net-fault plan (server/fault_conn.h) tearing
+// and resetting early connections — drives every client with a retry
+// policy, and restarts the daemon cold at the phase midpoint. Its columns
+// are the effective MB/s over the whole wall clock (restart blackout
+// included), the retries the clients absorbed, and the blackout length
+// from stop() to the successor daemon serving its first request.
+// --net-fault-plan=none skips it (the perf-smoke gate does).
 //
 // Reported per (sessions, faults, phase): aggregate MB/s over the phase
 // wall clock, exact p50/p99 per-request latency, and two efficiency
@@ -28,12 +38,15 @@
 // turns the run into a pass/fail gate: exit 1 unless the clean
 // single-session ingest sustains at least N MB/s. The `perf-smoke` ctest
 // uses it to catch data-path regressions.
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -90,6 +103,8 @@ struct Row {
   int errors = 0;
   double bytes_per_syscall = 0;  ///< transport payload bytes / syscalls
   double allocs_per_mb = 0;      ///< fresh slab allocations / phase MB
+  std::uint64_t retries = 0;     ///< client retries absorbed (chaos row)
+  double recovery_ms = 0;        ///< daemon restart -> first served ping
 };
 
 /// Phase-scoped pump counters: transport syscalls (reset at entry) and
@@ -236,6 +251,113 @@ void run_config(int sessions, const FaultPlan& plan, int files,
   rows.push_back(restore_row);
 }
 
+/// Chaos sweep: ingest through a seeded NETWORK fault plan (torn frames,
+/// resets on early connections) with retrying clients, plus one full
+/// daemon restart mid-phase. Reports the effective bandwidth over the
+/// whole wall clock (blackout included), how many retries the clients
+/// absorbed, and how long the restart blackout lasted from stop() to the
+/// first served request — the dedup cost of "the server died and came
+/// back" with resilient clients.
+void run_chaos_config(int sessions, const std::string& net_spec, int files,
+                      std::size_t file_bytes, std::uint64_t seed,
+                      std::vector<Row>& rows) {
+  MemoryBackend mem;
+  FramedBackend framed(mem);
+  const std::string sock = "server_throughput_chaos.sock";
+  ::unlink(sock.c_str());
+
+  DaemonConfig dc;
+  dc.listen = "unix:" + sock;
+  dc.max_sessions = static_cast<std::uint32_t>(sessions) + 2;
+  dc.net_fault_plan = net_spec;
+  auto daemon = std::make_unique<DedupDaemon>(framed, mem, dc);
+  daemon->start();
+  const std::string spec = daemon->listen_spec();
+
+  const std::uint64_t bytes_per_phase =
+      static_cast<std::uint64_t>(sessions) * files * file_bytes;
+  const double mb = static_cast<double>(bytes_per_phase) / (1024.0 * 1024.0);
+  Row row{sessions, true, "chaos-ingest"};
+
+  std::mutex agg_mu;
+  std::vector<std::uint64_t> put_us;
+  std::atomic<int> errors{0};
+  std::atomic<std::uint64_t> retries{0};
+  std::atomic<int> completed{0};
+  const int total_puts = sessions * files;
+
+  const PhaseCounters counters;
+  const auto start = Clock::now();
+  std::vector<std::thread> workers;
+  for (int s = 0; s < sessions; ++s) {
+    workers.emplace_back([&, s] {
+      auto client = DedupClient::connect(spec);
+      if (!client) {
+        errors += files;
+        completed += files;
+        return;
+      }
+      RetryPolicy policy;
+      policy.max_retries = 400;
+      policy.base_backoff_ms = 2;
+      policy.max_backoff_ms = 50;
+      policy.seed = seed + static_cast<std::uint64_t>(s);
+      client->set_retry_policy(policy);
+      const auto data = session_files(s, files, file_bytes, seed);
+      std::vector<std::uint64_t> local;
+      for (int k = 0; k < files; ++k) {
+        const auto t0 = Clock::now();
+        const auto r = client->put_bytes(
+            "s" + std::to_string(s), "f" + std::to_string(k) + ".img",
+            ByteSpan{data[k]});
+        local.push_back(static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                Clock::now() - t0)
+                .count()));
+        if (!r.ok) ++errors;
+        ++completed;
+      }
+      retries += client->retries();
+      std::lock_guard<std::mutex> lock(agg_mu);
+      put_us.insert(put_us.end(), local.begin(), local.end());
+    });
+  }
+
+  // Kill-and-restart at the phase's midpoint: the clients ride the
+  // blackout on their retry budgets. The probe measures stop() -> first
+  // request served by the successor.
+  while (completed.load() < total_puts / 2) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  const auto stop_at = Clock::now();
+  daemon->stop();
+  daemon.reset();
+  ::unlink(sock.c_str());
+  daemon = std::make_unique<DedupDaemon>(framed, mem, dc);
+  daemon->start();
+  for (;;) {
+    auto probe = DedupClient::connect(spec);
+    if (probe && probe->ping().ok) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  row.recovery_ms =
+      std::chrono::duration<double>(Clock::now() - stop_at).count() * 1e3;
+
+  for (auto& w : workers) w.join();
+  const double phase_s =
+      std::chrono::duration<double>(Clock::now() - start).count();
+  counters.finish(mb, row);
+  daemon->stop();
+  ::unlink(sock.c_str());
+
+  row.mb_per_s = mb / phase_s;
+  row.p50_us = pct(put_us, 0.50);
+  row.p99_us = pct(put_us, 0.99);
+  row.errors = errors.load();
+  row.retries = retries.load();
+  rows.push_back(row);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -263,16 +385,26 @@ int main(int argc, char** argv) {
       run_config(static_cast<int>(s), plan, files, file_bytes, seed, rows);
     }
   }
+  // Network chaos sweep (largest session count only — the interesting
+  // number is effective bandwidth with ALL clients riding the faults).
+  const std::string net_spec =
+      flags.get("net-fault-plan", "torn@3,reset@6,conn@1x2,conn@5x1,seed:9");
+  if (net_spec != "none" && !sessions_list.empty()) {
+    run_chaos_config(static_cast<int>(sessions_list.back()), net_spec, files,
+                     file_bytes, seed, rows);
+  }
 
-  std::printf("%9s %7s %8s %10s %9s %9s %7s %11s %9s\n", "sessions",
+  std::printf("%9s %7s %13s %10s %9s %9s %7s %11s %9s %8s %9s\n", "sessions",
               "faults", "phase", "MB/s", "p50_us", "p99_us", "errors",
-              "B/syscall", "alloc/MB");
+              "B/syscall", "alloc/MB", "retries", "recov_ms");
   for (const auto& r : rows) {
-    std::printf("%9d %7s %8s %10.1f %9llu %9llu %7d %11.0f %9.2f\n",
-                r.sessions, r.faults ? "yes" : "no", r.phase, r.mb_per_s,
-                static_cast<unsigned long long>(r.p50_us),
-                static_cast<unsigned long long>(r.p99_us), r.errors,
-                r.bytes_per_syscall, r.allocs_per_mb);
+    std::printf(
+        "%9d %7s %13s %10.1f %9llu %9llu %7d %11.0f %9.2f %8llu %9.1f\n",
+        r.sessions, r.faults ? "yes" : "no", r.phase, r.mb_per_s,
+        static_cast<unsigned long long>(r.p50_us),
+        static_cast<unsigned long long>(r.p99_us), r.errors,
+        r.bytes_per_syscall, r.allocs_per_mb,
+        static_cast<unsigned long long>(r.retries), r.recovery_ms);
   }
 
   const std::string json = flags.get("json", "");
@@ -285,6 +417,8 @@ int main(int argc, char** argv) {
         << ",\n";
     out << "  \"fault_plan\": \""
         << (fault_spec == "none" ? "" : fault_spec) << "\",\n";
+    out << "  \"net_fault_plan\": \""
+        << (net_spec == "none" ? "" : net_spec) << "\",\n";
     out << "  \"rows\": [\n";
     for (std::size_t i = 0; i < rows.size(); ++i) {
       const auto& r = rows[i];
@@ -294,12 +428,14 @@ int main(int argc, char** argv) {
                     "\"%s\", \"mb_per_s\": %.1f, \"p50_us\": %llu, "
                     "\"p99_us\": %llu, \"errors\": %d, "
                     "\"bytes_per_syscall\": %.0f, "
-                    "\"allocs_per_mb\": %.2f}%s\n",
+                    "\"allocs_per_mb\": %.2f, \"retries\": %llu, "
+                    "\"recovery_ms\": %.1f}%s\n",
                     r.sessions, r.faults ? "true" : "false", r.phase,
                     r.mb_per_s, static_cast<unsigned long long>(r.p50_us),
                     static_cast<unsigned long long>(r.p99_us), r.errors,
                     r.bytes_per_syscall, r.allocs_per_mb,
-                    i + 1 < rows.size() ? "," : "");
+                    static_cast<unsigned long long>(r.retries),
+                    r.recovery_ms, i + 1 < rows.size() ? "," : "");
       out << buf;
     }
     out << "  ]\n}\n";

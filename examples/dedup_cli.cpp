@@ -22,8 +22,23 @@
 //                                  reads the socket directly)
 //       --tenant-quota-mb=N --tenant-quota-files=N   per-tenant limits
 //       --serve-seconds=N                stop after N seconds (tests)
+//       --idle-timeout-ms=N              reap sessions idle for N ms
+//                                        (default 30000, 0 = never)
+//       --fsck-on-start                  repair crash residue (offline
+//                                        fsck with repair) before
+//                                        accepting traffic; refuses to
+//                                        serve a still-damaged repo
+//       --net-fault-plan=SPEC            deterministic network chaos on
+//                                        accepted connections, e.g.
+//                                        torn@3,reset@7,seed:42 (see
+//                                        server/fault_conn.h grammar)
 //   ./dedup_cli put   <spec> <tenant> <file...>  ingest via a daemon
 //   ./dedup_cli get   <spec> <tenant> <name> <out>
+//       put/get/ls/dstats/maintain take --retries=N --retry-budget-ms=N:
+//       with retries the client absorbs Busy/Retry responses and
+//       transport failures by reconnecting and re-sending (PUTs replay
+//       the file from the start; GETs retry only while nothing has been
+//       written yet).
 //   ./dedup_cli ls    <spec> <tenant>            tenant's files (JSON)
 //   ./dedup_cli dstats <spec> [--reset]          daemon stats (JSON);
 //                                                --reset zeroes latency
@@ -67,6 +82,8 @@
 //          --rewrite=none|cbr|har   dedup-time fragmentation control on
 //          container repos: cbr caps distinct old containers per segment,
 //          har rewrites duplicates out of containers that went sparse.
+#include <unistd.h>
+
 #include <chrono>
 #include <csignal>
 #include <cstdio>
@@ -86,6 +103,7 @@
 #include "mhd/store/framed_backend.h"
 #include "mhd/store/maintenance.h"
 #include "mhd/store/restore_reader.h"
+#include "mhd/store/scrub.h"
 #include "mhd/store/store_lock.h"
 #include "mhd/util/flags.h"
 
@@ -486,7 +504,30 @@ int cmd_serve(const Flags& flags) {
   dc.quota.max_logical_bytes = flags.get_size(
       "tenant-quota-mb", 0, 0, 1ull << 50, /*unit=*/1ull << 20);
   dc.quota.max_files = flags.get_uint("tenant-quota-files", 0, 0, 1ull << 32);
+  dc.idle_timeout_ms = static_cast<std::uint32_t>(
+      flags.get_uint("idle-timeout-ms", 30'000, 0, 3'600'000));
+  dc.net_fault_plan = flags.get("net-fault-plan", "");
   dc.engine = config_from(flags, stack.active());
+
+  // A daemon that may be restarted over a kill -9'd repository: repair
+  // crash residue before accepting traffic, on the raw layer the offline
+  // fsck_cli would use.
+  if (flags.get_bool("fsck-on-start", false)) {
+    // The repair pass reports what it FOUND (and fixed); a read-only
+    // second pass proves what is LEFT.
+    const FsckReport rep = fsck_repository(stack.file(), /*repair=*/true);
+    const bool clean =
+        rep.clean() || fsck_repository(stack.file(), /*repair=*/false).clean();
+    std::printf("fsck-on-start: %s (%llu issues found, %llu repaired)\n",
+                clean ? "clean" : "damaged",
+                static_cast<unsigned long long>(rep.issues.size()),
+                static_cast<unsigned long long>(rep.repaired));
+    if (!clean) {
+      std::fprintf(stderr, "fsck-on-start: repository still damaged after "
+                           "repair; refusing to serve\n");
+      return 1;
+    }
+  }
 
   server::DedupDaemon daemon(stack.active(), stack.file(), dc);
   daemon.start();
@@ -514,6 +555,18 @@ int cmd_serve(const Flags& flags) {
   return 0;
 }
 
+/// --retries=N / --retry-budget-ms=N -> the client's backoff contract.
+/// The default (0 retries) preserves the historical fail-fast behavior.
+void apply_retry_flags(server::DedupClient& client, const Flags& flags) {
+  server::RetryPolicy policy;
+  policy.max_retries = static_cast<std::uint32_t>(
+      flags.get_uint("retries", 0, 0, 10'000));
+  policy.budget_ms = static_cast<std::uint32_t>(
+      flags.get_uint("retry-budget-ms", 0, 0, 3'600'000));
+  policy.seed = static_cast<std::uint64_t>(::getpid());
+  client.set_retry_policy(policy);
+}
+
 int report(const server::DedupClient::Result& r) {
   if (r.ok) {
     std::printf("%s\n", r.message.c_str());
@@ -539,13 +592,22 @@ int cmd_client_put(const Flags& flags) {
     std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
     return 1;
   }
+  apply_retry_flags(*client, flags);
   for (std::size_t i = 3; i < args.size(); ++i) {
-    FileSource src(args[i]);
-    if (!src.ok()) {
-      std::fprintf(stderr, "cannot open %s\n", args[i].c_str());
-      return 1;
+    {
+      FileSource probe(args[i]);
+      if (!probe.ok()) {
+        std::fprintf(stderr, "cannot open %s\n", args[i].c_str());
+        return 1;
+      }
     }
-    const int rc = report(client->put(args[2], args[i], src));
+    // Factory flavour: each (re)send attempt reopens the file, so a
+    // retried PUT replays the bytes from the start.
+    const std::string path = args[i];
+    const int rc = report(client->put(
+        args[2], path, [&path]() -> std::unique_ptr<ByteSource> {
+          return std::make_unique<FileSource>(path);
+        }));
     if (rc != 0) return rc;
   }
   return 0;
@@ -562,6 +624,7 @@ int cmd_client_get(const Flags& flags) {
     std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
     return 1;
   }
+  apply_retry_flags(*client, flags);
   std::ofstream out(args[4], std::ios::binary | std::ios::trunc);
   const auto r = client->get(args[2], args[3], [&](ByteSpan chunk) {
     out.write(reinterpret_cast<const char*>(chunk.data()),
@@ -590,6 +653,7 @@ int cmd_client_simple(const Flags& flags, const char* what) {
     std::fprintf(stderr, "cannot connect to %s\n", args[1].c_str());
     return 1;
   }
+  apply_retry_flags(*client, flags);
   if (needs_tenant) return report(client->ls(args[2]));
   if (needs_op) {
     if (args[2] == "gc") return report(client->maintain(server::MaintainOp::kGc));

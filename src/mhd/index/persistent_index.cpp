@@ -736,16 +736,23 @@ void PersistentIndex::sweep_stale_objects() {
 }
 
 void PersistentIndex::rebuild_from_hooks() {
+  // The meta must never be absent: it carries the shard geometry, which is
+  // owned by the repository, so it survives the clear and is atomically
+  // overwritten below. A kill anywhere in this function leaves a readable
+  // meta with the right geometry; the next rebuild starts over cleanly.
   for (const auto& name : backend_.list(Ns::kIndex)) {
+    if (name == kMetaName) continue;
     backend_.remove(Ns::kIndex, name);
   }
   gens_.assign(cfg_.shards, 0);
   first_seq_ = next_seq_ = 0;
+  page_count_ = 0;
   for (auto& shard : shards_) shard->delta.clear();
   delta_total_.store(0, std::memory_order_relaxed);
   pending_.clear();
   pending_count_ = 0;
   count_.store(0, std::memory_order_relaxed);
+  write_meta();
   bloom_ = make_bloom(cfg_);
 
   std::vector<std::vector<index_detail::Rec>> pages(cfg_.shards);
@@ -921,9 +928,22 @@ void rebuild_index(StorageBackend& backend, PersistentIndexConfig config) {
       config.shards = meta->shards;
     }
   }
+  // Clear everything except the meta, then atomically overwrite it with a
+  // fresh empty meta. The meta carries the shard geometry, which is owned
+  // by the repository; were it removed first, a kill before the rewrite
+  // would make the next rebuild invent the default geometry — a silent,
+  // permanent divergence. With this ordering every kill window leaves a
+  // readable meta, and the repository stays a deterministic function of
+  // its hooks and its geometry.
   for (const auto& name : backend.list(Ns::kIndex)) {
+    if (name == kMetaName) continue;
     backend.remove(Ns::kIndex, name);
   }
+  MetaView fresh;
+  fresh.shards = normalize_shards(config.shards);
+  fresh.gens.assign(fresh.shards, 0);
+  backend.put(Ns::kIndex, kMetaName,
+              framing::seal_object(serialize_meta(fresh)));
   // A fresh PersistentIndex over the cleared namespace, re-fed from the
   // hooks (the authoritative fingerprint source), then compacted so the
   // result is pure bucket pages with an empty journal.

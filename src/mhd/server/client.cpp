@@ -2,12 +2,27 @@
 
 #include <unistd.h>
 
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
 namespace mhd::server {
+
+namespace {
+
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+}  // namespace
 
 std::optional<DedupClient> DedupClient::connect(const std::string& spec) {
   const int fd = connect_to(spec);
   if (fd < 0) return std::nullopt;
-  return DedupClient(fd);
+  return DedupClient(fd, spec);
 }
 
 DedupClient::~DedupClient() {
@@ -17,14 +32,87 @@ DedupClient::~DedupClient() {
 DedupClient::DedupClient(DedupClient&& other) noexcept
     : fd_(other.fd_),
       reader_(std::move(other.reader_)),
-      put_buf_(std::move(other.put_buf_)) {
+      spec_(std::move(other.spec_)),
+      put_buf_(std::move(other.put_buf_)),
+      policy_(other.policy_),
+      rng_(other.rng_),
+      retries_(other.retries_) {
   other.fd_ = -1;
+}
+
+void DedupClient::set_retry_policy(RetryPolicy policy) {
+  policy_ = policy;
+  rng_ = policy.seed ^ 0x9E3779B97F4A7C15ULL;
+  next_rand(rng_);
+}
+
+bool DedupClient::reconnect() {
+  if (fd_ >= 0) ::close(fd_);
+  reader_.reset();
+  fd_ = connect_to(spec_);
+  if (fd_ < 0) return false;
+  reader_ = std::make_unique<FrameReader>(fd_);
+  return true;
+}
+
+std::uint32_t DedupClient::backoff_ms(std::uint32_t attempt,
+                                      std::uint32_t hint_ms) {
+  std::uint64_t delay = policy_.base_backoff_ms == 0
+                            ? 1
+                            : policy_.base_backoff_ms;
+  delay <<= std::min<std::uint32_t>(attempt, 16);
+  delay = std::min<std::uint64_t>(delay, policy_.max_backoff_ms);
+  // Deterministic jitter in [delay/2, delay]: enough spread to break the
+  // thundering herd after a Busy storm, seeded so a failing chaos run
+  // replays with identical timing decisions.
+  const std::uint64_t span = delay / 2;
+  std::uint64_t jittered = delay - span;
+  if (span != 0) jittered += next_rand(rng_) % (span + 1);
+  return static_cast<std::uint32_t>(
+      std::max<std::uint64_t>(jittered, hint_ms));
+}
+
+DedupClient::Result DedupClient::with_retry(
+    const std::function<Result()>& attempt,
+    const std::function<bool()>& may_retry) {
+  Result r = fd_ >= 0 ? attempt() : [] {
+    Result dead;
+    dead.transport = true;
+    dead.message = "not connected";
+    return dead;
+  }();
+  std::uint64_t slept_ms = 0;
+  for (std::uint32_t tries = 0; tries < policy_.max_retries; ++tries) {
+    if (r.ok || !(r.busy || r.retryable || r.transport)) break;
+    if (may_retry && !may_retry()) break;
+    const std::uint32_t delay = backoff_ms(tries, r.retry_after_ms);
+    if (policy_.budget_ms != 0 && slept_ms + delay > policy_.budget_ms) {
+      break;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay));
+    slept_ms += delay;
+    ++retries_;
+    // Busy closes the connection daemon-side (FIN + drain); transport
+    // means it is already gone. Only a Retry response leaves the
+    // connection usable as-is.
+    if ((r.busy || r.transport) && !reconnect()) {
+      // The daemon may be mid-restart (the crash-recovery story): keep
+      // backing off and dialing until the policy gives up.
+      r = Result{};
+      r.transport = true;
+      r.message = "reconnect failed: " + spec_;
+      continue;
+    }
+    r = attempt();
+  }
+  return r;
 }
 
 DedupClient::Result DedupClient::read_response() {
   Result r;
   Frame frame;
   if (!reader_->read_frame(frame)) {
+    r.transport = true;
     r.message = "connection closed by daemon";
     return r;
   }
@@ -45,6 +133,16 @@ DedupClient::Result DedupClient::read_response() {
     case MsgType::kQuota:
       r.quota = true;
       r.message = text;
+      break;
+    case MsgType::kRetry:
+      // Transient server-side failure; the connection stays aligned and
+      // the daemon expects the same request again after the hinted wait.
+      r.retryable = true;
+      if (frame.payload.size() >= 4) {
+        r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
+        r.message = text.substr(4);
+      }
+      if (r.message.empty()) r.message = "transient daemon failure";
       break;
     default:
       r.message = text.empty() ? "daemon error" : text;
@@ -77,109 +175,167 @@ DedupClient::Result DedupClient::put(const std::string& tenant,
     return read_response();
   } catch (const ProtocolError& e) {
     Result r;
+    r.transport = true;
     r.message = e.what();
     return r;
   }
+}
+
+DedupClient::Result DedupClient::put(const std::string& tenant,
+                                     const std::string& name,
+                                     const SourceFactory& make_src) {
+  return with_retry([&] {
+    auto src = make_src();
+    if (!src) {
+      Result r;
+      r.message = "source factory returned null";
+      return r;  // caller bug, not retryable
+    }
+    return put(tenant, name, *src);
+  });
 }
 
 DedupClient::Result DedupClient::put_bytes(const std::string& tenant,
                                            const std::string& name,
                                            ByteSpan data) {
-  MemorySource src(data);
-  return put(tenant, name, src);
+  return with_retry([&] {
+    MemorySource src(data);
+    return put(tenant, name, src);
+  });
 }
 
 DedupClient::GetResult DedupClient::get(
     const std::string& tenant, const std::string& name,
     const std::function<void(ByteSpan)>& sink) {
-  GetResult r;
-  try {
-    ByteVec req;
-    append_string(req, tenant);
-    append_string(req, name);
-    write_frame(fd_, MsgType::kGet, ByteSpan{req});
-    Frame frame;
-    while (reader_->read_frame(frame)) {
-      if (frame.type == MsgType::kData) {
-        if (sink) sink(ByteSpan{frame.payload});
-        continue;
-      }
-      if (frame.type == MsgType::kDataEnd) {
-        if (frame.payload.size() >= 9) {
-          r.produced = load_le<std::uint64_t>(frame.payload.data());
-          r.stream_ok = frame.payload[8] == Byte{1};
+  std::uint64_t delivered = 0;
+  GetResult last;
+  const auto attempt = [&]() -> Result {
+    GetResult r;
+    try {
+      ByteVec req;
+      append_string(req, tenant);
+      append_string(req, name);
+      write_frame(fd_, MsgType::kGet, ByteSpan{req});
+      Frame frame;
+      while (reader_->read_frame(frame)) {
+        if (frame.type == MsgType::kData) {
+          delivered += frame.payload.size();
+          if (sink) sink(ByteSpan{frame.payload});
+          continue;
         }
-        r.ok = r.stream_ok;
-        if (!r.stream_ok) r.message = "restore incomplete (damaged store)";
+        if (frame.type == MsgType::kDataEnd) {
+          if (frame.payload.size() >= 9) {
+            r.produced = load_le<std::uint64_t>(frame.payload.data());
+            r.stream_ok = frame.payload[8] == Byte{1};
+          }
+          r.ok = r.stream_ok;
+          if (!r.stream_ok) r.message = "restore incomplete (damaged store)";
+          last = r;
+          return r;
+        }
+        if (frame.type == MsgType::kBusy) {
+          r.busy = true;
+          if (frame.payload.size() >= 4) {
+            r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
+          }
+          r.message = "daemon busy";
+          last = r;
+          return r;
+        }
+        if (frame.type == MsgType::kRetry) {
+          r.retryable = true;
+          if (frame.payload.size() >= 4) {
+            r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
+          }
+          r.message = "transient daemon failure";
+          last = r;
+          return r;
+        }
+        r.message.assign(reinterpret_cast<const char*>(frame.payload.data()),
+                         frame.payload.size());
+        last = r;
         return r;
       }
-      if (frame.type == MsgType::kBusy) {
-        r.busy = true;
-        if (frame.payload.size() >= 4) {
-          r.retry_after_ms = load_le<std::uint32_t>(frame.payload.data());
-        }
-        r.message = "daemon busy";
-        return r;
-      }
-      r.message.assign(reinterpret_cast<const char*>(frame.payload.data()),
-                       frame.payload.size());
-      return r;
+      r.transport = true;
+      r.message = "connection closed by daemon";
+    } catch (const ProtocolError& e) {
+      r.transport = true;
+      r.message = e.what();
     }
-    r.message = "connection closed by daemon";
-  } catch (const ProtocolError& e) {
-    r.message = e.what();
-  }
-  return r;
+    last = r;
+    return r;
+  };
+  // Retry only while nothing has reached the sink: delivered bytes
+  // cannot be un-delivered, and a restarted stream would duplicate them.
+  const Result final_result =
+      with_retry(attempt, [&] { return delivered == 0; });
+  // A terminal reconnect failure never reaches `attempt`; fold the base
+  // outcome back in so the caller sees the loop's true final state.
+  static_cast<Result&>(last) = final_result;
+  return last;
 }
 
 DedupClient::Result DedupClient::ls(const std::string& tenant) {
-  try {
-    ByteVec req;
-    append_string(req, tenant);
-    write_frame(fd_, MsgType::kLs, ByteSpan{req});
-    return read_response();
-  } catch (const ProtocolError& e) {
-    Result r;
-    r.message = e.what();
-    return r;
-  }
+  return with_retry([&] {
+    try {
+      ByteVec req;
+      append_string(req, tenant);
+      write_frame(fd_, MsgType::kLs, ByteSpan{req});
+      return read_response();
+    } catch (const ProtocolError& e) {
+      Result r;
+      r.transport = true;
+      r.message = e.what();
+      return r;
+    }
+  });
 }
 
 DedupClient::Result DedupClient::stats(bool reset) {
-  try {
-    ByteVec req;
-    if (reset) req.push_back(Byte{1});
-    write_frame(fd_, MsgType::kStats, ByteSpan{req});
-    return read_response();
-  } catch (const ProtocolError& e) {
-    Result r;
-    r.message = e.what();
-    return r;
-  }
+  return with_retry([&] {
+    try {
+      ByteVec req;
+      if (reset) req.push_back(Byte{1});
+      write_frame(fd_, MsgType::kStats, ByteSpan{req});
+      return read_response();
+    } catch (const ProtocolError& e) {
+      Result r;
+      r.transport = true;
+      r.message = e.what();
+      return r;
+    }
+  });
 }
 
 DedupClient::Result DedupClient::maintain(MaintainOp op) {
-  try {
-    ByteVec req;
-    req.push_back(static_cast<Byte>(op));
-    write_frame(fd_, MsgType::kMaintain, ByteSpan{req});
-    return read_response();
-  } catch (const ProtocolError& e) {
-    Result r;
-    r.message = e.what();
-    return r;
-  }
+  // gc and fsck are idempotent, so reconnect-and-retry is safe here too.
+  return with_retry([&] {
+    try {
+      ByteVec req;
+      req.push_back(static_cast<Byte>(op));
+      write_frame(fd_, MsgType::kMaintain, ByteSpan{req});
+      return read_response();
+    } catch (const ProtocolError& e) {
+      Result r;
+      r.transport = true;
+      r.message = e.what();
+      return r;
+    }
+  });
 }
 
 DedupClient::Result DedupClient::ping() {
-  try {
-    write_frame(fd_, MsgType::kPing, ByteSpan{});
-    return read_response();
-  } catch (const ProtocolError& e) {
-    Result r;
-    r.message = e.what();
-    return r;
-  }
+  return with_retry([&] {
+    try {
+      write_frame(fd_, MsgType::kPing, ByteSpan{});
+      return read_response();
+    } catch (const ProtocolError& e) {
+      Result r;
+      r.transport = true;
+      r.message = e.what();
+      return r;
+    }
+  });
 }
 
 }  // namespace mhd::server

@@ -15,6 +15,7 @@
 #include "mhd/store/object_store.h"
 #include "mhd/store/restore_reader.h"
 #include "mhd/store/scrub.h"
+#include "mhd/store/store_errors.h"
 #include "mhd/util/buffer_pool.h"
 
 namespace mhd::server {
@@ -95,6 +96,34 @@ class SocketFrameSource final : public ByteSource {
   bool ended_ = false;
 };
 
+/// Consumes the remainder of an in-flight PUT stream through the
+/// connection's FrameReader — open frame payload first, then whole frames
+/// up to and including PutEnd — so a PUT that failed server-side can be
+/// answered on a still-frame-aligned connection (the Retry path keeps the
+/// connection alive, unlike the quota path's FIN-and-drop). Throws the
+/// same typed errors as the data path when the peer dies or misbehaves
+/// mid-drain; the drain cannot hang past SO_RCVTIMEO.
+void drain_put_stream(FrameReader& reader) {
+  ByteVec sink(32u << 10);
+  for (;;) {
+    while (reader.payload_remaining() > 0) {
+      reader.read_payload({sink.data(), sink.size()});
+    }
+    MsgType type;
+    std::uint32_t len;
+    if (!reader.next_header(type, len)) {
+      throw PeerDisconnectedError("connection closed mid-PUT");
+    }
+    if (type == MsgType::kPutEnd) {
+      if (len != 0) throw ProtocolError("malformed PutEnd");
+      return;
+    }
+    if (type != MsgType::kPutData) {
+      throw ProtocolError("unexpected frame inside PUT");
+    }
+  }
+}
+
 /// Graceful rejection: the response frame is already queued; FIN our write
 /// side and drain (bounded) whatever the peer is still streaming, so the
 /// close never turns into an RST that destroys the undelivered response.
@@ -129,6 +158,9 @@ DedupDaemon::DedupDaemon(StorageBackend& active, StorageBackend& raw,
     : sync_(active), raw_(raw), cfg_(std::move(cfg)) {
   if (cfg_.max_sessions == 0) cfg_.max_sessions = 1;
   if (cfg_.session_queue_depth == 0) cfg_.session_queue_depth = 1;
+  if (!cfg_.net_fault_plan.empty()) {
+    net_fault_plan_ = NetFaultPlan::parse(cfg_.net_fault_plan);
+  }
 }
 
 DedupDaemon::~DedupDaemon() { stop(); }
@@ -199,7 +231,7 @@ void DedupDaemon::reap_finished_sessions() {
 
 void DedupDaemon::accept_loop() {
   while (running_.load()) {
-    const int fd = listener_.accept();
+    int fd = listener_.accept();
     if (fd < 0) break;  // woken for shutdown or listener error
     reap_finished_sessions();
     // Admission control: reject beyond max_sessions with an explicit
@@ -224,10 +256,22 @@ void DedupDaemon::accept_loop() {
       ::close(fd);
       continue;
     }
+    // Chaos interposition happens before any socket tuning so the
+    // timeout below lands on the fd the session actually reads from
+    // (the proxy's socketpair end when the plan selects this conn).
+    const std::uint64_t conn_index = accepted_conns_.fetch_add(1) + 1;
+    if (!net_fault_plan_.empty()) {
+      fd = wrap_with_net_faults(fd, net_fault_plan_, conn_index);
+    }
     // A stalled peer must not pin a session slot (and with it the shared
     // maintenance lock) forever.
-    timeval tv{30, 0};
-    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    if (cfg_.idle_timeout_ms != 0) {
+      timeval tv{};
+      tv.tv_sec = cfg_.idle_timeout_ms / 1000;
+      tv.tv_usec = static_cast<suseconds_t>(cfg_.idle_timeout_ms % 1000) *
+                   1000;
+      ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    }
     auto slot = std::make_unique<SessionSlot>();
     slot->fd = fd;
     SessionSlot* raw_slot = slot.get();
@@ -290,12 +334,21 @@ void DedupDaemon::serve_connection(SessionSlot& slot) {
           handle_maintain(fd, ByteSpan{frame.payload});
           break;
         default:
+          protocol_errors_.fetch_add(1);
           write_frame(fd, MsgType::kErr, std::string("unexpected frame"));
           return;  // protocol state lost; drop the connection
       }
     }
+    // Typed and counted per cause (most-derived first — both subclasses
+    // ARE ProtocolErrors). This was one silent catch before: a hostile
+    // malformed peer, a client killed mid-PUT, and a slowloris reaped by
+    // the receive timeout were indistinguishable in every stats view.
+  } catch (const IdleTimeoutError&) {
+    idle_timeout_reaps_.fetch_add(1);
+  } catch (const PeerDisconnectedError&) {
+    peer_disconnects_.fetch_add(1);
   } catch (const ProtocolError&) {
-    // Malformed peer / reset / stalled past SO_RCVTIMEO: drop silently.
+    protocol_errors_.fetch_add(1);
   } catch (const std::exception& e) {
     try {
       write_frame(fd, MsgType::kErr, std::string(e.what()));
@@ -364,14 +417,6 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
     throw ProtocolError("quota: file count");
   }
 
-  // Warm per-tenant engine: built on first use, reused across PUTs.
-  if (!ts.session) {
-    ts.session =
-        std::make_unique<EngineSession>(sync_, *tenant_id, cfg_.engine);
-  }
-  EngineSession& sess = *ts.session;
-  const EngineCounters before = sess.engine.counters();
-
   // Remaining byte budget for this PUT (base + streamed > max aborts).
   const std::uint64_t budget =
       quota.max_logical_bytes == 0
@@ -384,12 +429,26 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
   // The engine consumes the socket inline. Any exception invalidates the
   // warm session (a half-ingested engine's cache/bloom state is no longer
   // derivable from disk) — the next PUT rebuilds it fresh, which is
-  // exactly the baseline's behavior over the same on-disk state.
-  EngineCounters after;
+  // exactly the baseline's behavior over the same on-disk state. The warm
+  // session is (re)built INSIDE the try: booting the engine stack reads
+  // hooks and index objects, so construction can hit the same transient
+  // store faults as ingest itself and must take the same Retry path.
+  EngineCounters before, after;
+  std::uint64_t retries_before = 0;
+  std::uint64_t put_transient_retries = 0;
   try {
+    if (!ts.session) {
+      ts.session =
+          std::make_unique<EngineSession>(sync_, *tenant_id, cfg_.engine);
+    }
+    EngineSession& sess = *ts.session;
+    before = sess.engine.counters();
+    retries_before = sess.store.stats().transient_retries;
     sess.engine.add_file(*file_name, src);
     sess.engine.end_snapshot();
     after = sess.engine.counters();
+    put_transient_retries =
+        sess.store.stats().transient_retries - retries_before;
     if (!sess.engine.flush_session()) ts.session.reset();
   } catch (const QuotaExceededError&) {
     ts.session.reset();
@@ -402,8 +461,56 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
     // maintenance pass reclaims them.
     drain_rejected(fd);
     throw ProtocolError("quota: logical bytes");
+  } catch (const TransientReadError& e) {
+    // Store retries exhausted — a RETRYABLE failure, not a connection
+    // death. The warm session is poisoned (half-ingested cache state) and
+    // dropped; partially written chunks are unreferenced garbage for the
+    // next gc, exactly like the quota abort. But unlike quota the
+    // CONNECTION is fine: drain the rest of the PUT stream to stay
+    // frame-aligned and answer Retry — the client re-sends the same PUT
+    // against a freshly rebuilt session.
+    const std::uint64_t burned =
+        ts.session
+            ? ts.session->store.stats().transient_retries - retries_before
+            : 0;
+    ts.session.reset();
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.retryable_errors;
+      ts.counters.transient_retries += burned;
+    }
+    retryable_errors_.fetch_add(1);
+    transient_retries_.fetch_add(burned);
+    if (!src.ended()) drain_put_stream(reader);
+    ByteVec retry;
+    append_le(retry, cfg_.retry_after_ms);
+    const std::string reason = e.what();
+    retry.insert(retry.end(),
+                 reinterpret_cast<const Byte*>(reason.data()),
+                 reinterpret_cast<const Byte*>(reason.data()) +
+                     reason.size());
+    write_frame(fd, MsgType::kRetry, ByteSpan{retry});
+    return;
+  } catch (const IdleTimeoutError&) {
+    ts.session.reset();
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.idle_timeout_reaps;
+    }
+    throw;  // serve loop reaps the connection and counts it globally
+  } catch (const PeerDisconnectedError&) {
+    ts.session.reset();
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.peer_disconnects;
+    }
+    throw;
   } catch (const ProtocolError&) {
     ts.session.reset();
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.protocol_errors;
+    }
     throw;  // connection-level failure: serve loop drops the connection
   } catch (const std::exception& e) {
     ts.session.reset();
@@ -426,7 +533,11 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
     ts.counters.dup_bytes += dup_bytes;
     ts.counters.queue_high_water = std::max<std::uint64_t>(
         ts.counters.queue_high_water, reader.buffer_high_water());
+    ts.counters.transient_retries += put_transient_retries;
     ts.put_us.record(us);
+  }
+  if (put_transient_retries != 0) {
+    transient_retries_.fetch_add(put_transient_retries);
   }
   std::string summary = "{\"file\":\"" + json_escape(*file_name) +
                         "\",\"input_bytes\":" + std::to_string(input_bytes) +
@@ -451,37 +562,79 @@ void DedupDaemon::handle_get(int fd, ByteSpan payload) {
   // everything (the synchronized stack linearizes the object reads).
   TenantView view(sync_, *tenant_id);
   TenantState& ts = tenant(*tenant_id);
-  auto reader = RestoreReader::open(view, *file_name);
-  if (!reader) {
-    write_frame(fd, MsgType::kErr,
-                "no such file in tenant '" + *tenant_id + "': " + *file_name);
-    // Failed GETs get their own histogram — a fast "no such file" must
-    // not drag the success percentiles down.
-    std::lock_guard<std::mutex> lock(reg_mu_);
-    ++ts.counters.get_errors;
-    ts.get_err_us.record(elapsed_us(start));
+  std::uint64_t sent_bytes = 0;
+  std::uint64_t produced = 0;
+  std::uint64_t get_retries = 0;
+  bool stream_ok = false;
+  try {
+    auto reader = RestoreReader::open(view, *file_name);
+    if (!reader) {
+      write_frame(fd, MsgType::kErr, "no such file in tenant '" +
+                                         *tenant_id + "': " + *file_name);
+      // Failed GETs get their own histogram — a fast "no such file" must
+      // not drag the success percentiles down.
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.get_errors;
+      ts.get_err_us.record(elapsed_us(start));
+      return;
+    }
+    // Recycled staging slab: steady-state restore streaming allocates
+    // nothing per GET after warm-up.
+    ByteVec buf = chunk_buffer_pool().acquire();
+    buf.resize(kStreamFrameBytes);
+    std::size_t n;
+    while ((n = reader->read({buf.data(), buf.size()})) > 0) {
+      write_frame(fd, MsgType::kData, ByteSpan{buf.data(), n});
+      sent_bytes += n;
+    }
+    chunk_buffer_pool().release(std::move(buf));
+    produced = reader->produced();
+    get_retries = reader->transient_retries();
+    stream_ok = reader->ok();
+  } catch (const TransientReadError& e) {
+    // Store retries exhausted mid-restore. Before any Data frame has
+    // left, the whole GET is retryable: answer Retry and keep the
+    // connection (the client re-requests against a hopefully-recovered
+    // backend). Mid-stream the delivered prefix cannot be recalled, so
+    // end the stream honestly with ok=0 — the existing "short stream,
+    // never wrong bytes" contract.
+    {
+      std::lock_guard<std::mutex> lock(reg_mu_);
+      ++ts.counters.retryable_errors;
+      ++ts.counters.get_errors;
+      ts.get_err_us.record(elapsed_us(start));
+    }
+    retryable_errors_.fetch_add(1);
+    if (sent_bytes == 0) {
+      ByteVec retry;
+      append_le(retry, cfg_.retry_after_ms);
+      const std::string reason = e.what();
+      retry.insert(retry.end(),
+                   reinterpret_cast<const Byte*>(reason.data()),
+                   reinterpret_cast<const Byte*>(reason.data()) +
+                       reason.size());
+      write_frame(fd, MsgType::kRetry, ByteSpan{retry});
+    } else {
+      ByteVec tail;
+      append_le(tail, sent_bytes);
+      tail.push_back(Byte{0});
+      write_frame(fd, MsgType::kDataEnd, ByteSpan{tail});
+    }
     return;
   }
-  // Recycled staging slab: steady-state restore streaming allocates
-  // nothing per GET after warm-up.
-  ByteVec buf = chunk_buffer_pool().acquire();
-  buf.resize(kStreamFrameBytes);
-  std::size_t n;
-  while ((n = reader->read({buf.data(), buf.size()})) > 0) {
-    write_frame(fd, MsgType::kData, ByteSpan{buf.data(), n});
-  }
-  chunk_buffer_pool().release(std::move(buf));
   ByteVec tail;
-  append_le(tail, reader->produced());
-  tail.push_back(reader->ok() ? Byte{1} : Byte{0});
+  append_le(tail, produced);
+  tail.push_back(stream_ok ? Byte{1} : Byte{0});
   write_frame(fd, MsgType::kDataEnd, ByteSpan{tail});
 
+  if (get_retries != 0) transient_retries_.fetch_add(get_retries);
   std::lock_guard<std::mutex> lock(reg_mu_);
   ++ts.counters.gets;
-  ts.counters.restore_bytes += reader->produced();
+  ts.counters.restore_bytes += produced;
+  ts.counters.transient_retries += get_retries;
   // A stream that ended short (damaged objects) is a failure: record it
   // apart from the successes even though DataEnd was delivered.
-  if (reader->ok()) {
+  if (stream_ok) {
     ts.get_us.record(elapsed_us(start));
   } else {
     ++ts.counters.get_errors;
@@ -615,6 +768,15 @@ std::string DedupDaemon::build_stats_json(bool reset_histograms) const {
   json += ",\"max_sessions\":" + std::to_string(cfg_.max_sessions);
   json += ",\"session_queue_depth\":" +
           std::to_string(cfg_.session_queue_depth);
+  json += ",\"protocol_errors\":" + std::to_string(protocol_errors_.load());
+  json +=
+      ",\"peer_disconnects\":" + std::to_string(peer_disconnects_.load());
+  json += ",\"idle_timeout_reaps\":" +
+          std::to_string(idle_timeout_reaps_.load());
+  json += ",\"transient_retries\":" +
+          std::to_string(transient_retries_.load());
+  json +=
+      ",\"retryable_errors\":" + std::to_string(retryable_errors_.load());
   json += ",\"tenants\":{";
   bool first = true;
   for (const auto& [id, ts] : tenants_) {
@@ -632,6 +794,13 @@ std::string DedupDaemon::build_stats_json(bool reset_histograms) const {
     json += ",\"queue_high_water\":" + std::to_string(c.queue_high_water);
     json += ",\"quota_rejections\":" + std::to_string(c.quota_rejections);
     json += ",\"get_errors\":" + std::to_string(c.get_errors);
+    json += ",\"protocol_errors\":" + std::to_string(c.protocol_errors);
+    json += ",\"peer_disconnects\":" + std::to_string(c.peer_disconnects);
+    json += ",\"idle_timeout_reaps\":" +
+            std::to_string(c.idle_timeout_reaps);
+    json += ",\"transient_retries\":" +
+            std::to_string(c.transient_retries);
+    json += ",\"retryable_errors\":" + std::to_string(c.retryable_errors);
     json += ",\"put_p50_us\":" + std::to_string(ts->put_us.quantile(0.5));
     json += ",\"put_p99_us\":" + std::to_string(ts->put_us.quantile(0.99));
     json += ",\"get_p50_us\":" + std::to_string(ts->get_us.quantile(0.5));

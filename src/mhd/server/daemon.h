@@ -63,6 +63,7 @@
 #include <thread>
 
 #include "mhd/dedup/engine.h"
+#include "mhd/server/fault_conn.h"
 #include "mhd/server/latency_histogram.h"
 #include "mhd/server/protocol.h"
 #include "mhd/server/tenant_view.h"
@@ -78,8 +79,16 @@ struct DaemonConfig {
   /// inline (transport flow control IS the backpressure), so this only
   /// survives for CLI/config compatibility and the stats report.
   std::uint32_t session_queue_depth = 16;
-  /// Suggested client back-off returned with Busy responses.
+  /// Suggested client back-off returned with Busy and Retry responses.
   std::uint32_t retry_after_ms = 100;
+  /// SO_RCVTIMEO applied to every admitted connection: a peer that stalls
+  /// mid-frame longer than this is reaped (IdleTimeoutError), freeing its
+  /// admission slot. 0 disables the timeout (reads may block forever).
+  std::uint32_t idle_timeout_ms = 30'000;
+  /// Network chaos plan (fault_conn.h grammar), applied to admitted
+  /// connections. Empty = no fault injection. Parsed at construction;
+  /// a malformed plan throws std::invalid_argument from the constructor.
+  std::string net_fault_plan;
   TenantQuota quota;  ///< applied to every tenant
   EngineConfig engine;
 };
@@ -102,6 +111,26 @@ struct TenantCounters {
   /// damaged objects. Their latencies live in a separate histogram so
   /// fast failures cannot pollute the success percentiles.
   std::uint64_t get_errors = 0;
+  /// Failure taxonomy (per tenant; the same events are also counted
+  /// globally, including ones that die before a tenant is known):
+  ///  * protocol_errors — malformed frames / handshake violations from
+  ///    this tenant's connections (hostile or corrupted peers);
+  ///  * peer_disconnects — benign deaths: EPIPE/ECONNRESET or EOF
+  ///    mid-frame (a client killed mid-PUT);
+  ///  * idle_timeout_reaps — connections reaped by SO_RCVTIMEO while a
+  ///    request for this tenant was in flight (slowloris);
+  ///  * transient_retries — store-level reads that hit TransientReadError
+  ///    and were absorbed by retry (PUT via ObjectStore, GET via
+  ///    RestoreReader) — nonzero means the backend flaked but no request
+  ///    failed;
+  ///  * retryable_errors — requests that exhausted store retries and were
+  ///    answered with a Retry response (session dropped and rebuilt, the
+  ///    client is expected to re-send).
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t peer_disconnects = 0;
+  std::uint64_t idle_timeout_reaps = 0;
+  std::uint64_t transient_retries = 0;
+  std::uint64_t retryable_errors = 0;
   std::uint64_t put_p50_us = 0, put_p99_us = 0;
   std::uint64_t get_p50_us = 0, get_p99_us = 0;
 };
@@ -138,6 +167,12 @@ class DedupDaemon {
   std::uint64_t sessions_served() const { return sessions_served_.load(); }
   std::uint64_t busy_rejections() const { return busy_rejections_.load(); }
   std::uint32_t active_sessions() const { return active_sessions_.load(); }
+  std::uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  std::uint64_t peer_disconnects() const { return peer_disconnects_.load(); }
+  std::uint64_t idle_timeout_reaps() const {
+    return idle_timeout_reaps_.load();
+  }
+  std::uint64_t retryable_errors() const { return retryable_errors_.load(); }
 
  private:
   struct EngineSession;  ///< warm TenantView→ObjectStore→engine stack
@@ -198,10 +233,23 @@ class DedupDaemon {
   std::map<std::string, std::unique_ptr<TenantState>> tenants_;
   std::list<std::unique_ptr<SessionSlot>> sessions_;
 
+  /// Parsed from cfg_.net_fault_plan at construction (empty = no chaos).
+  NetFaultPlan net_fault_plan_;
+
   std::atomic<std::uint32_t> active_sessions_{0};
   std::atomic<std::uint64_t> sessions_served_{0};
   std::atomic<std::uint64_t> busy_rejections_{0};
   std::atomic<std::uint64_t> maintenance_runs_{0};
+  /// Admitted-connection sequence (1-based), the chaos plan's conn index.
+  std::atomic<std::uint64_t> accepted_conns_{0};
+  /// Global failure taxonomy — see TenantCounters for the field glossary.
+  /// Counted at the serve loop, so events with no attributable tenant
+  /// (malformed PutBegin, garbage between requests) still land here.
+  std::atomic<std::uint64_t> protocol_errors_{0};
+  std::atomic<std::uint64_t> peer_disconnects_{0};
+  std::atomic<std::uint64_t> idle_timeout_reaps_{0};
+  std::atomic<std::uint64_t> transient_retries_{0};
+  std::atomic<std::uint64_t> retryable_errors_{0};
 };
 
 }  // namespace mhd::server

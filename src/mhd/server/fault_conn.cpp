@@ -1,0 +1,364 @@
+#include "mhd/server/fault_conn.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+namespace mhd::server {
+namespace {
+
+constexpr std::size_t kPumpBufBytes = 64u << 10;
+constexpr std::uint32_t kStallPollMs = 10;
+
+/// Same xorshift* generator the store fault plan uses: cheap, seedable,
+/// and good enough for tear fractions and garbage bytes.
+std::uint64_t next_rand(std::uint64_t& state) {
+  state ^= state >> 12;
+  state ^= state << 25;
+  state ^= state >> 27;
+  return state * 0x2545F4914F6CDD1DULL;
+}
+
+[[noreturn]] void bad_atom(const std::string& atom, const char* why) {
+  throw std::invalid_argument("net-fault plan: bad atom '" + atom + "': " +
+                              why);
+}
+
+std::uint64_t parse_u64(const std::string& atom, const std::string& text) {
+  if (text.empty()) bad_atom(atom, "expected a number");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') bad_atom(atom, "expected a number");
+    value = value * 10 + static_cast<std::uint64_t>(c - '0');
+  }
+  return value;
+}
+
+/// Shared between the two pump threads of one connection. The last pump
+/// out closes both fds; kill() is idempotent and wakes any blocked read
+/// on either side via shutdown.
+struct PumpState {
+  int peer = -1;   ///< the real accepted client socket
+  int inner = -1;  ///< pump's end of the daemon-facing socketpair
+  std::atomic<bool> dead{false};
+  std::atomic<int> live{2};
+
+  void kill() {
+    if (dead.exchange(true)) return;
+    ::shutdown(peer, SHUT_RDWR);
+    ::shutdown(inner, SHUT_RDWR);
+  }
+
+  void release() {
+    if (live.fetch_sub(1) == 1) {
+      ::close(peer);
+      ::close(inner);
+    }
+  }
+};
+
+/// Reads exactly n bytes unless EOF/error intervenes; returns the count
+/// actually read (so callers can tell clean EOF at offset 0 from a tear).
+std::size_t read_upto_exact(int fd, unsigned char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t got = ::read(fd, buf + done, n - done);
+    if (got > 0) {
+      done += static_cast<std::size_t>(got);
+      continue;
+    }
+    if (got < 0 && errno == EINTR) continue;
+    break;  // EOF or hard error
+  }
+  return done;
+}
+
+bool write_all(int fd, const unsigned char* buf, std::size_t n) {
+  std::size_t done = 0;
+  while (done < n) {
+    ssize_t put = ::send(fd, buf + done, n - done, MSG_NOSIGNAL);
+    if (put > 0) {
+      done += static_cast<std::size_t>(put);
+      continue;
+    }
+    if (put < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+/// Sleeps up to `ms` (0 = forever) in small increments, bailing out as
+/// soon as the connection dies so a reaped stall never outlives its
+/// socketpair by more than one poll tick.
+void interruptible_stall(PumpState& st, std::uint32_t ms) {
+  std::uint32_t waited = 0;
+  while (!st.dead.load(std::memory_order_relaxed)) {
+    if (ms != 0 && waited >= ms) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(kStallPollMs));
+    waited += kStallPollMs;
+  }
+}
+
+/// daemon→client direction: straight passthrough. Responses are never
+/// faulted — the plan models hostile/unlucky *clients and networks on
+/// the request path*, and an un-faulted response channel keeps every
+/// scenario's daemon-side observation deterministic.
+void pump_responses(std::shared_ptr<PumpState> st) {
+  std::vector<unsigned char> buf(kPumpBufBytes);
+  for (;;) {
+    ssize_t got = ::read(st->inner, buf.data(), buf.size());
+    if (got < 0 && errno == EINTR) continue;
+    if (got <= 0) break;  // daemon closed (or kill()ed): tear everything
+    if (!write_all(st->peer, buf.data(), static_cast<std::size_t>(got))) break;
+  }
+  st->kill();
+  st->release();
+}
+
+/// client→daemon direction: parses [u32 len][u8 type] headers to count
+/// frames (1-based) and executes the plan's atom for each.
+void pump_requests(std::shared_ptr<PumpState> st, NetFaultPlan plan,
+                   std::uint64_t conn_index) {
+  std::uint64_t rng = plan.seed ^ (conn_index * 0x9E3779B97F4A7C15ULL);
+  next_rand(rng);
+  std::vector<unsigned char> buf(kPumpBufBytes);
+  std::uint64_t frame = 0;
+  bool clean_eof = false;
+  for (;;) {
+    ++frame;
+    const NetFaultPlan::Atom* atom = nullptr;
+    for (const auto& a : plan.atoms) {
+      if (a.frame == frame) {
+        atom = &a;
+        break;
+      }
+    }
+    if (atom && atom->kind == NetFaultPlan::Kind::kReset) break;
+
+    unsigned char header[5];
+    std::size_t got = read_upto_exact(st->peer, header, sizeof header);
+    if (got == 0) {
+      clean_eof = true;  // client finished at a frame boundary
+      break;
+    }
+    if (got < sizeof header) break;  // mid-header tear from the peer
+    std::uint32_t len = static_cast<std::uint32_t>(header[0]) |
+                        (static_cast<std::uint32_t>(header[1]) << 8) |
+                        (static_cast<std::uint32_t>(header[2]) << 16) |
+                        (static_cast<std::uint32_t>(header[3]) << 24);
+
+    if (atom && atom->kind == NetFaultPlan::Kind::kTorn) {
+      double f = atom->fraction;
+      if (f < 0.0) {
+        f = static_cast<double>(next_rand(rng) >> 11) /
+            static_cast<double>(1ULL << 53);
+      }
+      std::uint64_t total = 5 + static_cast<std::uint64_t>(len);
+      std::uint64_t keep = static_cast<std::uint64_t>(
+          f * static_cast<double>(total));
+      if (keep < 1) keep = 1;
+      if (keep >= total) keep = total - 1;
+      std::size_t from_header = keep < 5 ? static_cast<std::size_t>(keep) : 5;
+      if (!write_all(st->inner, header, from_header)) break;
+      std::uint64_t body = keep - from_header;
+      while (body > 0) {
+        std::size_t want = body < buf.size()
+                               ? static_cast<std::size_t>(body)
+                               : buf.size();
+        std::size_t r = read_upto_exact(st->peer, buf.data(), want);
+        if (r == 0 || !write_all(st->inner, buf.data(), r)) break;
+        body -= r;
+      }
+      break;  // then die, exactly like a client killed mid-frame
+    }
+
+    if (atom && atom->kind == NetFaultPlan::Kind::kGarbage) {
+      // A corrupted-in-flight header. The high length bit is forced on so
+      // the parsed payload length always exceeds kMaxFramePayload — the
+      // daemon must reject it as a typed ProtocolError, deterministically,
+      // rather than sometimes reading the garbage as a small valid frame.
+      std::uint64_t r = next_rand(rng);
+      unsigned char junk[5];
+      std::memcpy(junk, &r, sizeof junk);
+      junk[3] |= 0x80;
+      if (!write_all(st->inner, junk, sizeof junk)) break;
+      // Keep relaying the real payload: the daemon closes on its side and
+      // the relay dies on EPIPE, which is the realistic shape of the
+      // failure (client still talking into a dead socket).
+    } else if (!write_all(st->inner, header, sizeof header)) {
+      break;
+    }
+
+    bool stalled = atom && atom->kind == NetFaultPlan::Kind::kStall;
+    bool dribble = atom && atom->kind == NetFaultPlan::Kind::kShort;
+    std::uint32_t body = len;
+    bool failed = false;
+    bool first_byte = true;
+    while (body > 0) {
+      std::size_t want = stalled && first_byte
+                             ? 1
+                             : std::min<std::size_t>(body, buf.size());
+      std::size_t r = read_upto_exact(st->peer, buf.data(), want);
+      if (r == 0) {
+        failed = true;  // peer tore mid-payload
+        break;
+      }
+      if (dribble) {
+        for (std::size_t i = 0; i < r && !failed; ++i) {
+          failed = !write_all(st->inner, buf.data() + i, 1);
+        }
+      } else {
+        failed = !write_all(st->inner, buf.data(), r);
+      }
+      if (failed) break;
+      body -= static_cast<std::uint32_t>(r);
+      if (stalled && first_byte) {
+        first_byte = false;
+        interruptible_stall(*st, atom->stall_ms);
+        if (st->dead.load(std::memory_order_relaxed)) {
+          failed = true;
+          break;
+        }
+      }
+    }
+    if (stalled && len == 0) {
+      // Nothing to hold back inside an empty frame; stall before the next
+      // header instead so the wire still goes quiet mid-conversation.
+      interruptible_stall(*st, atom->stall_ms);
+    }
+    if (failed) break;
+  }
+  if (clean_eof) {
+    // Propagate the half-close so the daemon still observes a clean EOF
+    // at a frame boundary (not a reset) and responses keep flowing.
+    ::shutdown(st->inner, SHUT_WR);
+  } else {
+    st->kill();
+  }
+  st->release();
+}
+
+}  // namespace
+
+bool NetFaultPlan::applies_to_conn(std::uint64_t conn_index) const {
+  if (conns.empty()) return true;
+  for (const auto& r : conns) {
+    if (conn_index >= r.first && conn_index < r.first + r.count) return true;
+  }
+  return false;
+}
+
+NetFaultPlan NetFaultPlan::parse(const std::string& spec) {
+  NetFaultPlan plan;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string::npos) comma = spec.size();
+    std::string atom = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    if (atom.empty()) continue;
+
+    if (atom.rfind("seed:", 0) == 0) {
+      plan.seed = parse_u64(atom, atom.substr(5));
+      continue;
+    }
+
+    std::size_t at = atom.find('@');
+    if (at == std::string::npos) bad_atom(atom, "expected kind@N");
+    std::string kind = atom.substr(0, at);
+    std::string rest = atom.substr(at + 1);
+
+    if (kind == "conn") {
+      ConnRange range;
+      std::size_t x = rest.find('x');
+      if (x == std::string::npos) {
+        range.first = parse_u64(atom, rest);
+      } else {
+        range.first = parse_u64(atom, rest.substr(0, x));
+        range.count = parse_u64(atom, rest.substr(x + 1));
+      }
+      if (range.first == 0 || range.count == 0) {
+        bad_atom(atom, "connections are 1-based and count must be > 0");
+      }
+      plan.conns.push_back(range);
+      continue;
+    }
+
+    Atom a;
+    std::size_t colon = rest.find(':');
+    std::string frame_text =
+        colon == std::string::npos ? rest : rest.substr(0, colon);
+    a.frame = parse_u64(atom, frame_text);
+    if (a.frame == 0) bad_atom(atom, "frames are 1-based");
+
+    if (kind == "torn") {
+      a.kind = Kind::kTorn;
+      if (colon != std::string::npos) {
+        std::string frac = rest.substr(colon + 1);
+        try {
+          std::size_t used = 0;
+          a.fraction = std::stod(frac, &used);
+          if (used != frac.size()) bad_atom(atom, "bad fraction");
+        } catch (const std::exception&) {
+          bad_atom(atom, "bad fraction");
+        }
+        if (a.fraction <= 0.0 || a.fraction >= 1.0) {
+          bad_atom(atom, "fraction must be in (0, 1)");
+        }
+      }
+    } else if (kind == "stall") {
+      a.kind = Kind::kStall;
+      if (colon != std::string::npos) {
+        a.stall_ms = static_cast<std::uint32_t>(
+            parse_u64(atom, rest.substr(colon + 1)));
+      }
+    } else if (kind == "reset") {
+      a.kind = Kind::kReset;
+      if (colon != std::string::npos) bad_atom(atom, "reset takes no value");
+    } else if (kind == "garbage") {
+      a.kind = Kind::kGarbage;
+      if (colon != std::string::npos) bad_atom(atom, "garbage takes no value");
+    } else if (kind == "short") {
+      a.kind = Kind::kShort;
+      if (colon != std::string::npos) bad_atom(atom, "short takes no value");
+    } else {
+      bad_atom(atom, "unknown kind");
+    }
+    plan.atoms.push_back(a);
+  }
+  return plan;
+}
+
+int wrap_with_net_faults(int fd, const NetFaultPlan& plan,
+                         std::uint64_t conn_index) {
+  if (plan.empty() || !plan.applies_to_conn(conn_index)) return fd;
+
+  int pair[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, pair) != 0) {
+    // Out of fds: serving un-faulted beats refusing the connection; the
+    // daemon is not in the business of failing because chaos could not
+    // be arranged.
+    return fd;
+  }
+  auto st = std::make_shared<PumpState>();
+  st->peer = fd;
+  st->inner = pair[1];
+
+  // Pumps are detached and self-reaping: each exits as soon as either
+  // side closes (kill() shuts down both fds, waking any blocked read),
+  // and the last one out closes both descriptors.
+  std::thread(pump_requests, st, plan, conn_index).detach();
+  std::thread(pump_responses, st).detach();
+  return pair[0];
+}
+
+}  // namespace mhd::server

@@ -1,0 +1,83 @@
+// FaultConn — deterministic network-fault injection for daemon sockets.
+//
+// The storage layer has had scripted fault plans since PR 4
+// (store/fault_backend.h); this is the same idea for the WIRE. A FaultConn
+// interposes a proxy between an accepted connection and the daemon: the
+// daemon talks to one end of an internal socketpair while a pump thread
+// shuttles bytes to/from the real peer, parsing the request stream's
+// frame structure ([u32 len][u8 type][payload]) and executing a scripted
+// *net-fault plan* against it. Because faults key off deterministic frame
+// counters — never wall clock or kernel buffering — a failing scenario
+// replays from its plan string.
+//
+// Plan mini-language (comma-separated atoms; frames and connections are
+// 1-based; frames are counted on the client→daemon direction):
+//
+//   torn@N[:F]   forward only fraction F (0..1) of frame N's bytes
+//                (header included), then close both directions — the
+//                classic "client died mid-PUT" tear. torn@N draws F from
+//                the seed.
+//   stall@N[:MS] forward frame N's header plus one payload byte, then
+//                stop forwarding for MS milliseconds (omitted = forever).
+//                With the daemon's receive timeout armed this is a
+//                slowloris: the read blocks until SO_RCVTIMEO reaps it.
+//   reset@N      hard-close both directions just before frame N — the
+//                daemon sees the connection vanish between requests.
+//   garbage@N    replace frame N's 5-byte header with seeded garbage
+//                (a hostile or corrupted peer; the daemon must fail the
+//                connection with a typed ProtocolError, never crash).
+//   short@N      deliver frame N one byte per write (stresses the
+//                daemon's partial-read handling; semantically a no-op).
+//   conn@K[xM]   apply the plan only to accepted connections K..K+M-1
+//                (repeatable; no conn atom = every connection).
+//   seed:S       seed for drawn tear fractions and garbage (default 42).
+//
+// Responses (daemon→client) always pass through unmodified; torn/reset
+// kill both directions. The daemon enables this via
+// DaemonConfig::net_fault_plan (`dedup_cli serve --net-fault-plan=SPEC`),
+// and tests/bench drive it directly through wrap().
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace mhd::server {
+
+struct NetFaultPlan {
+  enum class Kind { kTorn, kStall, kReset, kGarbage, kShort };
+
+  struct Atom {
+    Kind kind = Kind::kTorn;
+    std::uint64_t frame = 0;   ///< 1-based client→daemon frame index
+    double fraction = -1.0;    ///< torn: <0 means "draw from seed"
+    std::uint32_t stall_ms = 0;  ///< stall: 0 means "forever"
+  };
+
+  /// Connection selector: fault connections K..K+M-1 (1-based).
+  struct ConnRange {
+    std::uint64_t first = 1;
+    std::uint64_t count = 1;
+  };
+
+  std::vector<Atom> atoms;
+  std::vector<ConnRange> conns;  ///< empty = every connection
+  std::uint64_t seed = 42;
+
+  bool empty() const { return atoms.empty(); }
+  bool applies_to_conn(std::uint64_t conn_index) const;
+
+  /// Parses the mini-language above; throws std::invalid_argument naming
+  /// the offending atom. An empty spec is an empty plan.
+  static NetFaultPlan parse(const std::string& spec);
+};
+
+/// Interposes the fault proxy on a connected stream socket. Returns the
+/// fd the server must use from now on; ownership of `fd` passes to the
+/// pump. When the plan is empty or does not select `conn_index`, returns
+/// `fd` unchanged and starts nothing. The pump thread is self-reaping: it
+/// exits when either side closes and releases both fds.
+int wrap_with_net_faults(int fd, const NetFaultPlan& plan,
+                         std::uint64_t conn_index);
+
+}  // namespace mhd::server

@@ -33,6 +33,20 @@ ssize_t counted_read(int fd, void* buf, std::size_t len) {
   return n;
 }
 
+/// Maps a failed read()'s errno to the typed error vocabulary: a stalled
+/// peer (SO_RCVTIMEO expiry) and a vanished peer are different events and
+/// the daemon counts them separately.
+[[noreturn]] void throw_read_error(int err) {
+  if (err == EAGAIN || err == EWOULDBLOCK) {
+    throw IdleTimeoutError("connection idle past receive timeout");
+  }
+  if (err == ECONNRESET || err == EPIPE) {
+    throw PeerDisconnectedError(std::string("peer reset: ") +
+                                std::strerror(err));
+  }
+  throw ProtocolError(std::string("read: ") + std::strerror(err));
+}
+
 bool read_exact(int fd, void* buf, std::size_t len) {
   auto* p = static_cast<unsigned char*>(buf);
   std::size_t done = 0;
@@ -40,12 +54,12 @@ bool read_exact(int fd, void* buf, std::size_t len) {
     const ssize_t n = counted_read(fd, p + done, len - done);
     if (n == 0) {
       if (done == 0) return false;  // clean EOF between frames
-      throw ProtocolError("connection closed mid-frame");
+      throw PeerDisconnectedError("connection closed mid-frame");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (done == 0 && (errno == ECONNRESET || errno == EPIPE)) return false;
-      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+      throw_read_error(errno);
     }
     done += static_cast<std::size_t>(n);
   }
@@ -65,6 +79,12 @@ void writev_exact(int fd, iovec* iov, int iovcnt) {
     g_write_calls.fetch_add(1, std::memory_order_relaxed);
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EPIPE || errno == ECONNRESET) {
+        // The peer vanished while we were answering it — benign from the
+        // daemon's point of view, and counted apart from protocol abuse.
+        throw PeerDisconnectedError(std::string("peer gone on write: ") +
+                                    std::strerror(errno));
+      }
       throw ProtocolError(std::string("write: ") + std::strerror(errno));
     }
     g_write_bytes.fetch_add(static_cast<std::uint64_t>(n),
@@ -190,14 +210,14 @@ bool FrameReader::fill(std::size_t need) {
     const ssize_t n = counted_read(fd_, buf_.data() + end_, buf_.size() - end_);
     if (n == 0) {
       if (end_ == pos_) return false;  // clean EOF at a frame boundary
-      throw ProtocolError("connection closed mid-frame");
+      throw PeerDisconnectedError("connection closed mid-frame");
     }
     if (n < 0) {
       if (errno == EINTR) continue;
       if (end_ == pos_ && (errno == ECONNRESET || errno == EPIPE)) {
         return false;
       }
-      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+      throw_read_error(errno);
     }
     end_ += static_cast<std::size_t>(n);
     if (end_ > high_water_) high_water_ = end_;
@@ -241,10 +261,10 @@ std::size_t FrameReader::read_payload(MutByteSpan out) {
   // buffering for bulk payload bytes.
   while (done < want) {
     const ssize_t n = counted_read(fd_, out.data() + done, want - done);
-    if (n == 0) throw ProtocolError("connection closed mid-frame");
+    if (n == 0) throw PeerDisconnectedError("connection closed mid-frame");
     if (n < 0) {
       if (errno == EINTR) continue;
-      throw ProtocolError(std::string("read: ") + std::strerror(errno));
+      throw_read_error(errno);
     }
     done += static_cast<std::size_t>(n);
   }

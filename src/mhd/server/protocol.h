@@ -72,6 +72,12 @@ enum class MsgType : std::uint8_t {
   kErr = 0x43,      ///< human-readable error
   kBusy = 0x44,     ///< u32 retry_after_ms — admission backpressure
   kQuota = 0x45,    ///< tenant quota exceeded; payload names the limit
+  /// Retryable failure: the request hit a transient condition (store read
+  /// retries exhausted, backend hiccup). The tenant session was dropped
+  /// and rebuilt cleanly; the CONNECTION stays usable and the same
+  /// request, re-sent, is expected to succeed. Payload: u32 retry_after_ms
+  /// followed by a human-readable reason.
+  kRetry = 0x46,
 };
 
 enum class MaintainOp : std::uint8_t { kGc = 1, kFsck = 2 };
@@ -172,6 +178,24 @@ std::optional<std::string> read_string(ByteSpan payload, std::size_t& pos);
 class ProtocolError : public std::runtime_error {
  public:
   explicit ProtocolError(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// The peer went away (EPIPE/ECONNRESET on either direction, or EOF in
+/// the middle of a frame — a client killed mid-PUT looks exactly like
+/// this). A subclass of ProtocolError so every existing "drop the
+/// connection" catch still works, but typed so the daemon can count
+/// benign disconnects apart from hostile malformed peers.
+class PeerDisconnectedError : public ProtocolError {
+ public:
+  explicit PeerDisconnectedError(const std::string& what)
+      : ProtocolError(what) {}
+};
+
+/// A blocking read sat past the socket's SO_RCVTIMEO (slowloris / stalled
+/// peer). The daemon reaps the connection and frees its admission slot.
+class IdleTimeoutError : public ProtocolError {
+ public:
+  explicit IdleTimeoutError(const std::string& what) : ProtocolError(what) {}
 };
 
 /// Listening socket bound from a spec: "unix:<path>" or "tcp:<port>"

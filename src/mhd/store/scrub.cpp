@@ -3,6 +3,7 @@
 #include <array>
 #include <filesystem>
 #include <fstream>
+#include <set>
 #include <sstream>
 #include <unordered_map>
 #include <unordered_set>
@@ -41,6 +42,79 @@ std::optional<std::string> hook_target(const ByteVec& payload) {
   if (payload.size() != Digest::kSize) return std::nullopt;
   return hex_encode({payload.data(), payload.size()});
 }
+
+/// Namespace scope of a physical object name. Multi-tenant repositories
+/// (written through the server's TenantView) prefix every object with
+/// `<tenant>.`; '.' is reserved as the separator and never appears in
+/// bare object names (hex digests, "meta", "shard-…"). References INSIDE
+/// objects are always bare names scoped to the referencing object's own
+/// tenant, so every cross-reference check joins scope + bare name.
+std::string scope_of(const std::string& name) {
+  const auto dot = name.find('.');
+  return dot == std::string::npos ? std::string{} : name.substr(0, dot + 1);
+}
+
+/// Store-layer mirror of the server's TenantView (which fsck cannot
+/// depend on — the server layer sits above the store): scopes a backend
+/// to one name prefix so the per-tenant fingerprint index can be checked
+/// and rebuilt with the same code path as a single-tenant repository.
+/// fsck-grade performance: list() filters the full physical listing.
+class ScopedBackend final : public StorageBackend {
+ public:
+  ScopedBackend(StorageBackend& inner, std::string prefix)
+      : inner_(inner), prefix_(std::move(prefix)) {}
+
+  void put(Ns ns, const std::string& name, ByteSpan data) override {
+    inner_.put(ns, prefix_ + name, data);
+  }
+  void append(Ns ns, const std::string& name, ByteSpan data) override {
+    inner_.append(ns, prefix_ + name, data);
+  }
+  std::optional<ByteVec> get(Ns ns, const std::string& name) const override {
+    return inner_.get(ns, prefix_ + name);
+  }
+  std::optional<ByteVec> get_range(Ns ns, const std::string& name,
+                                   std::uint64_t offset,
+                                   std::uint64_t length) const override {
+    return inner_.get_range(ns, prefix_ + name, offset, length);
+  }
+  bool exists(Ns ns, const std::string& name) const override {
+    return inner_.exists(ns, prefix_ + name);
+  }
+  bool remove(Ns ns, const std::string& name) override {
+    return inner_.remove(ns, prefix_ + name);
+  }
+  void seal(Ns ns, const std::string& name) override {
+    inner_.seal(ns, prefix_ + name);
+  }
+  std::uint64_t object_count(Ns ns) const override {
+    return list(ns).size();
+  }
+  std::uint64_t content_bytes(Ns ns) const override {
+    std::uint64_t total = 0;
+    for (const auto& name : list(ns)) {
+      if (const auto obj = inner_.get(ns, prefix_ + name)) {
+        total += obj->size();
+      }
+    }
+    return total;
+  }
+  std::vector<std::string> list(Ns ns) const override {
+    std::vector<std::string> mine;
+    for (auto& name : inner_.list(ns)) {
+      if (name.rfind(prefix_, 0) != 0) continue;
+      std::string base = name.substr(prefix_.size());
+      // The empty scope must not see other scopes' objects.
+      if (base.find('.') != std::string::npos) continue;
+      mine.push_back(std::move(base));
+    }
+    return mine;
+  }
+
+ private:
+  StorageBackend& inner_;
+  std::string prefix_;
+};
 
 }  // namespace
 
@@ -171,7 +245,7 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
     }
   }
   // --- Pass 1c: index objects (sealed; advisory, rebuildable) -----------
-  bool index_damaged = false;
+  std::unordered_set<std::string> damaged_index_scopes;
   for (const auto& name : raw.list(Ns::kIndex)) {
     ++rep.objects;
     const auto bytes = raw.get(Ns::kIndex, name);
@@ -181,7 +255,7 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
       continue;
     }
     ++rep.corrupt;
-    index_damaged = true;
+    damaged_index_scopes.insert(scope_of(name));
     FsckIssue issue{Ns::kIndex, name, FsckIssue::Kind::kCorrupt,
                     "trailer CRC/structure mismatch", {}};
     if (repair) {
@@ -247,7 +321,7 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
       continue;
     }
     for (const auto& e : fm->entries()) {
-      const std::string chunk = e.chunk_name.hex();
+      const std::string chunk = scope_of(name) + e.chunk_name.hex();
       referenced.insert(chunk);
       const auto it = chunk_logical.find(chunk);
       const bool resolvable =
@@ -267,7 +341,9 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
 
   for (const auto& [name, payload] : manifests) {
     const auto m = Manifest::deserialize(payload);
-    if (!m || m->chunk_name().hex() != name) continue;  // engine-specific
+    if (!m || scope_of(name) + m->chunk_name().hex() != name) {
+      continue;  // engine-specific
+    }
     const auto it = chunk_logical.find(name);
     if (it == chunk_logical.end()) {
       ++rep.broken_refs;
@@ -278,7 +354,7 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
 
   for (const auto& [name, payload] : hooks) {
     const auto target = hook_target(payload);
-    if (target && manifests.count(*target) > 0) continue;
+    if (target && manifests.count(scope_of(name) + *target) > 0) continue;
     ++rep.dangling_hooks;
     FsckIssue issue{Ns::kHook, name, FsckIssue::Kind::kDanglingHook,
                     target ? "target manifest " + *target + " missing"
@@ -296,16 +372,23 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
   // --- Pass 3: fingerprint index vs live hooks/manifests ----------------
   // The index is advisory: any inconsistency (torn objects, a missing
   // commit point, entries naming removed manifests) is repaired by
-  // rebuilding from the hooks, never by touching user data.
-  if (raw.object_count(Ns::kIndex) > 0 || index_damaged) {
-    const IndexCheckReport index = check_index(raw);
-    rep.index_entries = index.entries;
-    rep.stale_index_entries = index.stale_entries;
+  // rebuilding from the hooks, never by touching user data. A
+  // multi-tenant repository carries one index PER tenant scope, each
+  // checked and rebuilt against the hooks of the same scope.
+  std::set<std::string> index_scopes;
+  for (const auto& name : raw.list(Ns::kIndex)) {
+    index_scopes.insert(scope_of(name));
+  }
+  for (const auto& scope : damaged_index_scopes) index_scopes.insert(scope);
+  for (const auto& scope : index_scopes) {
+    ScopedBackend view(raw, scope);
+    IndexCheckReport index = check_index(view);
+    const bool damaged = damaged_index_scopes.count(scope) > 0;
     if (!index.meta_ok || index.stale_entries > 0 ||
-        index.corrupt_objects > 0 || index_damaged) {
+        index.corrupt_objects > 0 || damaged) {
       ++rep.index_issues;
       FsckIssue issue{
-          Ns::kIndex, "meta", FsckIssue::Kind::kIndexInconsistent,
+          Ns::kIndex, scope + "meta", FsckIssue::Kind::kIndexInconsistent,
           !index.meta_ok
               ? "index objects present but meta unreadable"
               : std::to_string(index.stale_entries) + " stale entries, " +
@@ -313,15 +396,15 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
                     " corrupt objects",
           {}};
       if (repair) {
-        rebuild_index(raw);
-        const IndexCheckReport after = check_index(raw);
-        rep.index_entries = after.entries;
-        rep.stale_index_entries = after.stale_entries;
+        rebuild_index(view);
+        index = check_index(view);
         issue.action = FsckIssue::Action::kRebuilt;
         ++rep.repaired;
       }
       rep.issues.push_back(std::move(issue));
     }
+    rep.index_entries += index.entries;
+    rep.stale_index_entries += index.stale_entries;
   }
 
   for (const auto& [name, logical] : chunk_logical) {
