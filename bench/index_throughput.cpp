@@ -1,7 +1,10 @@
-// index_throughput — fingerprint-index op throughput, mem vs. disk:
+// index_throughput — fingerprint-index op throughput, mem vs. disk, plus
+// the sampled similarity tier at 10–100× corpus scale:
 //
 //   ./index_throughput [--keys=200000] [--index-cache-mb=8]
 //                      [--shards=256] [--reps=3]
+//                      [--sampled-scales=10,100] [--sampled-bits=8,10]
+//                      [--segment-chunks=8192] [--resident-entries=8192]
 //                      [--json=BENCH_index.json]
 //
 // Measures, best-of-reps, millions of ops/s for the three access patterns
@@ -19,16 +22,31 @@
 // MemIndex's O(keys) footprint — that bounded-RAM-at-speed trade is the
 // whole point of --index-impl=disk.
 //
+// The sampled sweep streams scale×keys fingerprints through a SampledIndex
+// the way an engine would: fingerprints arrive in segments of
+// --segment-chunks (one manifest per segment), the resident map is capped
+// at --resident-entries by evicting the oldest whole segments (the
+// manifest-cache mirror), and hooks accumulate in the sparse table. A
+// second pass replays the identical stream as duplicates: a hit is either
+// resident or reached by loading the hook's champion segment — everything
+// else is the tier's measured dedup loss. RAM is compared against a disk
+// index actually populated at the same scale (measured up to 4M keys,
+// modeled as page-cache budget + bloom above that).
+//
 // BENCH_index.json at the repo root is the recorded baseline (see --json).
 #include <algorithm>
 #include <cstdio>
+#include <deque>
 #include <fstream>
 #include <string>
+#include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "mhd/hash/sha1.h"
 #include "mhd/index/mem_index.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/store/memory_backend.h"
 #include "mhd/util/flags.h"
 #include "mhd/util/random.h"
@@ -82,6 +100,52 @@ void run_lookups(FingerprintIndex& index, const std::vector<Digest>& keys,
     std::exit(1);
   }
 }
+
+/// "10,100" -> {10, 100}; malformed pieces are skipped.
+std::vector<std::uint32_t> parse_u32_list(const std::string& s) {
+  std::vector<std::uint32_t> out;
+  std::size_t pos = 0;
+  while (pos < s.size()) {
+    const std::size_t comma = s.find(',', pos);
+    const std::string piece =
+        s.substr(pos, comma == std::string::npos ? comma : comma - pos);
+    if (!piece.empty()) {
+      out.push_back(static_cast<std::uint32_t>(std::stoul(piece)));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// One (scale, sample_bits) configuration of the sampled sweep.
+struct SampledRun {
+  std::uint32_t scale = 0;
+  std::uint32_t bits = 0;
+  std::uint64_t total = 0;
+  std::uint64_t segments = 0;
+  double ingest_seconds = 0;
+  double replay_seconds = 0;
+  std::uint64_t ram_hw = 0;
+  std::uint64_t hook_table_bytes = 0;
+  std::uint64_t hook_entries = 0;
+  std::uint64_t champion_loads = 0;
+  std::uint64_t dup_found = 0;
+  std::uint64_t disk_ram = 0;  ///< same-scale disk index RAM high-water
+  bool disk_ram_measured = false;  ///< false = budget+bloom model
+
+  double detected() const {
+    return total == 0 ? 0.0
+                      : static_cast<double>(dup_found) /
+                            static_cast<double>(total);
+  }
+  double loss() const { return 1.0 - detected(); }
+  double ram_reduction() const {
+    return ram_hw == 0 ? 0.0
+                       : static_cast<double>(disk_ram) /
+                             static_cast<double>(ram_hw);
+  }
+};
 
 }  // namespace
 
@@ -159,6 +223,138 @@ int main(int argc, char** argv) {
   const std::uint64_t warm_ram = warm.ram_high_water();
   const std::uint64_t warm_page_ram = warm.page_cache_ram_high_water();
 
+  // --- sampled similarity tier, 10–100× corpus scale --------------------
+  const auto scales = parse_u32_list(flags.get("sampled-scales", "10,100"));
+  const auto bits_list = parse_u32_list(flags.get("sampled-bits", "8,10"));
+  const std::uint64_t seg_chunks =
+      flags.get_uint("segment-chunks", 8192, 64, 1u << 20);
+  const std::uint64_t resident_cap = std::max<std::uint64_t>(
+      flags.get_uint("resident-entries", 8192, 64, 1u << 24), seg_chunks);
+  // A disk index populated at the same scale is the RAM yardstick;
+  // measured up to 4M keys, modeled (page-cache budget + bloom) above.
+  std::unordered_map<std::uint32_t, std::uint64_t> disk_at_scale;
+  std::vector<SampledRun> sruns;
+  for (const std::uint32_t scale : scales) {
+    const std::uint64_t total = static_cast<std::uint64_t>(scale) * keys_n;
+    const bool measure_disk = total <= 4'000'000;
+    if (measure_disk && disk_at_scale.find(scale) == disk_at_scale.end()) {
+      PersistentIndexConfig dcfg = cfg;
+      dcfg.expected_keys = total;
+      MemoryBackend dbackend;
+      PersistentIndex scaled_disk(dbackend, dcfg);
+      for (std::uint64_t i = 0; i < total; ++i) {
+        scaled_disk.put(digest_of(i), entry_for(digest_of(i)));
+      }
+      scaled_disk.compact();
+      scaled_disk.flush();
+      disk_at_scale[scale] = scaled_disk.ram_high_water();
+    }
+    for (const std::uint32_t bits : bits_list) {
+      SampledRun run;
+      run.scale = scale;
+      run.bits = bits;
+      run.total = total;
+      run.segments = (total + seg_chunks - 1) / seg_chunks;
+
+      MemoryBackend sbackend;
+      SampledIndexConfig scfg;
+      scfg.sample_bits = bits;
+      SampledIndex sampled(sbackend, scfg);
+
+      // Segment s covers fingerprints [s*G, (s+1)*G) under one manifest.
+      std::vector<Digest> manifest_of(run.segments);
+      std::unordered_map<Digest, std::uint64_t, DigestHasher> seg_of;
+      for (std::uint64_t s = 0; s < run.segments; ++s) {
+        ByteVec v;
+        append_le<std::uint64_t>(v, s);
+        append_le<std::uint64_t>(v, 0x5347u);  // segment-name domain tag
+        manifest_of[s] = Sha1::hash(v);
+        seg_of.emplace(manifest_of[s], s);
+      }
+
+      const auto seg_len = [&](std::uint64_t s) {
+        return std::min<std::uint64_t>(seg_chunks, total - s * seg_chunks);
+      };
+      std::deque<std::uint64_t> window;  // resident segments, oldest first
+      std::unordered_set<std::uint64_t> resident_segs;
+      std::uint64_t resident_entries = 0;
+      // Room is made BEFORE inserting, so the resident map never
+      // overshoots the cap mid-segment (the cache would not either).
+      const auto evict_for = [&](std::uint64_t incoming) {
+        while (!window.empty() &&
+               resident_entries + incoming > resident_cap) {
+          const std::uint64_t old = window.front();
+          window.pop_front();
+          resident_segs.erase(old);
+          const std::uint64_t base = old * seg_chunks, n = seg_len(old);
+          for (std::uint64_t j = 0; j < n; ++j) {
+            sampled.erase(digest_of(base + j));
+          }
+          resident_entries -= n;
+        }
+      };
+      const auto load_segment = [&](std::uint64_t s) {
+        const std::uint64_t base = s * seg_chunks, n = seg_len(s);
+        evict_for(n);
+        for (std::uint64_t j = 0; j < n; ++j) {
+          sampled.put(digest_of(base + j),
+                      IndexEntry{manifest_of[s], j * 4096});
+        }
+        window.push_back(s);
+        resident_segs.insert(s);
+        resident_entries += n;
+      };
+
+      {
+        const Stopwatch watch;
+        for (std::uint64_t s = 0; s < run.segments; ++s) load_segment(s);
+        run.ingest_seconds = watch.seconds();
+      }
+      sampled.flush();
+
+      // Replay the identical stream as duplicates. A fingerprint counts
+      // as detected when it is resident or becomes resident after the
+      // hook's champion segments load — the engine's exact decision path.
+      {
+        const Stopwatch watch;
+        for (std::uint64_t i = 0; i < total; ++i) {
+          const Digest fp = digest_of(i);
+          if (sampled.lookup(fp)) {
+            ++run.dup_found;
+            continue;
+          }
+          bool loaded = false;
+          for (const Digest& m : sampled.champions_for(fp)) {
+            const auto it = seg_of.find(m);
+            if (it == seg_of.end() || resident_segs.count(it->second)) {
+              continue;
+            }
+            load_segment(it->second);
+            sampled.note_champion_load();
+            loaded = true;
+          }
+          if (loaded && sampled.lookup(fp)) ++run.dup_found;
+        }
+        run.replay_seconds = watch.seconds();
+      }
+
+      run.ram_hw = sampled.ram_high_water();
+      run.hook_table_bytes = sampled.ram_bytes() - sampled.entry_count() *
+                                                       MemIndex::kEntryRamBytes;
+      run.hook_entries = sampled.hook_entries();
+      run.champion_loads = sampled.champion_loads();
+      if (const auto it = disk_at_scale.find(scale);
+          it != disk_at_scale.end()) {
+        run.disk_ram = it->second;
+        run.disk_ram_measured = true;
+      } else {
+        run.disk_ram =
+            cache_bytes + total * cfg.bloom_bits_per_key / 8;
+      }
+      sruns.push_back(run);
+    }
+  }
+
   std::printf("fingerprint index throughput, %llu keys (shards=%u, "
               "cache=%0.1f MB)\n\n",
               static_cast<unsigned long long>(keys_n), shards,
@@ -177,6 +373,29 @@ int main(int argc, char** argv) {
              TextTable::num(warm_page_ram / 1024),
              TextTable::num(cache_bytes / 1024)});
   std::printf("%s", m.to_string().c_str());
+
+  if (!sruns.empty()) {
+    std::printf("\nsampled similarity tier (segment=%llu chunks, resident "
+                "cap=%llu entries)\n\n",
+                static_cast<unsigned long long>(seg_chunks),
+                static_cast<unsigned long long>(resident_cap));
+    TextTable s({"Scale", "Bits", "Keys", "Ingest Mops/s", "Replay Mops/s",
+                 "RAM KB", "Hook KB", "Dup found", "Loss", "vs disk RAM"});
+    for (const auto& r : sruns) {
+      s.add_row({TextTable::num(static_cast<std::uint64_t>(r.scale)) + "x",
+                 TextTable::num(static_cast<std::uint64_t>(r.bits)),
+                 TextTable::num(r.total),
+                 TextTable::num(r.total / r.ingest_seconds / 1e6, 2),
+                 TextTable::num(r.total / r.replay_seconds / 1e6, 2),
+                 TextTable::num(r.ram_hw / 1024),
+                 TextTable::num(r.hook_table_bytes / 1024),
+                 TextTable::num(r.detected() * 100, 1) + "%",
+                 TextTable::num(r.loss() * 100, 1) + "%",
+                 TextTable::num(r.ram_reduction(), 1) + "x" +
+                     (r.disk_ram_measured ? "" : " (model)")});
+    }
+    std::printf("%s", s.to_string().c_str());
+  }
 
   if (cold_page_ram > cache_bytes || warm_page_ram > cache_bytes) {
     std::fprintf(stderr, "FATAL: page cache exceeded its budget\n");
@@ -202,7 +421,34 @@ int main(int argc, char** argv) {
     out << "  ],\n  \"ram_high_water_bytes\": {\"mem\": " << mem_ram
         << ", \"disk_cold\": " << cold_ram
         << ", \"disk_warm\": " << warm_ram
-        << ", \"disk_page_cache_budget\": " << cache_bytes << "}\n}\n";
+        << ", \"disk_page_cache_budget\": " << cache_bytes << "},\n";
+    out << "  \"sampled\": {\n    \"segment_chunks\": " << seg_chunks
+        << ",\n    \"resident_entries\": " << resident_cap
+        << ",\n    \"runs\": [\n";
+    for (std::size_t i = 0; i < sruns.size(); ++i) {
+      const SampledRun& r = sruns[i];
+      char buf[512];
+      std::snprintf(
+          buf, sizeof(buf),
+          "      {\"scale\": %u, \"sample_bits\": %u, \"keys\": %llu, "
+          "\"ingest_mops_per_s\": %.2f, \"replay_mops_per_s\": %.2f, "
+          "\"ram_high_water_bytes\": %llu, \"hook_table_bytes\": %llu, "
+          "\"hook_entries\": %llu, \"champion_loads\": %llu, "
+          "\"dup_detected_ratio\": %.4f, \"missed_dup_ratio\": %.4f, "
+          "\"disk_ram_bytes\": %llu, \"disk_ram_measured\": %s, "
+          "\"ram_reduction_vs_disk\": %.1f}%s\n",
+          r.scale, r.bits, static_cast<unsigned long long>(r.total),
+          r.total / r.ingest_seconds / 1e6, r.total / r.replay_seconds / 1e6,
+          static_cast<unsigned long long>(r.ram_hw),
+          static_cast<unsigned long long>(r.hook_table_bytes),
+          static_cast<unsigned long long>(r.hook_entries),
+          static_cast<unsigned long long>(r.champion_loads), r.detected(),
+          r.loss(), static_cast<unsigned long long>(r.disk_ram),
+          r.disk_ram_measured ? "true" : "false", r.ram_reduction(),
+          i + 1 < sruns.size() ? "," : "");
+      out << buf;
+    }
+    out << "    ]\n  }\n}\n";
     std::printf("wrote %s\n", json.c_str());
   }
   return 0;

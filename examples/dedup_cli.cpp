@@ -53,15 +53,22 @@
 // Options: --ecs=4096 --sd=64 --chunker=rabin|tttd|gear
 //          --chunker-impl=auto|scalar|simd
 //          --hash-impl=auto|shani|simd|portable   SHA-1 kernel selection
-//          --index-impl=mem|disk   fingerprint-index routing. `disk`
-//          persists the index under the repo's index/ namespace with a
-//          bounded page cache, so a reopened repo deduplicates against
-//          its history without rebuilding an in-RAM map. Like --framed,
-//          the choice is sticky: later commands detect an existing
-//          on-disk index and keep using it without the flag.
+//          --index-impl=mem|disk|sampled   fingerprint-index routing.
+//          `disk` persists the index under the repo's index/ namespace
+//          with a bounded page cache, so a reopened repo deduplicates
+//          against its history without rebuilding an in-RAM map.
+//          `sampled` keeps only a sparse similarity hook table resident
+//          (fingerprints with --sample-bits low zero bits); hook hits
+//          load up to --champions similar segments, and the dedup loss
+//          from sampling is counted, never hidden. Like --framed, the
+//          choice is sticky: later commands detect an existing on-disk
+//          or sampled index and keep using it without the flag.
 //          --index-cache-mb=8   hot bucket-page cache budget (K/M/G
 //          suffixes accepted; bare number means MB)
 //          --index-bloom-bits-per-key=10   negative-lookup bloom sizing
+//          --sample-bits=6 --champions=10   sampled-tier geometry (the
+//          sample rate is fixed at repo creation; the meta object wins
+//          over a conflicting flag on reopen)
 //          --pipeline | --ingest-threads=N   staged concurrent ingest
 //          (N SHA-1 workers; 0 = serial; stored bytes are bit-identical)
 //          --framed    store with CRC32C self-verification framing.
@@ -94,6 +101,7 @@
 #include "mhd/core/mhd_engine.h"
 #include "mhd/dedup/rewrite.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/metrics/metrics.h"
 #include "mhd/server/client.h"
 #include "mhd/server/daemon.h"
@@ -207,13 +215,25 @@ class BackendStack {
 EngineConfig config_from(const Flags& flags, const StorageBackend& backend) {
   EngineConfig cfg;
   // The index implementation is a property of the repository: once a
-  // persistent index exists, keep maintaining it even without the flag
-  // (an ignored on-disk index would silently go stale).
-  const bool disk_index =
-      flags.has("index-impl")
-          ? flags.get_choice("index-impl", {"mem", "disk"}, "mem") == "disk"
-          : index_present(backend);
-  cfg.index_impl = disk_index ? IndexImpl::kDisk : IndexImpl::kMem;
+  // persistent (disk or sampled) index exists, keep maintaining it even
+  // without the flag (an ignored on-disk index would silently go stale).
+  if (flags.has("index-impl")) {
+    const std::string impl =
+        flags.get_choice("index-impl", {"mem", "disk", "sampled"}, "mem");
+    cfg.index_impl = impl == "disk"      ? IndexImpl::kDisk
+                     : impl == "sampled" ? IndexImpl::kSampled
+                                         : IndexImpl::kMem;
+  } else if (index_present(backend)) {
+    cfg.index_impl = IndexImpl::kDisk;
+  } else if (sampled_index_present(backend)) {
+    cfg.index_impl = IndexImpl::kSampled;
+  } else {
+    cfg.index_impl = IndexImpl::kMem;
+  }
+  cfg.sample_bits = static_cast<std::uint32_t>(
+      flags.get_uint("sample-bits", cfg.sample_bits, 0, 64));
+  cfg.max_champions = static_cast<std::uint32_t>(
+      flags.get_uint("champions", cfg.max_champions, 1, 1024));
   cfg.index_cache_bytes =
       flags.get_size("index-cache-mb", cfg.index_cache_bytes, 64ull << 10,
                      1ull << 40, /*unit=*/1ull << 20);
@@ -288,6 +308,16 @@ int cmd_store(const Flags& flags, bool verify_after) {
                 engine.index_impl_name(),
                 static_cast<unsigned long long>(fp->entry_count()),
                 engine.index_ram_bytes() / 1024.0);
+    if (const auto* sampled = dynamic_cast<const SampledIndex*>(fp)) {
+      std::printf("sampled: %u sample bits, %llu hook entries, %llu champion "
+                  "loads, missed-dup %.2f MB (%llu chunks)\n",
+                  sampled->sample_bits(),
+                  static_cast<unsigned long long>(sampled->hook_entries()),
+                  static_cast<unsigned long long>(sampled->champion_loads()),
+                  sampled->missed_dup_bytes() / 1048576.0,
+                  static_cast<unsigned long long>(
+                      sampled->missed_dup_chunks()));
+    }
   }
   for (const auto& s : engine.pipeline_stats().stages) {
     std::printf("  stage %-5s: %2u thread(s), %8llu items, %8.2f MB, "
@@ -406,6 +436,12 @@ int cmd_gc(const Flags& flags) {
                 static_cast<unsigned long long>(r.index_entries),
                 static_cast<unsigned long long>(r.dropped_index_entries));
   }
+  if (r.sampled_index_rebuilt) {
+    std::printf("gc: sampled hook table rebuilt, %llu hook entries, %llu "
+                "swept champions dropped\n",
+                static_cast<unsigned long long>(r.sampled_hook_entries),
+                static_cast<unsigned long long>(r.dropped_sampled_champions));
+  }
   return 0;
 }
 
@@ -430,6 +466,12 @@ int cmd_scrub(const Flags& flags) {
                 static_cast<unsigned long long>(r.index_entries),
                 static_cast<unsigned long long>(r.stale_index_entries),
                 static_cast<unsigned long long>(r.unindexed_hooks));
+  }
+  if (r.sampled_hook_entries != 0 || r.stale_sampled_champions != 0) {
+    std::printf("scrub: sampled hook table has %llu entries (%llu stale "
+                "champions)\n",
+                static_cast<unsigned long long>(r.sampled_hook_entries),
+                static_cast<unsigned long long>(r.stale_sampled_champions));
   }
   if (r.clean()) {
     std::printf("repository is CLEAN\n");

@@ -6,8 +6,9 @@
 //                    [--chunker=rabin|tttd|gear]
 //                    [--chunker-impl=auto|scalar|simd]
 //                    [--hash-impl=auto|shani|simd|portable] [--cache_kb=256]
-//                    [--index-impl=mem|disk] [--index-cache-mb=8]
+//                    [--index-impl=mem|disk|sampled] [--index-cache-mb=8]
 //                    [--index-bloom-bits-per-key=10]
+//                    [--sample-bits=6] [--champions=10]
 //                    [--pipeline] [--ingest-threads=N]
 //                    [--framed] [--fault-plan=SPEC]
 //                    [--container-mb=N] [--rewrite=none|cbr|har]
@@ -23,6 +24,11 @@
 // sharded on-disk index (bounded RAM, warm restart); --index-cache-mb
 // bounds its hot bucket-page cache (accepts K/M/G suffixes, bare number =
 // MB) and --index-bloom-bits-per-key sizes its negative-lookup bloom.
+// --index-impl=sampled keeps only a sparse similarity hook table resident
+// (fingerprints whose low --sample-bits bits are zero); a hook hit loads
+// up to --champions similar segments for full-segment dedup, and
+// duplicates the sample misses are stored again — the loss is reported as
+// sampled missed-dup MB, never hidden.
 // --framed stores every object with CRC32C self-verification framing
 // (dedup results stay bit-identical; the framing overhead is reported);
 // --fault-plan injects deterministic storage faults below the framing,
@@ -61,10 +67,15 @@ int main(int argc, char** argv) {
   spec.engine.manifest_cache_bytes =
       static_cast<std::uint64_t>(flags.get_int("cache_kb", 256)) << 10;
   spec.engine.manifest_cache_capacity = 4096;
-  spec.engine.index_impl =
-      flags.get_choice("index-impl", {"mem", "disk"}, "mem") == "disk"
-          ? IndexImpl::kDisk
-          : IndexImpl::kMem;
+  const std::string index_impl =
+      flags.get_choice("index-impl", {"mem", "disk", "sampled"}, "mem");
+  spec.engine.index_impl = index_impl == "disk"      ? IndexImpl::kDisk
+                           : index_impl == "sampled" ? IndexImpl::kSampled
+                                                     : IndexImpl::kMem;
+  spec.engine.sample_bits = static_cast<std::uint32_t>(
+      flags.get_uint("sample-bits", spec.engine.sample_bits, 0, 64));
+  spec.engine.max_champions = static_cast<std::uint32_t>(
+      flags.get_uint("champions", spec.engine.max_champions, 1, 1024));
   spec.engine.index_cache_bytes =
       flags.get_size("index-cache-mb", spec.engine.index_cache_bytes,
                      64ull << 10, 1ull << 40, /*unit=*/1ull << 20);
@@ -133,6 +144,12 @@ int main(int argc, char** argv) {
   t.add_row({"index RAM KB", TextTable::num(r.index_ram_bytes / 1024)});
   t.add_row({"index impl", r.index_impl});
   t.add_row({"index entries", TextTable::num(r.index_entries)});
+  if (r.index_impl == "sampled") {
+    t.add_row({"sampled hook entries", TextTable::num(r.sampled_hook_entries)});
+    t.add_row({"champion loads", TextTable::num(r.champion_loads)});
+    t.add_row({"sampled missed-dup MB",
+               TextTable::num(r.sampled_missed_dup_bytes / 1048576.0, 2)});
+  }
   if (r.framed) {
     t.add_row({"framing overhead KB",
                TextTable::num(r.framing_overhead_bytes() / 1024.0, 1)});

@@ -21,6 +21,13 @@ MhdEngine::MhdEngine(ObjectStore& store, const EngineConfig& config)
 std::optional<ManifestCache::Located> MhdEngine::find_anchor(
     const Digest& hash) {
   if (auto loc = cache_.lookup_hash(hash)) return loc;
+  if (sampled_mode()) {
+    // Similarity path only: the bloom + get_hook fallback below assumes
+    // every stored fingerprint is findable; the sampled tier deliberately
+    // forgets, and a miss here is stored fresh (the loss meter counts it).
+    if (load_champions(cache_, hash)) return cache_.lookup_hash(hash);
+    return std::nullopt;
+  }
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
   }
@@ -258,9 +265,12 @@ bool MhdEngine::flush_session() {
     finish();
     return false;
   }
-  if (cfg_.index_impl == IndexImpl::kDisk) {
+  if (cfg_.index_impl == IndexImpl::kDisk ||
+      cfg_.index_impl == IndexImpl::kSampled) {
     // Keep the cache resident: the fresh-engine baseline warm-loads the
     // persisted residency list anyway, so staying warm IS the baseline.
+    // The sampled tier additionally persists its hook table + loss meter
+    // here, making the session boundary a commit point for the tier.
     cache_.flush();
     persist_index_state(cache_);
   } else {

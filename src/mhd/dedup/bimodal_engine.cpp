@@ -23,6 +23,16 @@ std::optional<BimodalEngine::DupRef> BimodalEngine::find_duplicate(
     const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
     return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
   }
+  if (sampled_mode()) {
+    // Similarity path only — no exact fallback (see CdcEngine).
+    if (load_champions(cache_, hash)) {
+      if (auto loc = cache_.lookup_hash(hash)) {
+        const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
+        return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+      }
+    }
+    return std::nullopt;
+  }
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
   }

@@ -23,6 +23,18 @@ std::optional<CdcEngine::DupRef> CdcEngine::find_duplicate(const Digest& hash) {
     const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
     return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
   }
+  if (sampled_mode()) {
+    // Similarity path only: the bloom + get_hook fallback below assumes
+    // every stored fingerprint is findable; the sampled tier deliberately
+    // forgets, and a miss here is stored fresh (the loss meter counts it).
+    if (load_champions(cache_, hash)) {
+      if (auto loc = cache_.lookup_hash(hash)) {
+        const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
+        return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+      }
+    }
+    return std::nullopt;
+  }
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
   }

@@ -6,6 +6,7 @@
 #include "mhd/format/file_manifest.h"
 #include "mhd/index/mem_index.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/pipeline/ingest_pipeline.h"
 #include "mhd/util/buffer_pool.h"
 #include "mhd/util/hex.h"
@@ -39,6 +40,13 @@ FingerprintIndex& DedupEngine::fp_index() {
       pc.journal_batch = cfg_.index_journal_batch;
       pc.compact_threshold = cfg_.index_compact_threshold;
       fp_index_ = std::make_unique<PersistentIndex>(store_.backend(), pc);
+    } else if (cfg_.index_impl == IndexImpl::kSampled) {
+      index_was_present_ = SampledIndex::present(store_.backend());
+      SampledIndexConfig sc;
+      sc.sample_bits = cfg_.sample_bits;
+      sc.max_champions = cfg_.max_champions;
+      sc.max_manifests_per_hook = cfg_.max_manifests_per_hook;
+      fp_index_ = std::make_unique<SampledIndex>(store_.backend(), sc);
     } else {
       fp_index_ = std::make_unique<MemIndex>();
     }
@@ -48,17 +56,35 @@ FingerprintIndex& DedupEngine::fp_index() {
 
 void DedupEngine::restore_warm_state(ManifestCache& cache) {
   if (!index_was_present_) return;
-  auto* disk = dynamic_cast<PersistentIndex*>(fp_index_.get());
-  if (disk == nullptr) return;
-  cache.warm_load(disk->load_warm_list());
+  if (auto* disk = dynamic_cast<PersistentIndex*>(fp_index_.get())) {
+    cache.warm_load(disk->load_warm_list());
+  } else if (auto* sampled = dynamic_cast<SampledIndex*>(fp_index_.get())) {
+    cache.warm_load(sampled->load_warm_list());
+  }
 }
 
 void DedupEngine::persist_index_state(ManifestCache& cache) {
   if (!fp_index_) return;
   if (auto* disk = dynamic_cast<PersistentIndex*>(fp_index_.get())) {
     disk->save_warm_list(cache.resident_names());
+  } else if (auto* sampled = dynamic_cast<SampledIndex*>(fp_index_.get())) {
+    sampled->save_warm_list(cache.resident_names());
   }
   fp_index_->flush();
+}
+
+bool DedupEngine::load_champions(ManifestCache& cache, const Digest& hash) {
+  auto* sampled = dynamic_cast<SampledIndex*>(&fp_index());
+  if (sampled == nullptr) return false;
+  bool loaded = false;
+  for (const Digest& name : sampled->champions_for(hash)) {
+    if (cache.cached(name) != nullptr) continue;
+    Manifest* m = degrade_on_corruption([&] { return cache.load(name); });
+    if (m == nullptr) continue;
+    sampled->note_champion_load();
+    loaded = true;
+  }
+  return loaded;
 }
 
 Digest DedupEngine::unique_store_digest(const Digest& base) const {

@@ -85,8 +85,16 @@ struct EngineConfig {
   // the historical always-resident map; kDisk stores the index under
   // Ns::kIndex with bounded RAM and warm restart (--index-impl). The two
   // make bit-identical dedup decisions — kDisk additionally survives
-  // process restarts.
+  // process restarts. kSampled is the similarity tier (DESIGN.md "Sampled
+  // similarity index"): index RAM scales with the sample rate, dedup
+  // decisions may miss duplicates (measured, never hidden), restores stay
+  // byte-exact.
   IndexImpl index_impl = IndexImpl::kMem;
+  /// Sampled tier: a fingerprint whose low `sample_bits` bits (of its
+  /// prefix64) are zero is a hook — expected one hook per 2^bits chunks
+  /// (--sample-bits). Champion fan-out reuses max_champions (--champions)
+  /// and max_manifests_per_hook caps each hook's champion list.
+  std::uint32_t sample_bits = 6;
   /// Weight budget of the disk index's hot bucket-page cache
   /// (--index-cache-mb).
   std::uint64_t index_cache_bytes = 8ull << 20;
@@ -237,10 +245,16 @@ class DedupEngine {
   /// The engine's fingerprint index, if it routes through one (nullptr
   /// for engines with private similarity indexes, e.g. SparseIndexing).
   const FingerprintIndex* fingerprint_index() const { return fp_index_.get(); }
-  /// Resolved index implementation name for reports ("mem" | "disk").
+  /// Resolved index implementation name for reports
+  /// ("mem" | "disk" | "sampled").
   const char* index_impl_name() const {
     if (fp_index_) return fp_index_->impl_name();
-    return cfg_.index_impl == IndexImpl::kDisk ? "disk" : "mem";
+    switch (cfg_.index_impl) {
+      case IndexImpl::kDisk: return "disk";
+      case IndexImpl::kSampled: return "sampled";
+      case IndexImpl::kMem: break;
+    }
+    return "mem";
   }
   ObjectStore& store() { return store_; }
   const ObjectStore& store() const { return store_; }
@@ -285,6 +299,20 @@ class DedupEngine {
   /// index and flushes it (journal tail, bloom snapshot, meta). Call from
   /// finish() after the cache flush. No-op for MemIndex.
   void persist_index_state(ManifestCache& cache);
+
+  /// True when this engine routes through the sampled similarity tier —
+  /// anchor lookups must then use similarity_anchor() instead of the
+  /// exact bloom + get_hook fallback (which assumes every stored
+  /// fingerprint is findable; the sampled tier deliberately forgets).
+  bool sampled_mode() const { return cfg_.index_impl == IndexImpl::kSampled; }
+
+  /// Sampled-tier anchor path: when `hash` is a sampled hook, loads its
+  /// champion manifests (up to cfg_.max_champions, skipping already-cached
+  /// ones) into `cache`. Returns true when at least one new champion was
+  /// loaded — the caller then retries its cache lookup. When nothing
+  /// loads, the chunk is stored fresh; if it actually was a duplicate the
+  /// loss meter counts it (sampled_missed_dup_bytes), never hides it.
+  bool load_champions(ManifestCache& cache, const Digest& hash);
 
   /// Returns `base`, salted until no DiskChunk/Manifest with that name
   /// exists. DiskChunks are immutable and may be referenced by other

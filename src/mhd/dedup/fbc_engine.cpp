@@ -1,6 +1,7 @@
 #include "mhd/dedup/fbc_engine.h"
 
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 
 #include "mhd/chunk/chunk_stream.h"
 #include "mhd/chunk/rabin_chunker.h"
@@ -25,6 +26,16 @@ std::optional<FbcEngine::DupRef> FbcEngine::find_duplicate(
   if (auto loc = cache_.lookup_hash(hash)) {
     const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
     return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+  }
+  if (sampled_mode()) {
+    // Similarity path only — no exact fallback (see CdcEngine).
+    if (load_champions(cache_, hash)) {
+      if (auto loc = cache_.lookup_hash(hash)) {
+        const ManifestEntry& e = loc->manifest->entries()[loc->entry_index];
+        return DupRef{loc->manifest->chunk_name(), e.offset, e.size};
+      }
+    }
+    return std::nullopt;
   }
   if (cfg_.use_bloom && !bloom_.maybe_contains(hash.prefix64())) {
     return std::nullopt;
@@ -148,11 +159,13 @@ void FbcEngine::finish() {
 // The frequency sketch is FBC's second piece of cross-restart state: the
 // re-chunking decision depends on how often sampled fingerprints were seen
 // in *prior* data, so a warm-restarted run must resume with the sketch the
-// uninterrupted run would have. Persisted as an aux blob of the disk index
-// (count-prefixed u64 key / u32 count pairs); mem runs keep it in RAM only.
+// uninterrupted run would have. Persisted as an aux blob of whichever
+// persistent index tier is active — disk or sampled — as count-prefixed
+// u64 key / u32 count pairs; mem runs keep it in RAM only.
 void FbcEngine::save_frequency_sketch() {
   auto* disk = dynamic_cast<PersistentIndex*>(&fp_index());
-  if (disk == nullptr) return;
+  auto* sampled = dynamic_cast<SampledIndex*>(&fp_index());
+  if (disk == nullptr && sampled == nullptr) return;
   ByteVec payload;
   payload.reserve(8 + frequency_.size() * 12);
   append_le(payload, static_cast<std::uint64_t>(frequency_.size()));
@@ -160,13 +173,20 @@ void FbcEngine::save_frequency_sketch() {
     append_le(payload, key);
     append_le(payload, seen);
   }
-  disk->save_aux(kSketchAuxName, payload);
+  if (disk != nullptr) {
+    disk->save_aux(kSketchAuxName, payload);
+  } else {
+    sampled->save_aux(kSketchAuxName, payload);
+  }
 }
 
 void FbcEngine::load_frequency_sketch() {
-  auto* disk = dynamic_cast<PersistentIndex*>(&fp_index());
-  if (disk == nullptr) return;
-  const auto payload = disk->load_aux(kSketchAuxName);
+  std::optional<ByteVec> payload;
+  if (auto* disk = dynamic_cast<PersistentIndex*>(&fp_index())) {
+    payload = disk->load_aux(kSketchAuxName);
+  } else if (auto* sampled = dynamic_cast<SampledIndex*>(&fp_index())) {
+    payload = sampled->load_aux(kSketchAuxName);
+  }
   if (!payload || payload->size() < 8) return;
   const auto count = load_le<std::uint64_t>(payload->data());
   if (payload->size() != 8 + count * 12) return;

@@ -2,7 +2,7 @@
 // every duplicate lookup (the paper's Table 3 concern: index RAM, not
 // chunk data, is what limits inline deduplication at scale).
 //
-// Two implementations share this interface:
+// Three implementations share this interface:
 //
 //  * MemIndex — a plain in-RAM hash map with byte accounting. This is the
 //    historical behavior (ManifestCache's global map / the engines' hook
@@ -11,6 +11,11 @@
 //    CRC-framed journal under Ns::kIndex, fronted by a BloomFilter for
 //    negative lookups and a weight-bounded LruCache of hot pages. It
 //    survives restarts with bounded RAM (see persistent_index.h).
+//  * SampledIndex — a sampled similarity tier (sparse-indexing style): an
+//    exact map only for cache-resident manifests plus a sparse hook table
+//    over min-hash-sampled fingerprints pointing at champion manifests.
+//    Index RAM scales with the sample rate, not the corpus; the price is a
+//    measured dedup-ratio loss, never a wrong restore (see sampled_index.h).
 //
 // The index is advisory, never authoritative: hooks and manifests remain
 // the durable truth, so a lost or stale index entry can only cost a missed
@@ -26,7 +31,7 @@ namespace mhd {
 
 /// Which FingerprintIndex implementation an engine routes through
 /// (--index-impl). kMem is bit-identical to the pre-index behavior.
-enum class IndexImpl { kMem, kDisk };
+enum class IndexImpl { kMem, kDisk, kSampled };
 
 /// What a fingerprint resolves to: the manifest that indexes the chunk,
 /// plus the chunk's offset in its DiskChunk (advisory; rebuilt entries

@@ -267,7 +267,15 @@ PersistentIndex::PersistentIndex(StorageBackend& backend,
     if (!bloom_loaded) rebuild_bloom_from_pages();
     replay_journal();
     sweep_stale_objects();
-  } else if (backend_.object_count(Ns::kIndex) > 0) {
+  } else if ([this] {
+               // Only THIS family's objects signal a torn commit point —
+               // the sampled tier's "sampled-" objects share the namespace
+               // and say nothing about the disk index's meta.
+               for (const auto& name : backend_.list(Ns::kIndex)) {
+                 if (name.rfind("sampled-", 0) != 0) return true;
+               }
+               return false;
+             }()) {
     // Objects without a readable meta: the commit point was torn. The
     // hooks namespace is authoritative, so rebuild from it.
     rebuild_from_hooks();
@@ -742,6 +750,7 @@ void PersistentIndex::rebuild_from_hooks() {
   // meta with the right geometry; the next rebuild starts over cleanly.
   for (const auto& name : backend_.list(Ns::kIndex)) {
     if (name == kMetaName) continue;
+    if (name.rfind("sampled-", 0) == 0) continue;  // the sampled tier's
     backend_.remove(Ns::kIndex, name);
   }
   gens_.assign(cfg_.shards, 0);
@@ -937,6 +946,9 @@ void rebuild_index(StorageBackend& backend, PersistentIndexConfig config) {
   // its hooks and its geometry.
   for (const auto& name : backend.list(Ns::kIndex)) {
     if (name == kMetaName) continue;
+    // The sampled similarity tier shares Ns::kIndex under a "sampled-"
+    // prefix; its objects belong to rebuild_sampled_index, not to us.
+    if (name.rfind("sampled-", 0) == 0) continue;
     backend.remove(Ns::kIndex, name);
   }
   MetaView fresh;

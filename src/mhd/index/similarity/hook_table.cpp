@@ -1,0 +1,84 @@
+#include "mhd/index/similarity/hook_table.h"
+
+#include <algorithm>
+
+namespace mhd::similarity {
+
+namespace {
+
+Digest read_digest(const Byte* p) {
+  Digest d;
+  std::copy(p, p + Digest::kSize, d.bytes.begin());
+  return d;
+}
+
+}  // namespace
+
+void HookTable::associate(std::uint64_t hook, const Digest& manifest) {
+  auto& champions = table_[hook];
+  if (std::find(champions.begin(), champions.end(), manifest) !=
+      champions.end()) {
+    return;
+  }
+  champions.insert(champions.begin(), manifest);
+  ++champion_refs_;
+  if (champions.size() > max_per_hook_) {
+    champions.pop_back();
+    --champion_refs_;
+  }
+}
+
+std::vector<Digest> HookTable::champions(std::uint64_t hook,
+                                         std::uint32_t max_out) const {
+  const auto found = table_.find(hook);
+  if (found == table_.end()) return {};
+  const auto& list = found->second;
+  const std::size_t n = std::min<std::size_t>(list.size(), max_out);
+  return std::vector<Digest>(list.begin(), list.begin() + n);
+}
+
+void HookTable::clear() {
+  table_.clear();
+  champion_refs_ = 0;
+}
+
+void HookTable::serialize(ByteVec& out) const {
+  std::vector<std::uint64_t> keys;
+  keys.reserve(table_.size());
+  for (const auto& [hook, champions] : table_) keys.push_back(hook);
+  std::sort(keys.begin(), keys.end());
+  append_le(out, static_cast<std::uint64_t>(keys.size()));
+  for (const std::uint64_t key : keys) {
+    const auto& champions = table_.at(key);
+    append_le(out, key);
+    append_le(out, static_cast<std::uint32_t>(champions.size()));
+    for (const Digest& m : champions) append(out, m.span());
+  }
+}
+
+bool HookTable::deserialize(const Byte*& p, const Byte* end) {
+  clear();
+  if (end - p < 8) return false;
+  const auto count = load_le<std::uint64_t>(p);
+  p += 8;
+  for (std::uint64_t i = 0; i < count; ++i) {
+    if (end - p < 12) return clear(), false;
+    const auto key = load_le<std::uint64_t>(p);
+    const auto n = load_le<std::uint32_t>(p + 8);
+    p += 12;
+    if (n == 0 || n > max_per_hook_ ||
+        static_cast<std::uint64_t>(end - p) < n * Digest::kSize) {
+      return clear(), false;
+    }
+    std::vector<Digest> champions;
+    champions.reserve(n);
+    for (std::uint32_t j = 0; j < n; ++j, p += Digest::kSize) {
+      champions.push_back(read_digest(p));
+    }
+    champion_refs_ += champions.size();
+    table_.emplace(key, std::move(champions));
+  }
+  return true;
+}
+
+}  // namespace mhd::similarity

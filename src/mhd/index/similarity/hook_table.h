@@ -1,0 +1,75 @@
+// HookTable — the sparse RAM-resident half of the sampled similarity tier:
+// sampled fingerprint prefix → the champion manifests that contain it.
+//
+// This is the structure whose size realizes the tier's RAM claim: it holds
+// one entry per *hook* (expected chunks / 2^sample_bits), not one per
+// fingerprint, and each entry is a short champion list capped at
+// max_manifests_per_hook. Champions deliberately SURVIVE manifest-cache
+// eviction — that persistence across the working set is what lets a later
+// hook hit pull an old segment back for full-segment dedup.
+//
+// Determinism contract (warm restart must be bit-identical to an
+// uninterrupted run): associate() is a no-op when the manifest is already
+// listed — no reordering on re-sighting — and otherwise prepends and trims
+// the oldest. The table is then a pure function of the sequence of
+// first-association events, and serialize() emits hooks in sorted key
+// order so equal tables produce equal bytes.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "mhd/hash/digest.h"
+#include "mhd/util/bytes.h"
+
+namespace mhd::similarity {
+
+class HookTable {
+ public:
+  /// Estimated resident bytes per hook beyond its champion digests
+  /// (unordered_map node + key + vector header + bucket share).
+  static constexpr std::uint64_t kHookRamBytes = 72;
+
+  explicit HookTable(std::uint32_t max_manifests_per_hook)
+      : max_per_hook_(max_manifests_per_hook == 0 ? 1
+                                                  : max_manifests_per_hook) {}
+
+  /// Associates `manifest` as the newest champion of `hook`. No-op when it
+  /// is already listed (see determinism contract); otherwise prepends and
+  /// drops the oldest champion beyond max_manifests_per_hook.
+  void associate(std::uint64_t hook, const Digest& manifest);
+
+  /// The hook's champions, newest first, at most `max_out`. Empty when the
+  /// hook is unknown.
+  std::vector<Digest> champions(std::uint64_t hook,
+                                std::uint32_t max_out) const;
+
+  std::uint64_t hook_count() const { return table_.size(); }
+  std::uint64_t champion_refs() const { return champion_refs_; }
+  std::uint64_t ram_bytes() const {
+    return table_.size() * kHookRamBytes + champion_refs_ * Digest::kSize;
+  }
+
+  /// Visits every (hook, champions) pair — fsck's cross-check walk.
+  template <typename Fn>
+  void for_each(Fn&& fn) const {
+    for (const auto& [hook, champions] : table_) fn(hook, champions);
+  }
+
+  void clear();
+
+  /// Appends [count u64][per hook: key u64, n u32, n digests], hooks in
+  /// ascending key order (equal tables ⇒ equal bytes).
+  void serialize(ByteVec& out) const;
+  /// Parses a serialize() image at `p`, advancing it past the section.
+  /// False (table cleared) on any structural violation.
+  bool deserialize(const Byte*& p, const Byte* end);
+
+ private:
+  std::unordered_map<std::uint64_t, std::vector<Digest>> table_;
+  std::uint64_t champion_refs_ = 0;
+  std::uint32_t max_per_hook_;
+};
+
+}  // namespace mhd::similarity

@@ -1,0 +1,34 @@
+#include "mhd/index/similarity/loss_meter.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace mhd::similarity {
+
+void LossMeter::serialize(ByteVec& out) const {
+  append_le(out, missed_bytes_);
+  append_le(out, missed_chunks_);
+  std::vector<std::uint64_t> prefixes(seen_.begin(), seen_.end());
+  std::sort(prefixes.begin(), prefixes.end());
+  append_le(out, static_cast<std::uint64_t>(prefixes.size()));
+  for (const std::uint64_t p : prefixes) append_le(out, p);
+}
+
+bool LossMeter::deserialize(const Byte*& p, const Byte* end) {
+  clear();
+  if (end - p < 24) return false;
+  missed_bytes_ = load_le<std::uint64_t>(p);
+  missed_chunks_ = load_le<std::uint64_t>(p + 8);
+  const auto count = load_le<std::uint64_t>(p + 16);
+  p += 24;
+  if (static_cast<std::uint64_t>(end - p) < count * 8) {
+    return clear(), false;
+  }
+  seen_.reserve(static_cast<std::size_t>(count));
+  for (std::uint64_t i = 0; i < count; ++i, p += 8) {
+    seen_.insert(load_le<std::uint64_t>(p));
+  }
+  return true;
+}
+
+}  // namespace mhd::similarity

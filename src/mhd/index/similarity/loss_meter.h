@@ -1,0 +1,65 @@
+// LossMeter — measures the dedup the sampled tier gives up, instead of
+// hiding it (the ISSUE's "stored again, and that loss is measured").
+//
+// The meter watches the stream of freshly STORED chunks (every entry of
+// every freshly built manifest). A 64-bit fingerprint prefix appearing in
+// that stream twice means the same chunk was written twice — a duplicate
+// the exact tiers would have caught and the sampled tier missed. Summing
+// those bytes yields sampled_missed_dup_bytes, the dedup-ratio delta vs
+// exact reported in metrics/JSON and checked by the differential suite.
+//
+// The seen-set is O(total stored chunks) and exists only to measure: it is
+// accounted as ram_bytes() here but deliberately EXCLUDED from the
+// SampledIndex's index RAM (the tier's RAM claim covers the structures
+// dedup needs — resident map + hook table — not the meter).
+#pragma once
+
+#include <cstdint>
+#include <unordered_set>
+
+#include "mhd/util/bytes.h"
+
+namespace mhd::similarity {
+
+class LossMeter {
+ public:
+  /// Estimated resident bytes per seen prefix (u64 + node + bucket share).
+  static constexpr std::uint64_t kSeenRamBytes = 40;
+
+  /// Records a freshly stored chunk. A re-sighted prefix counts its bytes
+  /// as a missed duplicate.
+  void note_stored(std::uint64_t prefix64, std::uint64_t bytes) {
+    if (!seen_.insert(prefix64).second) {
+      ++missed_chunks_;
+      missed_bytes_ += bytes;
+    }
+  }
+
+  /// Marks a prefix as seen without loss accounting (rebuild from hooks:
+  /// the chunks already stored must not read as future misses).
+  void seed(std::uint64_t prefix64) { seen_.insert(prefix64); }
+
+  std::uint64_t missed_dup_bytes() const { return missed_bytes_; }
+  std::uint64_t missed_dup_chunks() const { return missed_chunks_; }
+  std::uint64_t seen_count() const { return seen_.size(); }
+  std::uint64_t ram_bytes() const { return seen_.size() * kSeenRamBytes; }
+
+  void clear() {
+    seen_.clear();
+    missed_bytes_ = missed_chunks_ = 0;
+  }
+
+  /// Appends [missed_bytes u64][missed_chunks u64][count u64][prefixes],
+  /// prefixes ascending (equal meters ⇒ equal bytes).
+  void serialize(ByteVec& out) const;
+  /// Parses a serialize() image at `p`, advancing past it. False (meter
+  /// cleared) on structural violation.
+  bool deserialize(const Byte*& p, const Byte* end);
+
+ private:
+  std::unordered_set<std::uint64_t> seen_;
+  std::uint64_t missed_bytes_ = 0;
+  std::uint64_t missed_chunks_ = 0;
+};
+
+}  // namespace mhd::similarity

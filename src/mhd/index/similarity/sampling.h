@@ -1,0 +1,31 @@
+// Min-hash-style fingerprint sampling for the sampled similarity tier
+// (--index-impl=sampled, DESIGN.md "Sampled similarity index").
+//
+// The sampling invariant: a fingerprint is a HOOK iff the low
+// `sample_bits` bits of its 64-bit prefix are zero. SHA-1 output is
+// uniform, so the expected hook rate is one per 2^sample_bits chunks, and
+// — crucially — the predicate is a pure function of the fingerprint. Two
+// segments sharing data therefore sample the SAME hooks (the min-hash
+// property sparse indexing leans on), and every process, restart, or
+// rebuild derives the identical hook set from the identical chunks.
+#pragma once
+
+#include <cstdint>
+
+#include "mhd/hash/digest.h"
+
+namespace mhd::similarity {
+
+/// Hook predicate over a fingerprint's 64-bit prefix. sample_bits >= 64
+/// degenerates to "only the all-zero prefix", never undefined behavior.
+inline bool is_hook(std::uint64_t prefix64, std::uint32_t sample_bits) {
+  const std::uint64_t mask =
+      sample_bits >= 64 ? ~0ull : ((1ull << sample_bits) - 1);
+  return (prefix64 & mask) == 0;
+}
+
+inline bool is_hook(const Digest& fp, std::uint32_t sample_bits) {
+  return is_hook(fp.prefix64(), sample_bits);
+}
+
+}  // namespace mhd::similarity

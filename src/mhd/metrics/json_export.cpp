@@ -83,6 +83,12 @@ std::string to_json(const ExperimentResult& r) {
       << ",\"index_ram_bytes\":" << r.index_ram_bytes
       << ",\"index_impl\":\"" << json_escape(r.index_impl) << "\""
       << ",\"index_entries\":" << r.index_entries
+      << ",\"sample_bits\":" << r.sample_bits
+      << ",\"sampled_hook_entries\":" << r.sampled_hook_entries
+      << ",\"sampled_hook_table_bytes\":" << r.sampled_hook_table_bytes
+      << ",\"champion_loads\":" << r.champion_loads
+      << ",\"sampled_missed_dup_bytes\":" << r.sampled_missed_dup_bytes
+      << ",\"sampled_missed_dup_chunks\":" << r.sampled_missed_dup_chunks
       << ",\"total_disk_accesses\":" << r.stats.total_accesses()
       << ",\"dedup_seconds\":" << num(r.dedup_seconds)
       << ",\"copy_seconds\":" << num(r.copy_seconds)

@@ -93,8 +93,19 @@ struct ExperimentResult {
   StorageStats stats;
   std::uint64_t manifest_loads = 0;   ///< TABLE V
   std::uint64_t index_ram_bytes = 0;  ///< TABLE III (RAM high-water)
-  std::string index_impl = "mem";     ///< fingerprint index: "mem" | "disk"
-  std::uint64_t index_entries = 0;    ///< fingerprints the index knows
+  std::string index_impl = "mem";   ///< "mem" | "disk" | "sampled"
+  std::uint64_t index_entries = 0;  ///< fingerprints the index knows
+  /// Sampled similarity tier (zero unless index_impl == "sampled").
+  std::uint32_t sample_bits = 0;           ///< hook sampling rate (1/2^bits)
+  std::uint64_t sampled_hook_entries = 0;  ///< sparse hook-table keys
+  /// Measured hook-table RAM (keys + champion references) — the part of
+  /// the tier whose footprint scales with the corpus.
+  std::uint64_t sampled_hook_table_bytes = 0;
+  std::uint64_t champion_loads = 0;        ///< segments pulled in on hook hits
+  /// Duplicate bytes the sampled tier stored again because no loaded
+  /// champion covered them — the measured dedup-ratio loss vs exact.
+  std::uint64_t sampled_missed_dup_bytes = 0;
+  std::uint64_t sampled_missed_dup_chunks = 0;
 
   /// Staged-ingest configuration and per-stage observability (empty when
   /// the run ingested serially, i.e. ingest_threads == 0).

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "mhd/core/mhd_engine.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/metrics/json_export.h"
 #include "mhd/server/protocol.h"
 #include "mhd/store/maintenance.h"
@@ -151,6 +152,11 @@ struct DedupDaemon::EngineSession {
   EngineSession(SyncBackend& sync, const std::string& tenant,
                 const EngineConfig& cfg)
       : view(sync, tenant), store(view), engine(store, cfg) {}
+
+  /// Non-null when this tenant's engine runs the sampled similarity tier.
+  const SampledIndex* sampled() const {
+    return dynamic_cast<const SampledIndex*>(engine.fingerprint_index());
+  }
 };
 
 DedupDaemon::DedupDaemon(StorageBackend& active, StorageBackend& raw,
@@ -436,6 +442,8 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
   EngineCounters before, after;
   std::uint64_t retries_before = 0;
   std::uint64_t put_transient_retries = 0;
+  bool sampled_tier = false;
+  std::uint64_t sampled_champs = 0, sampled_missed = 0, sampled_hooks = 0;
   try {
     if (!ts.session) {
       ts.session =
@@ -444,11 +452,24 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
     EngineSession& sess = *ts.session;
     before = sess.engine.counters();
     retries_before = sess.store.stats().transient_retries;
+    // The sampled tier's counters are cumulative (persisted across engine
+    // rebuilds), so the per-PUT contribution is a delta like the engine's.
+    std::uint64_t champs_before = 0, missed_before = 0;
+    if (const SampledIndex* s = sess.sampled()) {
+      champs_before = s->champion_loads();
+      missed_before = s->missed_dup_bytes();
+    }
     sess.engine.add_file(*file_name, src);
     sess.engine.end_snapshot();
     after = sess.engine.counters();
     put_transient_retries =
         sess.store.stats().transient_retries - retries_before;
+    if (const SampledIndex* s = sess.sampled()) {
+      sampled_tier = true;
+      sampled_champs = s->champion_loads() - champs_before;
+      sampled_missed = s->missed_dup_bytes() - missed_before;
+      sampled_hooks = s->hook_entries();
+    }
     if (!sess.engine.flush_session()) ts.session.reset();
   } catch (const QuotaExceededError&) {
     ts.session.reset();
@@ -534,6 +555,11 @@ void DedupDaemon::handle_put(int fd, FrameReader& reader, ByteSpan payload) {
     ts.counters.queue_high_water = std::max<std::uint64_t>(
         ts.counters.queue_high_water, reader.buffer_high_water());
     ts.counters.transient_retries += put_transient_retries;
+    if (sampled_tier) {
+      ts.counters.champion_loads += sampled_champs;
+      ts.counters.sampled_missed_dup_bytes += sampled_missed;
+      ts.counters.sampled_hook_entries = sampled_hooks;
+    }
     ts.put_us.record(us);
   }
   if (put_transient_retries != 0) {
@@ -768,6 +794,16 @@ std::string DedupDaemon::build_stats_json(bool reset_histograms) const {
   json += ",\"max_sessions\":" + std::to_string(cfg_.max_sessions);
   json += ",\"session_queue_depth\":" +
           std::to_string(cfg_.session_queue_depth);
+  // Resolved per-tenant engine routing (stickiness already applied by the
+  // caller's config), so clients can see which index tier serves them.
+  json += std::string(",\"index_impl\":\"") +
+          (cfg_.engine.index_impl == IndexImpl::kDisk      ? "disk"
+           : cfg_.engine.index_impl == IndexImpl::kSampled ? "sampled"
+                                                           : "mem") +
+          "\"";
+  if (cfg_.engine.index_impl == IndexImpl::kSampled) {
+    json += ",\"sample_bits\":" + std::to_string(cfg_.engine.sample_bits);
+  }
   json += ",\"protocol_errors\":" + std::to_string(protocol_errors_.load());
   json +=
       ",\"peer_disconnects\":" + std::to_string(peer_disconnects_.load());
@@ -801,6 +837,11 @@ std::string DedupDaemon::build_stats_json(bool reset_histograms) const {
     json += ",\"transient_retries\":" +
             std::to_string(c.transient_retries);
     json += ",\"retryable_errors\":" + std::to_string(c.retryable_errors);
+    json += ",\"champion_loads\":" + std::to_string(c.champion_loads);
+    json += ",\"sampled_missed_dup_bytes\":" +
+            std::to_string(c.sampled_missed_dup_bytes);
+    json += ",\"sampled_hook_entries\":" +
+            std::to_string(c.sampled_hook_entries);
     json += ",\"put_p50_us\":" + std::to_string(ts->put_us.quantile(0.5));
     json += ",\"put_p99_us\":" + std::to_string(ts->put_us.quantile(0.99));
     json += ",\"get_p50_us\":" + std::to_string(ts->get_us.quantile(0.5));

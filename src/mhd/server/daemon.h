@@ -131,6 +131,12 @@ struct TenantCounters {
   std::uint64_t idle_timeout_reaps = 0;
   std::uint64_t transient_retries = 0;
   std::uint64_t retryable_errors = 0;
+  /// Sampled similarity tier (all zero on mem/disk indexes): champion
+  /// loads and missed-duplicate bytes are per-PUT deltas accumulated
+  /// across this tenant's PUTs; hook entries is a gauge from the last PUT.
+  std::uint64_t champion_loads = 0;
+  std::uint64_t sampled_missed_dup_bytes = 0;
+  std::uint64_t sampled_hook_entries = 0;
   std::uint64_t put_p50_us = 0, put_p99_us = 0;
   std::uint64_t get_p50_us = 0, get_p99_us = 0;
 };

@@ -4,6 +4,7 @@
 
 #include "mhd/format/file_manifest.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/format/manifest.h"
 #include "mhd/hash/sha1.h"
 #include "mhd/store/container_store.h"
@@ -137,6 +138,17 @@ ScrubReport scrub_repository(const StorageBackend& backend) {
     if (!index.meta_ok) ++report.corrupt_objects;
   }
 
+  // Sampled similarity tier (when present): every champion reference must
+  // point at an existing manifest — a stale champion could pull a swept
+  // segment back into the cache as a dedup target.
+  if (sampled_index_present(backend)) {
+    const SampledCheckReport sampled = check_sampled_index(backend);
+    report.sampled_hook_entries = sampled.hook_entries;
+    report.stale_sampled_champions = sampled.stale_champions;
+    report.corrupt_objects += sampled.corrupt_objects;
+    if (!sampled.meta_ok) ++report.corrupt_objects;
+  }
+
   report.chunks = backend.object_count(Ns::kDiskChunk);
   return report;
 }
@@ -218,6 +230,18 @@ GcReport collect_garbage(StorageBackend& backend) {
     report.index_entries = check_index(backend).entries;
     report.dropped_index_entries =
         before > report.index_entries ? before - report.index_entries : 0;
+  }
+
+  // Same for the sampled similarity tier: swept champions must drop out
+  // of the hook table so no hook hit can reload a deleted segment.
+  if (sampled_index_present(backend)) {
+    const std::uint64_t before = check_sampled_index(backend).champion_refs;
+    rebuild_sampled_index(backend);
+    report.sampled_index_rebuilt = true;
+    const auto after = check_sampled_index(backend);
+    report.sampled_hook_entries = after.hook_entries;
+    report.dropped_sampled_champions =
+        before > after.champion_refs ? before - after.champion_refs : 0;
   }
   return report;
 }

@@ -40,11 +40,17 @@ struct ScrubReport {
   std::uint64_t stale_index_entries = 0;  ///< entry -> missing manifest
   std::uint64_t unindexed_hooks = 0;      ///< informational (lost journal)
 
+  // Sampled similarity tier (zero when none is present): hook-table
+  // entries are cross-checked against live manifests — a stale champion
+  // could pull a swept segment back into the cache.
+  std::uint64_t sampled_hook_entries = 0;
+  std::uint64_t stale_sampled_champions = 0;
+
   bool clean() const {
     return broken_file_ranges == 0 && manifest_hash_mismatches == 0 &&
            manifest_coverage_errors == 0 && dangling_hooks == 0 &&
            unparseable == 0 && corrupt_objects == 0 &&
-           stale_index_entries == 0;
+           stale_index_entries == 0 && stale_sampled_champions == 0;
   }
 };
 
@@ -66,6 +72,11 @@ struct GcReport {
   bool index_rebuilt = false;
   std::uint64_t index_entries = 0;
   std::uint64_t dropped_index_entries = 0;
+  /// Sampled similarity tier, when one exists: rebuilt the same way so
+  /// swept champions drop out of the hook table.
+  bool sampled_index_rebuilt = false;
+  std::uint64_t sampled_hook_entries = 0;
+  std::uint64_t dropped_sampled_champions = 0;
   /// Container layer (zero without one): sealed containers referenced by
   /// no surviving chunk map, swept after the chunk sweep. Their payload
   /// bytes are the physical copies of the logical reclaimed_bytes, so

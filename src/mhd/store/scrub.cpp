@@ -12,6 +12,7 @@
 #include "mhd/format/manifest.h"
 #include "mhd/hash/digest.h"
 #include "mhd/index/persistent_index.h"
+#include "mhd/index/sampled_index.h"
 #include "mhd/store/container_store.h"
 #include "mhd/store/file_backend.h"
 #include "mhd/store/framing.h"
@@ -245,7 +246,15 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
     }
   }
   // --- Pass 1c: index objects (sealed; advisory, rebuildable) -----------
+  // Two index families share Ns::kIndex: the disk index's objects and the
+  // sampled similarity tier's "sampled-"-prefixed ones. Damage is tracked
+  // per (scope, family) so Pass 3 rebuilds only the family actually hit.
+  const auto is_sampled_object = [](const std::string& name) {
+    const std::string base = name.substr(scope_of(name).size());
+    return base.rfind("sampled-", 0) == 0;
+  };
   std::unordered_set<std::string> damaged_index_scopes;
+  std::unordered_set<std::string> damaged_sampled_scopes;
   for (const auto& name : raw.list(Ns::kIndex)) {
     ++rep.objects;
     const auto bytes = raw.get(Ns::kIndex, name);
@@ -255,7 +264,8 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
       continue;
     }
     ++rep.corrupt;
-    damaged_index_scopes.insert(scope_of(name));
+    (is_sampled_object(name) ? damaged_sampled_scopes : damaged_index_scopes)
+        .insert(scope_of(name));
     FsckIssue issue{Ns::kIndex, name, FsckIssue::Kind::kCorrupt,
                     "trailer CRC/structure mismatch", {}};
     if (repair) {
@@ -374,13 +384,20 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
   // commit point, entries naming removed manifests) is repaired by
   // rebuilding from the hooks, never by touching user data. A
   // multi-tenant repository carries one index PER tenant scope, each
-  // checked and rebuilt against the hooks of the same scope.
-  std::set<std::string> index_scopes;
+  // checked and rebuilt against the hooks of the same scope — and each
+  // scope may carry either index family (disk and/or sampled), checked
+  // and rebuilt independently so a sampled-only scope is never "repaired"
+  // into a disk index or vice versa.
+  std::set<std::string> disk_scopes, sampled_scopes;
   for (const auto& name : raw.list(Ns::kIndex)) {
-    index_scopes.insert(scope_of(name));
+    (is_sampled_object(name) ? sampled_scopes : disk_scopes)
+        .insert(scope_of(name));
   }
-  for (const auto& scope : damaged_index_scopes) index_scopes.insert(scope);
-  for (const auto& scope : index_scopes) {
+  for (const auto& scope : damaged_index_scopes) disk_scopes.insert(scope);
+  for (const auto& scope : damaged_sampled_scopes) {
+    sampled_scopes.insert(scope);
+  }
+  for (const auto& scope : disk_scopes) {
     ScopedBackend view(raw, scope);
     IndexCheckReport index = check_index(view);
     const bool damaged = damaged_index_scopes.count(scope) > 0;
@@ -405,6 +422,34 @@ FsckReport fsck_repository(StorageBackend& raw, bool repair) {
     }
     rep.index_entries += index.entries;
     rep.stale_index_entries += index.stale_entries;
+  }
+  for (const auto& scope : sampled_scopes) {
+    ScopedBackend view(raw, scope);
+    SampledCheckReport sampled = check_sampled_index(view);
+    const bool damaged = damaged_sampled_scopes.count(scope) > 0;
+    if (!sampled.meta_ok || sampled.stale_champions > 0 ||
+        sampled.corrupt_objects > 0 || damaged) {
+      ++rep.index_issues;
+      FsckIssue issue{
+          Ns::kIndex, scope + "sampled-meta",
+          FsckIssue::Kind::kIndexInconsistent,
+          !sampled.meta_ok
+              ? "sampled-tier objects present but meta unreadable"
+              : std::to_string(sampled.stale_champions) +
+                    " stale champions, " +
+                    std::to_string(sampled.corrupt_objects) +
+                    " corrupt objects",
+          {}};
+      if (repair) {
+        rebuild_sampled_index(view);
+        sampled = check_sampled_index(view);
+        issue.action = FsckIssue::Action::kRebuilt;
+        ++rep.repaired;
+      }
+      rep.issues.push_back(std::move(issue));
+    }
+    rep.sampled_hook_entries += sampled.hook_entries;
+    rep.stale_sampled_champions += sampled.stale_champions;
   }
 
   for (const auto& [name, logical] : chunk_logical) {

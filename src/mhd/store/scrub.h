@@ -83,6 +83,9 @@ struct FsckReport {
   std::uint64_t index_entries = 0;
   std::uint64_t stale_index_entries = 0;  ///< entry -> missing manifest
   std::uint64_t index_issues = 0;  ///< inconsistent index structures found
+  /// Sampled similarity tier (zero when none is present).
+  std::uint64_t sampled_hook_entries = 0;
+  std::uint64_t stale_sampled_champions = 0;  ///< champion -> missing manifest
   std::vector<FsckIssue> issues;
 
   /// Orphans are informational; everything else dirties the repository.
